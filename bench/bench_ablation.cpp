@@ -1,0 +1,111 @@
+// Experiment E15 — ablations of the implementation's design choices
+// (DESIGN.md section 4).
+//
+// Table A: palette reduction — naive class-elimination (O(k) rounds) vs
+// blocked halving (O(Δ·log(k/Δ))). The fast variant is what keeps the
+// Theorem 10/11 constant terms near the paper's O(Δ²) instead of O(Δ⁴).
+//
+// Table B: Theorem 10 constant schedule — the paper's proof constants
+// (α=200, growth e^{-200}-slow, cap Δ^0.1) versus the practical defaults.
+// Correctness is identical (everything uncolored lands in Phase 2); the
+// constants only move work between the phases.
+//
+// Table C: Ghaffari MIS phase-1 budget — iterations vs residue left for the
+// deterministic finish: the shattering knob.
+#include <cmath>
+#include <iostream>
+
+#include "algo/color_reduction.hpp"
+#include "algo/linial.hpp"
+#include "algo/mis_ghaffari.hpp"
+#include "core/delta_coloring_thm10.hpp"
+#include "graph/regular.hpp"
+#include "graph/trees.hpp"
+#include "lcl/verify_coloring.hpp"
+#include "local/ids.hpp"
+#include "util/check.hpp"
+#include "util/flags.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ckp;
+  Flags flags(argc, argv);
+  const auto n = static_cast<NodeId>(flags.get_int("n", 1 << 14));
+  flags.check_unknown();
+
+  std::cout << "E15/Table A: palette reduction to Δ+1 — naive vs blocked\n\n";
+  {
+    Table t({"Δ", "Linial palette", "naive rounds", "fast rounds", "speedup"});
+    for (int delta : {8, 16, 32, 64, 128}) {
+      const Graph g = make_complete_tree(n, delta);
+      Rng rng(mix_seed(0xAB1, static_cast<std::uint64_t>(delta)));
+      const auto ids =
+          random_ids(n, 2 * ceil_log2(static_cast<std::uint64_t>(n)), rng);
+      RoundLedger base;
+      auto coloring = linial_coloring(g, ids, delta, base);
+      auto naive = coloring.colors;
+      auto fast = coloring.colors;
+      RoundLedger ln, lf;
+      reduce_palette(g, naive, coloring.palette, delta + 1, ln);
+      reduce_palette_fast(g, fast, coloring.palette, delta + 1, lf);
+      CKP_CHECK(verify_coloring(g, naive, delta + 1).ok);
+      CKP_CHECK(verify_coloring(g, fast, delta + 1).ok);
+      t.add_row({Table::cell(delta), Table::cell(coloring.palette),
+                 Table::cell(ln.rounds()), Table::cell(lf.rounds()),
+                 Table::cell(static_cast<double>(ln.rounds()) / lf.rounds(),
+                             1)});
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\nE15/Table B: Theorem 10 constants — paper vs practical\n\n";
+  {
+    Thm10Params paper;
+    paper.alpha = 200.0;
+    paper.growth_divisor = 1e300;  // the e^{200} divisor: c never grows
+    paper.cap_exponent = 0.1;
+    paper.max_iterations = 8;
+    const Thm10Params practical;  // defaults
+    Table t({"Δ", "constants", "phase-1 iters", "bad vertices",
+             "largest bad comp", "rounds"});
+    for (int delta : {32, 64}) {
+      const Graph g = make_complete_tree(n, delta);
+      for (const bool use_paper : {false, true}) {
+        RoundLedger ledger;
+        const auto r = delta_coloring_thm10(g, delta, 11, ledger,
+                                            use_paper ? paper : practical);
+        CKP_CHECK(verify_coloring(g, r.colors, delta).ok);
+        t.add_row({Table::cell(delta), use_paper ? "paper" : "practical",
+                   Table::cell(r.phase1_iterations),
+                   Table::cell(static_cast<std::int64_t>(r.bad_vertices)),
+                   Table::cell(static_cast<std::int64_t>(r.largest_bad_component)),
+                   Table::cell(ledger.rounds())});
+      }
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\nE15/Table C: Ghaffari phase-1 budget vs residue\n\n";
+  {
+    Rng rng(0xAB3);
+    const Graph g = make_random_regular(n, 16, rng);
+    Table t({"iterations", "residue", "largest comp", "total rounds"});
+    for (int iters : {2, 4, 8, 16, 32}) {
+      GhaffariMisParams params;
+      params.phase1_iterations = iters;
+      RoundLedger ledger;
+      const auto r = mis_ghaffari(g, 5, ledger, params);
+      t.add_row({Table::cell(iters),
+                 Table::cell(static_cast<std::int64_t>(r.residue_nodes)),
+                 Table::cell(static_cast<std::int64_t>(r.largest_residue_component)),
+                 Table::cell(ledger.rounds())});
+    }
+    t.print(std::cout);
+  }
+  std::cout << "\nReading: blocked reduction wins by Θ(Δ/log Δ); the paper's"
+            << " proof constants push all work into Phase 2\n(still correct,"
+            << " just unbalanced); more randomized iterations shrink the"
+            << " residue at 2 rounds apiece.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Experiment E6 — Theorem 3 ("Result 3"), executed at micro scale:
+// Det_P(n,Δ) <= Rand_P(2^{n²},Δ).
+//
+// For each setup the harness enumerates the whole instance class G_{n,Δ}
+// (every graph × every injective ID assignment), scans φ functions
+// lexicographically until the first good one — the φ* the proof's A_Det
+// computes by local simulation — and samples the density of good φ, the
+// quantity the union bound controls. The instance-class sizes are printed
+// against the paper's coarse 2^{n²} bound.
+#include <cmath>
+#include <iostream>
+
+#include "core/derand.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ckp;
+  Flags flags(argc, argv);
+  const int samples = static_cast<int>(flags.get_int("phi-samples", 200));
+  flags.check_unknown();
+
+  std::cout << "E6: Theorem 3 derandomization of rank-greedy MIS at micro"
+            << " scale\n\n";
+  Table t({"n", "Δ", "S", "r", "graphs", "instances", "log2(inst)", "n²",
+           "|φ|", "first good φ", "scanned", "good frac"});
+  struct Row {
+    int n, delta, id_space, rank_bits;
+  };
+  for (const Row& row : {Row{2, 1, 4, 2}, Row{3, 2, 4, 2}, Row{3, 2, 5, 3},
+                         Row{4, 3, 5, 3}, Row{4, 3, 6, 3}}) {
+    DerandSetup setup;
+    setup.n = row.n;
+    setup.delta = row.delta;
+    setup.id_space = row.id_space;
+    setup.rank_bits = row.rank_bits;
+    const auto r = derandomize_mis(setup, samples, 0xE6);
+    t.add_row({Table::cell(row.n), Table::cell(row.delta),
+               Table::cell(row.id_space), Table::cell(row.rank_bits),
+               Table::cell(r.graphs), Table::cell(r.instances),
+               Table::cell(std::log2(static_cast<double>(r.instances)), 1),
+               Table::cell(r.log2_thm3_bound, 0), Table::cell(r.phi_space),
+               r.found ? Table::cell(r.first_good_phi) : "none",
+               Table::cell(r.phis_scanned),
+               Table::cell(r.sampled_good_fraction, 3)});
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected shape: log2(instances) << n² (the theorem's class"
+            << " bound);\na good φ always exists and most sampled φ are good"
+            << " — the union-bound argument, observed.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Experiment E14 — Theorem 7: on Δ=2 instances (cycles) every LCL is
+// either O(log* n) or Ω(n); nothing in between.
+//
+// Both sides measured on the same cycles: 2-coloring (anchor + parity,
+// rounds = ⌈n/2⌉) vs 3-coloring (Theorem 2 + elimination, rounds ~ log* n).
+#include <iostream>
+
+#include "core/cycle_lcl.hpp"
+#include "core/dichotomy.hpp"
+#include "graph/generators.hpp"
+#include "lcl/verify_coloring.hpp"
+#include "local/ids.hpp"
+#include "util/check.hpp"
+#include "util/flags.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ckp;
+  Flags flags(argc, argv);
+  const int max_exp = static_cast<int>(flags.get_int("max-exp", 20));
+  flags.check_unknown();
+
+  std::cout << "E14: the Δ=2 complexity dichotomy (Theorem 7) on cycles\n\n";
+  Table t({"n", "2-color rounds", "3-color rounds", "log* n", "gap"});
+  for (int e = 6; e <= max_exp; e += 2) {
+    const NodeId n = static_cast<NodeId>(1) << e;  // even: 2-colorable
+    const Graph g = make_cycle(n);
+    Rng rng(mix_seed(0xED, static_cast<std::uint64_t>(n)));
+    const auto ids =
+        random_ids(n, 2 * ceil_log2(static_cast<std::uint64_t>(n)), rng);
+    RoundLedger l2, l3;
+    const auto c2 = two_color_cycle(g, ids, l2);
+    CKP_CHECK(verify_coloring(g, c2.colors, 2).ok);
+    const auto c3 = three_color_cycle(g, ids, l3);
+    CKP_CHECK(verify_coloring(g, c3.colors, 3).ok);
+    t.add_row({Table::cell(static_cast<std::int64_t>(n)),
+               Table::cell(l2.rounds()), Table::cell(l3.rounds()),
+               Table::cell(log_star(static_cast<double>(n))),
+               Table::cell(static_cast<double>(l2.rounds()) / l3.rounds(), 1)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nE14/Table B: the mechanical classifier + generic solver"
+            << " over an LCL catalog\n(the decision procedure behind the"
+            << " Theorem 7 dichotomy)\n\n";
+  {
+    struct Entry { const char* name; CycleLcl lcl; };
+    std::vector<Entry> catalog;
+    catalog.push_back({"2-coloring", proper_coloring_cycle_lcl(2)});
+    catalog.push_back({"3-coloring", proper_coloring_cycle_lcl(3)});
+    catalog.push_back({"MIS", mis_cycle_lcl()});
+    catalog.push_back({"maximal matching", maximal_matching_cycle_lcl()});
+    catalog.push_back({"all-equal", all_equal_cycle_lcl()});
+    catalog.push_back({"forced 01 pattern", unsolvable_cycle_lcl()});
+    Table t2({"problem", "classified", "rounds n=2^10", "rounds n=2^16"});
+    for (const auto& [name, lcl] : catalog) {
+      const auto cls = classify_cycle_lcl(lcl);
+      std::vector<std::string> row{name, to_string(cls.complexity)};
+      for (int e2 : {10, 16}) {
+        const NodeId n2 = static_cast<NodeId>(1) << e2;
+        const Graph g2 = make_cycle(n2);
+        Rng rng2(mix_seed(0xED2, static_cast<std::uint64_t>(n2)));
+        const auto ids2 = random_ids(
+            n2, 2 * ceil_log2(static_cast<std::uint64_t>(n2)), rng2);
+        RoundLedger l;
+        const auto r = solve_cycle_lcl(lcl, g2, ids2, l);
+        row.push_back(r.feasible ? Table::cell(l.rounds()) : "infeasible");
+      }
+      t2.add_row(row);
+    }
+    t2.print(std::cout);
+  }
+
+  std::cout << "\nExpected shape: the 2-coloring column is exactly ⌈n/2⌉"
+            << " (Ω(n) side); the 3-coloring column\nis essentially flat"
+            << " (O(log* n) side). Theorem 7: no LCL lives between them.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Experiment E11 — simulator infrastructure microbenchmarks
+// (google-benchmark). Rounds are the scientific metric of every other
+// experiment; this binary reports the wall-clock cost of the simulation
+// substrate itself: graph construction, one engine round, ball collection,
+// and a full Luby run.
+#include <benchmark/benchmark.h>
+
+#include "algo/mis_luby.hpp"
+#include "algo/linial.hpp"
+#include "graph/power.hpp"
+#include "graph/regular.hpp"
+#include "graph/trees.hpp"
+#include "local/ids.hpp"
+
+namespace {
+
+using namespace ckp;
+
+void BM_GraphConstruction(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(42);
+    benchmark::DoNotOptimize(make_random_regular(n, 4, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GraphConstruction)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+
+void BM_CompleteTree(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(make_complete_tree(n, 8));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CompleteTree)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_LubyFullRun(benchmark::State& state) {
+  Rng rng(7);
+  const Graph g = make_random_regular(static_cast<NodeId>(state.range(0)), 6,
+                                      rng);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    LocalInput in;
+    in.graph = &g;
+    in.seed = seed++;
+    benchmark::DoNotOptimize(mis_luby(in));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LubyFullRun)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+
+void BM_LinialColoring(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const Graph g = make_complete_tree(n, 8);
+  Rng rng(9);
+  const auto ids = random_ids(n, 40, rng);
+  for (auto _ : state) {
+    RoundLedger ledger;
+    benchmark::DoNotOptimize(linial_coloring(g, ids, 8, ledger));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LinialColoring)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_BallCollection(benchmark::State& state) {
+  const Graph g = make_complete_tree(1 << 16, 4);
+  NodeId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ball(g, v, static_cast<int>(state.range(0))));
+    v = (v + 1) % g.num_nodes();
+  }
+}
+BENCHMARK(BM_BallCollection)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace

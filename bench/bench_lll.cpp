@@ -1,0 +1,92 @@
+// Experiment E12 — the distributed constructive Lovász Local Lemma.
+//
+// Section IV's lower bounds were the first for the distributed LLL (sinkless
+// orientation is the canonical tight instance). This harness runs parallel
+// Moser–Tardos on (a) sinkless orientation over Δ-regular graphs — note the
+// polynomial criterion p·e·D < 1 (here d²·e/2^d < 1) fails for small Δ yet
+// resampling still converges, part of why the problem needed new lower-bound
+// machinery — and (b) random k-uniform hypergraph 2-coloring across
+// densities.
+#include <cmath>
+#include <iostream>
+
+#include "core/lll.hpp"
+#include "graph/regular.hpp"
+#include "lcl/verify_orientation.hpp"
+#include "util/check.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ckp;
+  Flags flags(argc, argv);
+  const int seeds = static_cast<int>(flags.get_int("seeds", 3));
+  const int max_exp = static_cast<int>(flags.get_int("max-exp", 14));
+  flags.check_unknown();
+
+  std::cout << "E12/Table A: Moser–Tardos for sinkless orientation\n"
+            << "criterion = e·d²/2^d (the symmetric LLL test; <1 required by"
+            << " the classic theorem)\n\n";
+  {
+    Table t({"d", "n", "criterion", "iterations", "rounds", "resampled"});
+    for (int d : {3, 4, 6, 8}) {
+      for (int e = 10; e <= max_exp; e += 2) {
+        const NodeId n = static_cast<NodeId>(1) << e;
+        Rng rng(mix_seed(0xEC, static_cast<std::uint64_t>(d),
+                         static_cast<std::uint64_t>(n)));
+        const Graph g = make_random_regular(n, d, rng);
+        const auto inst = sinkless_orientation_lll(g);
+        Accumulator iters, rounds, resampled;
+        for (int s = 0; s < seeds; ++s) {
+          RoundLedger ledger;
+          const auto r = moser_tardos_parallel(
+              inst, static_cast<std::uint64_t>(s) + 1, ledger);
+          CKP_CHECK(r.completed);
+          iters.add(r.iterations);
+          rounds.add(ledger.rounds());
+          resampled.add(static_cast<double>(r.resampled_events));
+        }
+        const double criterion =
+            std::exp(1.0) * d * d / std::pow(2.0, static_cast<double>(d));
+        t.add_row({Table::cell(d), Table::cell(static_cast<std::int64_t>(n)),
+                   Table::cell(criterion, 3), Table::cell(iters.mean(), 1),
+                   Table::cell(rounds.mean(), 1),
+                   Table::cell(resampled.mean(), 0)});
+      }
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\nE12/Table B: Moser–Tardos for hypergraph 2-coloring\n\n";
+  {
+    Table t({"k", "vars", "edges", "iterations", "rounds"});
+    Rng rng(0xEC2);
+    for (const auto& [k, density_num, density_den] :
+         std::vector<std::tuple<int, int, int>>{
+             {3, 1, 3}, {4, 2, 3}, {5, 1, 1}, {6, 3, 2}}) {
+      for (int vars : {512, 2048}) {
+        const int edges = vars * density_num / density_den;
+        const auto h = make_random_hypergraph(vars, edges, k, rng);
+        const auto inst = hypergraph_two_coloring_lll(h);
+        Accumulator iters, rounds;
+        for (int s = 0; s < seeds; ++s) {
+          RoundLedger ledger;
+          const auto r = moser_tardos_parallel(
+              inst, static_cast<std::uint64_t>(s) + 100, ledger);
+          CKP_CHECK(r.completed);
+          iters.add(r.iterations);
+          rounds.add(ledger.rounds());
+        }
+        t.add_row({Table::cell(k), Table::cell(vars), Table::cell(edges),
+                   Table::cell(iters.mean(), 1), Table::cell(rounds.mean(), 1)});
+      }
+    }
+    t.print(std::cout);
+  }
+  std::cout << "\nExpected shape: iterations stay O(log n)-ish and shrink as"
+            << " the criterion improves (larger d or k);\nconvergence at"
+            << " criterion > 1 shows the classic LLL condition is not tight"
+            << " for sinkless orientation.\n";
+  return 0;
+}

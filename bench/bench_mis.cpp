@@ -1,0 +1,75 @@
+// Experiment E10a — the introduction's MIS complexity landscape:
+// randomized (Luby O(log n); Ghaffari O(log Δ) + shattering) vs
+// deterministic (O(Δ² + log* n) via Theorem 2 scheduling).
+//
+// The Δ-dependence separation is the visible shape: det rounds grow with Δ²
+// while the randomized columns grow with log Δ / log n only. The Ghaffari
+// residue statistics exhibit the shattering that Theorem 3 proves necessary.
+#include <iostream>
+
+#include "algo/mis_deterministic.hpp"
+#include "algo/mis_ghaffari.hpp"
+#include "algo/mis_luby.hpp"
+#include "graph/regular.hpp"
+#include "lcl/verify_mis.hpp"
+#include "local/ids.hpp"
+#include "util/check.hpp"
+#include "util/flags.hpp"
+#include "util/math.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ckp;
+  Flags flags(argc, argv);
+  const int seeds = static_cast<int>(flags.get_int("seeds", 3));
+  const int max_exp = static_cast<int>(flags.get_int("max-exp", 14));
+  flags.check_unknown();
+
+  std::cout << "E10a: MIS — randomized vs deterministic round complexity\n"
+            << "random Δ-regular graphs; mean over " << seeds << " seeds\n\n";
+  Table t({"Δ", "n", "luby", "ghaffari", "residue", "maxcomp", "det",
+           "det schedule"});
+  for (int delta : {4, 8, 16, 32}) {
+    for (int e = 10; e <= max_exp; e += 2) {
+      const NodeId n = static_cast<NodeId>(1) << e;
+      Rng rng(mix_seed(0xEA, static_cast<std::uint64_t>(delta),
+                       static_cast<std::uint64_t>(n)));
+      const Graph g = make_random_regular(n, delta, rng);
+
+      Accumulator luby, ghaf, residue, maxcomp;
+      for (int s = 0; s < seeds; ++s) {
+        LocalInput in;
+        in.graph = &g;
+        in.seed = static_cast<std::uint64_t>(s) + 1;
+        const auto l = mis_luby(in);
+        CKP_CHECK(l.completed);
+        CKP_CHECK(verify_mis(g, l.in_set).ok);
+        luby.add(l.rounds);
+
+        RoundLedger lg;
+        const auto gh = mis_ghaffari(g, static_cast<std::uint64_t>(s) + 1, lg);
+        CKP_CHECK(verify_mis(g, gh.in_set).ok);
+        ghaf.add(lg.rounds());
+        residue.add(gh.residue_nodes);
+        maxcomp.add(gh.largest_residue_component);
+      }
+      RoundLedger ld;
+      const auto ids =
+          random_ids(n, 2 * ceil_log2(static_cast<std::uint64_t>(n)), rng);
+      const auto det = mis_deterministic(g, ids, delta, ld);
+      CKP_CHECK(verify_mis(g, det.in_set).ok);
+      t.add_row({Table::cell(delta), Table::cell(static_cast<std::int64_t>(n)),
+                 Table::cell(luby.mean(), 1), Table::cell(ghaf.mean(), 1),
+                 Table::cell(residue.mean(), 0),
+                 Table::cell(maxcomp.mean(), 1), Table::cell(ld.rounds()),
+                 Table::cell(det.schedule_palette)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected shape: det rounds scale with Δ·log Δ (blocked"
+            << " schedule reduction) and are flat in n; luby scales with log n;\n"
+            << "ghaffari's shattering leaves a residue with only small"
+            << " components.\n";
+  return 0;
+}

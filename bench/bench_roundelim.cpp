@@ -1,0 +1,52 @@
+// Experiment E9 — mechanical round elimination (the engine behind the
+// Brandt et al. bounds that Theorem 4 extends).
+//
+// For Δ = 3..5 the harness eliminates sinkless orientation twice and checks
+// isomorphism with the original problem — the fixed-point certificate — and
+// shows the collapsing control (a trivially solvable problem stays 0-round
+// solvable). It prints the intermediate problem sizes.
+#include <iostream>
+
+#include "core/roundelim.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ckp;
+  Flags flags(argc, argv);
+  flags.check_unknown();
+
+  std::cout << "E9: round-elimination fixed point for sinkless orientation\n\n";
+  Table t({"Δ", "form", "|Σ|", "|A|", "|P|", "RR≅canonical", "0-round"});
+  for (int delta : {3, 4, 5, 6}) {
+    const auto canonical = sinkless_orientation_canonical(delta);
+    for (const bool natural_form : {false, true}) {
+      const auto p = natural_form ? sinkless_orientation_problem(delta)
+                                  : canonical;
+      const auto rr = round_eliminate(round_eliminate(p));
+      t.add_row({Table::cell(delta), natural_form ? "O/I" : "M/U",
+                 Table::cell(p.num_labels()),
+                 Table::cell(static_cast<std::uint64_t>(p.active.size())),
+                 Table::cell(static_cast<std::uint64_t>(p.passive.size())),
+                 problems_isomorphic(rr, canonical) ? "yes" : "NO",
+                 zero_round_solvable(p) ? "yes" : "no"});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nControl: trivially solvable problem stays 0-round solvable"
+            << " through elimination\n\n";
+  Table c({"Δ", "0-round before", "0-round after R"});
+  for (int delta : {3, 4}) {
+    const auto p = free_problem(delta, 2, 2);
+    const auto r = round_eliminate(p);
+    c.add_row({Table::cell(delta), zero_round_solvable(p) ? "yes" : "no",
+               zero_round_solvable(r) ? "yes" : "no"});
+  }
+  c.print(std::cout);
+  std::cout << "\nExpected shape: RR≅orig = yes and 0-round = no for every Δ"
+            << " — sinkless orientation is a round-elimination fixed point,\n"
+            << "certifying that no fixed-round algorithm exists (the paper's"
+            << " lower-bound engine).\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Theorem 7 live: on the same cycle, 2-coloring needs half the cycle as
+// view radius while 3-coloring needs log* n rounds — and no LCL problem can
+// sit between those two complexities on Δ=2 instances.
+//
+//   ./dichotomy_demo [--n=65536]
+#include <iostream>
+
+#include "core/dichotomy.hpp"
+#include "graph/generators.hpp"
+#include "lcl/verify_coloring.hpp"
+#include "local/ids.hpp"
+#include "util/check.hpp"
+#include "util/flags.hpp"
+#include "util/math.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ckp;
+  Flags flags(argc, argv);
+  auto n = static_cast<NodeId>(flags.get_int("n", 65536));
+  if (n % 2 != 0) ++n;  // 2-coloring needs an even cycle
+  flags.check_unknown();
+
+  const Graph g = make_cycle(n);
+  Rng rng(0xD1C);
+  const auto ids =
+      random_ids(n, 2 * ceil_log2(static_cast<std::uint64_t>(n)), rng);
+
+  RoundLedger l2;
+  const auto c2 = two_color_cycle(g, ids, l2);
+  CKP_CHECK(verify_coloring(g, c2.colors, 2).ok);
+  RoundLedger l3;
+  const auto c3 = three_color_cycle(g, ids, l3);
+  CKP_CHECK(verify_coloring(g, c3.colors, 3).ok);
+
+  std::cout << "cycle with n = " << n << " (log* n = "
+            << log_star(static_cast<double>(n)) << ")\n\n"
+            << "  2-coloring: " << l2.rounds() << " rounds  (Ω(n) side — the"
+            << " parity anchor needs the whole cycle)\n"
+            << "  3-coloring: " << l3.rounds() << " rounds  (O(log* n) side —"
+            << " Linial + palette elimination)\n\n"
+            << "Theorem 7: on Δ=2 hereditary instances these are the only"
+            << " two complexity classes.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// The distributed Lovász Local Lemma in action: sinkless orientation is the
+// LLL instance behind the paper's Section IV lower bounds. Parallel
+// Moser–Tardos resampling fixes all sinks in a handful of iterations even
+// where the classic symmetric criterion fails — exactly why the problem
+// needed the new lower-bound technique the paper builds on.
+//
+//   ./lll_demo [--n=4096] [--d=4] [--seed=3]
+#include <cmath>
+#include <iostream>
+
+#include "core/lll.hpp"
+#include "graph/regular.hpp"
+#include "lcl/verify_orientation.hpp"
+#include "util/check.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ckp;
+  Flags flags(argc, argv);
+  const auto n = static_cast<NodeId>(flags.get_int("n", 4096));
+  const int d = static_cast<int>(flags.get_int("d", 4));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 3));
+  flags.check_unknown();
+
+  Rng rng(seed);
+  const Graph g = make_random_regular(n, d, rng);
+  std::cout << "instance: random " << d << "-regular graph, n=" << n << "\n";
+  const double criterion = std::exp(1.0) * d * d / std::pow(2.0, d);
+  std::cout << "bad-event probability 2^-" << d
+            << ", symmetric LLL criterion e·d²/2^d = " << criterion
+            << (criterion < 1 ? "  (holds)" : "  (FAILS — yet MT converges)")
+            << "\n\n";
+
+  const auto inst = sinkless_orientation_lll(g);
+  RoundLedger ledger;
+  const auto r = moser_tardos_parallel(inst, seed, ledger);
+  CKP_CHECK(r.completed);
+
+  Orientation orient(r.assignment.size());
+  for (std::size_t i = 0; i < r.assignment.size(); ++i) {
+    orient[i] = r.assignment[i] == 1 ? +1 : -1;
+  }
+  CKP_CHECK(verify_sinkless_orientation(g, orient).ok);
+  std::cout << "Moser–Tardos finished: " << r.iterations << " iterations, "
+            << ledger.rounds() << " rounds, " << r.resampled_events
+            << " events resampled — verified sinkless.\n";
+  std::cout << "\nThe paper: any such algorithm needs Ω(log_Δ log n) rounds"
+            << " (randomized) and Ω(log_Δ n)\n(deterministic) — resampling's"
+            << " slow growth in n is real, not an artifact.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// The paper's headline, in one run: on the same sequence of trees,
+// deterministic Δ-coloring rounds grow like log_Δ n while randomized rounds
+// barely move — the exponential separation of Result 1.
+//
+//   ./separation_demo [--delta=16] [--seed=3]
+#include <iostream>
+
+#include "algo/be_tree_coloring.hpp"
+#include "core/delta_coloring_thm10.hpp"
+#include "graph/trees.hpp"
+#include "lcl/verify_coloring.hpp"
+#include "local/ids.hpp"
+#include "util/check.hpp"
+#include "util/flags.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ckp;
+  Flags flags(argc, argv);
+  const int delta = static_cast<int>(flags.get_int("delta", 16));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 3));
+  flags.check_unknown();
+
+  std::cout << "Δ-coloring complete degree-" << delta << " trees:\n"
+            << "  DetLOCAL  = Barenboim–Elkin (Theorem 9), q = Δ\n"
+            << "  RandLOCAL = ColorBidding + shattering (Theorem 10)\n\n";
+
+  Table t({"n", "DetLOCAL rounds", "RandLOCAL rounds", "ratio"});
+  for (int e = 10; e <= 20; e += 2) {
+    const NodeId n = static_cast<NodeId>(1) << e;
+    const Graph g = make_complete_tree(n, delta);
+    Rng rng(mix_seed(seed, static_cast<std::uint64_t>(n)));
+    const auto ids =
+        random_ids(n, 2 * ceil_log2(static_cast<std::uint64_t>(n)), rng);
+
+    RoundLedger det;
+    const auto det_result = be_tree_coloring(g, delta, ids, det);
+    CKP_CHECK(verify_coloring(g, det_result.colors, delta).ok);
+
+    RoundLedger rnd;
+    const auto rand_result = delta_coloring_thm10(g, delta, seed, rnd);
+    CKP_CHECK(verify_coloring(g, rand_result.colors, delta).ok);
+
+    t.add_row({Table::cell(static_cast<std::int64_t>(n)),
+               Table::cell(det.rounds()), Table::cell(rnd.rounds()),
+               Table::cell(static_cast<double>(det.rounds()) / rnd.rounds(),
+                           2)});
+  }
+  t.print(std::cout);
+  std::cout << "\nThe paper proves this gap is necessary: DetLOCAL needs"
+            << " Ω(log_Δ n) (Theorem 5)\nwhile RandLOCAL achieves"
+            << " O(log_Δ log n + log* n) (Theorems 10/11), and by\n"
+            << "Theorem 3 no randomized algorithm can beat"
+            << " Det on √(log n)-size instances.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Anatomy of graph shattering — the technique Theorem 3 proves is inherent
+// to RandLOCAL. Runs Ghaffari-style MIS on a Δ-regular graph, sweeping the
+// number of randomized iterations, and shows how the undecided residue
+// collapses from "most of the graph" to "a dust of logarithmic components"
+// that the deterministic phase finishes.
+//
+//   ./shattering_anatomy [--n=8192] [--delta=16] [--seed=2]
+#include <iostream>
+
+#include "algo/mis_ghaffari.hpp"
+#include "graph/regular.hpp"
+#include "lcl/verify_mis.hpp"
+#include "util/check.hpp"
+#include "util/flags.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ckp;
+  Flags flags(argc, argv);
+  const auto n = static_cast<NodeId>(flags.get_int("n", 8192));
+  const int delta = static_cast<int>(flags.get_int("delta", 16));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2));
+  flags.check_unknown();
+
+  Rng rng(seed);
+  const Graph g = make_random_regular(n, delta, rng);
+  std::cout << "instance: random " << delta << "-regular graph, n=" << n
+            << "  (log2 n = " << ilog2(static_cast<std::uint64_t>(n)) << ")\n\n";
+
+  Table t({"rand iterations", "residue nodes", "largest component",
+           "total rounds"});
+  for (int iters : {1, 2, 4, 8, 16, 32, 64}) {
+    GhaffariMisParams params;
+    params.phase1_iterations = iters;
+    RoundLedger ledger;
+    const auto r = mis_ghaffari(g, seed, ledger, params);
+    CKP_CHECK(verify_mis(g, r.in_set).ok);
+    t.add_row({Table::cell(iters), Table::cell(static_cast<std::int64_t>(r.residue_nodes)),
+               Table::cell(static_cast<std::int64_t>(r.largest_residue_component)),
+               Table::cell(ledger.rounds())});
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nReading: a few randomized iterations leave a giant undecided\n"
+         "component; enough iterations *shatter* it into O(log n)-size\n"
+         "islands that the deterministic finish handles in parallel.\n"
+         "Theorem 3 says every optimal RandLOCAL algorithm must encode such\n"
+         "a deterministic finish for poly(log n)-size instances.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "algo/be_tree_coloring.hpp"
+
+#include <utility>
+
+#include "algo/color_reduction.hpp"
+#include "algo/forest_decomposition.hpp"
+#include "algo/greedy_color.hpp"
+#include "algo/linial.hpp"
+#include "graph/builder.hpp"
+#include "util/check.hpp"
+
+namespace ckp {
+
+TreeColoringResult be_tree_coloring(const Graph& g, int q,
+                                    const std::vector<std::uint64_t>& ids,
+                                    RoundLedger& ledger) {
+  CKP_CHECK(q >= 3);
+  const NodeId n = g.num_nodes();
+  CKP_CHECK(ids.size() == static_cast<std::size_t>(n));
+  const int start_rounds = ledger.rounds();
+
+  TreeColoringResult out;
+  out.colors.assign(static_cast<std::size_t>(n), -1);
+  if (n == 0) return out;
+
+  // 1. H-partition with threshold q-1.
+  const auto decomposition = decompose_forest(g, q - 1, ledger);
+  CKP_DCHECK(decomposition_valid(g, decomposition));
+  out.layers = decomposition.num_layers;
+
+  // 2. Same-layer graph H; its max degree is <= q-1 because same-layer
+  // neighbors count toward the own-or-higher budget.
+  GraphBuilder hb(n);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    if (decomposition.layer[static_cast<std::size_t>(u)] ==
+        decomposition.layer[static_cast<std::size_t>(v)]) {
+      hb.add_edge(u, v);
+    }
+  }
+  const Graph h = hb.build();
+  CKP_CHECK(h.max_degree() <= q - 1);
+
+  // Schedule: Theorem 2 coloring of H, reduced to q colors. Both steps are
+  // global preprocessing shared by all layers.
+  auto schedule_coloring = linial_coloring(h, ids, q - 1, ledger);
+  std::vector<int> schedule = std::move(schedule_coloring.colors);
+  reduce_palette_fast(h, schedule, schedule_coloring.palette, q, ledger);
+
+  // 3. Layers top-down, q schedule sub-rounds each.
+  for (int layer = decomposition.num_layers - 1; layer >= 0; --layer) {
+    std::vector<char> active(static_cast<std::size_t>(n), 0);
+    for (NodeId v = 0; v < n; ++v) {
+      if (decomposition.layer[static_cast<std::size_t>(v)] == layer) {
+        active[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+    greedy_color_by_schedule(g, schedule, q, q, std::move(active),
+                             /*respect_inactive=*/true, nullptr, out.colors,
+                             ledger);
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    CKP_CHECK(out.colors[static_cast<std::size_t>(v)] >= 0);
+  }
+  out.rounds = ledger.rounds() - start_rounds;
+  return out;
+}
+
+}  // namespace ckp

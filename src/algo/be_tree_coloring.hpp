@@ -1,0 +1,41 @@
+// Barenboim–Elkin q-coloring of forests (Theorem 9 of the paper).
+//
+// For q >= 3, q-coloring a forest takes O(log_q n + log* n) rounds:
+//  1. Peel an H-partition with threshold q-1 (each node has <= q-1
+//     neighbors in its own-or-higher layers); O(log_q n) layers.
+//  2. Color the same-layer graph H (max degree <= q-1) with O(q²) colors by
+//     Theorem 2, then reduce that schedule to q colors — all as global
+//     preprocessing.
+//  3. Process layers top-down; within a layer, the q-color schedule gives q
+//     sub-rounds in which every node greedily picks a color free of its
+//     already-colored neighbors. At most q-1 neighbors ever constrain a
+//     node, so palette q always suffices.
+//
+// Implementation cost is O(q² + q·log_q n + log* n) rounds; the extra factor
+// q against the paper's statement comes from the per-layer schedule and is
+// immaterial for the constant q used everywhere in the paper (q = 3 in
+// Theorem 11's Phase 2, q = √Δ in Theorem 10's Phase 2). EXPERIMENTS.md
+// quantifies it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/context.hpp"
+
+namespace ckp {
+
+struct TreeColoringResult {
+  std::vector<int> colors;  // proper q-coloring, values [0, q)
+  int layers = 0;
+  int rounds = 0;
+};
+
+// Requires q >= 3 and g a forest (arboricity 1; peeling throws otherwise).
+// `ids` are the DetLOCAL identifiers (unique).
+TreeColoringResult be_tree_coloring(const Graph& g, int q,
+                                    const std::vector<std::uint64_t>& ids,
+                                    RoundLedger& ledger);
+
+}  // namespace ckp

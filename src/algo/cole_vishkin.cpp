@@ -1,0 +1,112 @@
+#include "algo/cole_vishkin.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace ckp {
+namespace {
+
+// The Cole–Vishkin step for one node: lowest differing bit against the
+// parent's color, encoded as 2*i + bit.
+std::uint64_t cv_step(std::uint64_t mine, std::uint64_t parent_color) {
+  CKP_DCHECK(mine != parent_color);
+  const std::uint64_t diff = mine ^ parent_color;
+  const int i = std::countr_zero(diff);
+  return 2 * static_cast<std::uint64_t>(i) + ((mine >> i) & 1);
+}
+
+}  // namespace
+
+ColeVishkinResult cole_vishkin_tree(const Graph& g,
+                                    const std::vector<NodeId>& parent,
+                                    const std::vector<std::uint64_t>& ids,
+                                    RoundLedger& ledger) {
+  const NodeId n = g.num_nodes();
+  CKP_CHECK(parent.size() == static_cast<std::size_t>(n));
+  CKP_CHECK(ids.size() == static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId p = parent[static_cast<std::size_t>(v)];
+    if (p != kInvalidNode) {
+      CKP_CHECK_MSG(g.has_edge(v, p), "parent of " << v << " is not adjacent");
+    }
+  }
+  const int start_rounds = ledger.rounds();
+
+  std::vector<std::uint64_t> color = ids;
+  std::uint64_t palette = 0;
+  for (auto c : color) palette = std::max(palette, c + 1);
+
+  // Phase 1: iterate the bit trick until the palette stops shrinking (6).
+  while (palette > 6) {
+    std::vector<std::uint64_t> next(color.size());
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId p = parent[static_cast<std::size_t>(v)];
+      // Roots pretend their parent holds a different color: flip bit 0.
+      const std::uint64_t pc = (p == kInvalidNode)
+                                   ? (color[static_cast<std::size_t>(v)] ^ 1)
+                                   : color[static_cast<std::size_t>(p)];
+      next[static_cast<std::size_t>(v)] =
+          cv_step(color[static_cast<std::size_t>(v)], pc);
+    }
+    color = std::move(next);
+    ledger.charge(1);
+    // New palette: 2 * bit-length of old palette.
+    std::uint64_t bits = 1;
+    while ((1ULL << bits) < palette) ++bits;
+    palette = 2 * bits;
+    if (palette < 6) palette = 6;
+  }
+
+  // Phase 2: shift-down + recolor classes 5, 4, 3. After a shift-down every
+  // node's children share one color, so each node sees at most two distinct
+  // colors among its tree neighbors and a palette of 3 suffices.
+  for (std::uint64_t drop = 5; drop >= 3; --drop) {
+    // Shift-down: take the parent's color; roots switch to a color different
+    // from their own (any fixed rule works; children will copy this round's
+    // value next shift, not now, so only self-distinctness matters).
+    std::vector<std::uint64_t> shifted(color.size());
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId p = parent[static_cast<std::size_t>(v)];
+      if (p == kInvalidNode) {
+        // Any color different from the root's own keeps the shifted
+        // coloring proper; staying within {0..drop} never reintroduces an
+        // already-eliminated class.
+        shifted[static_cast<std::size_t>(v)] =
+            (color[static_cast<std::size_t>(v)] + 1) % (drop + 1);
+      } else {
+        shifted[static_cast<std::size_t>(v)] =
+            color[static_cast<std::size_t>(p)];
+      }
+    }
+    color = std::move(shifted);
+    ledger.charge(1);
+    // Recolor class `drop`: each member sees <= 2 distinct neighbor colors
+    // (parent's, and the single color all its children share).
+    for (NodeId v = 0; v < n; ++v) {
+      if (color[static_cast<std::size_t>(v)] != drop) continue;
+      bool used[6] = {false, false, false, false, false, false};
+      for (NodeId u : g.neighbors(v)) {
+        const std::uint64_t cu = color[static_cast<std::size_t>(u)];
+        if (cu < 3) used[cu] = true;
+      }
+      std::uint64_t pick = 0;
+      while (pick < 3 && used[pick]) ++pick;
+      CKP_CHECK_MSG(pick < 3, "shift-down invariant violated at node " << v);
+      color[static_cast<std::size_t>(v)] = pick;
+    }
+    ledger.charge(1);
+  }
+
+  ColeVishkinResult out;
+  out.colors.resize(color.size());
+  for (std::size_t i = 0; i < color.size(); ++i) {
+    CKP_CHECK(color[i] < 3);
+    out.colors[i] = static_cast<int>(color[i]);
+  }
+  out.rounds = ledger.rounds() - start_rounds;
+  return out;
+}
+
+}  // namespace ckp

@@ -1,0 +1,31 @@
+// Cole–Vishkin iterated bit tricks: 3-coloring rooted trees (and oriented
+// paths/rings as the special case of degree <= 2) in log* n + O(1) rounds.
+//
+// Each round a node compares its color with its parent's: if i is the lowest
+// bit position where they differ, the new color is 2i + (own bit i). This
+// shrinks b-bit colors to ~log b bits; iterating reaches palette 6, after
+// which three shift-down + recolor rounds reach palette 3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/context.hpp"
+
+namespace ckp {
+
+struct ColeVishkinResult {
+  std::vector<int> colors;  // proper 3-coloring, values {0,1,2}
+  int rounds = 0;
+};
+
+// 3-colors a rooted forest. `parent[v]` is v's parent or kInvalidNode for
+// roots; every parent must be a neighbor of v. `ids` are unique and play the
+// role of the initial coloring.
+ColeVishkinResult cole_vishkin_tree(const Graph& g,
+                                    const std::vector<NodeId>& parent,
+                                    const std::vector<std::uint64_t>& ids,
+                                    RoundLedger& ledger);
+
+}  // namespace ckp

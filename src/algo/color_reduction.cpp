@@ -1,0 +1,110 @@
+#include "algo/color_reduction.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace ckp {
+
+void reduce_palette(const Graph& g, std::vector<int>& colors, int from_palette,
+                    int target, RoundLedger& ledger) {
+  const NodeId n = g.num_nodes();
+  CKP_CHECK(colors.size() == static_cast<std::size_t>(n));
+  CKP_CHECK_MSG(target >= g.max_degree() + 1,
+                "target palette must exceed the maximum degree");
+  CKP_CHECK(target <= from_palette);
+
+  // Bucket the high color classes once so each elimination round only
+  // touches its own class (the simulation cost is what the LOCAL model
+  // makes free; keeping it near-linear keeps large sweeps feasible).
+  std::vector<std::vector<NodeId>> buckets(
+      static_cast<std::size_t>(from_palette));
+  for (NodeId v = 0; v < n; ++v) {
+    const int c = colors[static_cast<std::size_t>(v)];
+    CKP_CHECK(c >= 0 && c < from_palette);
+    if (c >= target) buckets[static_cast<std::size_t>(c)].push_back(v);
+  }
+
+  std::vector<char> used(static_cast<std::size_t>(target), 0);
+  for (int c = from_palette - 1; c >= target; --c) {
+    // All nodes of class c recolor in one round; they are pairwise
+    // non-adjacent, so their simultaneous choices cannot conflict.
+    for (NodeId v : buckets[static_cast<std::size_t>(c)]) {
+      std::fill(used.begin(), used.end(), 0);
+      for (NodeId u : g.neighbors(v)) {
+        const int cu = colors[static_cast<std::size_t>(u)];
+        if (cu >= 0 && cu < target) used[static_cast<std::size_t>(cu)] = 1;
+      }
+      int pick = 0;
+      while (used[static_cast<std::size_t>(pick)]) ++pick;
+      CKP_CHECK(pick < target);  // guaranteed by target >= Δ+1
+      colors[static_cast<std::size_t>(v)] = pick;
+    }
+    ledger.charge(1);
+  }
+}
+
+void reduce_palette_fast(const Graph& g, std::vector<int>& colors,
+                         int from_palette, int target, RoundLedger& ledger) {
+  const NodeId n = g.num_nodes();
+  CKP_CHECK(colors.size() == static_cast<std::size_t>(n));
+  CKP_CHECK_MSG(target >= g.max_degree() + 1,
+                "target palette must exceed the maximum degree");
+  CKP_CHECK(target <= from_palette);
+  for (NodeId v = 0; v < n; ++v) {
+    const int c = colors[static_cast<std::size_t>(v)];
+    CKP_CHECK(c >= 0 && c < from_palette);
+  }
+
+  int k = from_palette;
+  std::vector<char> used(static_cast<std::size_t>(target), 0);
+  while (k > target) {
+    const int block = 2 * target;
+    // Sub-round r (r = 0..target-1): in every block simultaneously, the
+    // class at offset target + r recolors into its block's lower half.
+    // Classes are independent sets and blocks use disjoint ranges, so all
+    // simultaneous choices are conflict-free.
+    const int passes = std::min(target, k - target);
+    for (int r = 0; r < passes; ++r) {
+      bool someone_moved = false;
+      for (NodeId v = 0; v < n; ++v) {
+        const int c = colors[static_cast<std::size_t>(v)];
+        const int offset = c % block;
+        if (offset != target + r || c >= k) continue;
+        const int base = c - offset;
+        std::fill(used.begin(), used.end(), 0);
+        for (NodeId u : g.neighbors(v)) {
+          const int cu = colors[static_cast<std::size_t>(u)];
+          if (cu >= base && cu < base + target) {
+            used[static_cast<std::size_t>(cu - base)] = 1;
+          }
+        }
+        int pick = 0;
+        while (used[static_cast<std::size_t>(pick)]) ++pick;
+        CKP_CHECK(pick < target);
+        colors[static_cast<std::size_t>(v)] = base + pick;
+        someone_moved = true;
+      }
+      (void)someone_moved;
+      ledger.charge(1);
+    }
+    // Compaction: color (b·block + offset) with offset < target becomes
+    // b·target + offset. Purely local renaming — no communication.
+    for (NodeId v = 0; v < n; ++v) {
+      const int c = colors[static_cast<std::size_t>(v)];
+      const int b = c / block;
+      const int offset = c % block;
+      CKP_CHECK(offset < target);
+      colors[static_cast<std::size_t>(v)] = b * target + offset;
+    }
+    k = static_cast<int>(ceil_div(static_cast<std::uint64_t>(k),
+                                  static_cast<std::uint64_t>(block))) *
+        target;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    CKP_CHECK(colors[static_cast<std::size_t>(v)] < target);
+  }
+}
+
+}  // namespace ckp

@@ -1,0 +1,31 @@
+// Standard color-class elimination: reduce a proper k-coloring to a proper
+// `target`-coloring (target >= Δ+1) in k - target rounds, recoloring one
+// color class per round (a color class is an independent set, so its nodes
+// recolor simultaneously).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/context.hpp"
+
+namespace ckp {
+
+// `colors` is a proper coloring with values in [0, from_palette). Rewrites it
+// into a proper coloring with values in [0, target). Requires
+// target >= Δ(G)+1 and target <= from_palette. Costs from_palette - target
+// rounds (one class per round).
+void reduce_palette(const Graph& g, std::vector<int>& colors, int from_palette,
+                    int target, RoundLedger& ledger);
+
+// Blocked-halving reduction: partition the palette into blocks of 2·target
+// colors; in parallel, every block eliminates its upper half class-by-class
+// into its lower half (a node has <= Δ < target constraining neighbors
+// inside its own block, so a free color always exists), then compacts.
+// Each halving pass costs `target` rounds, so the total is
+// O(target · log(from_palette/target)) — the standard trick that turns the
+// O(Δ²)-round naive reduction into O(Δ log Δ).
+void reduce_palette_fast(const Graph& g, std::vector<int>& colors,
+                         int from_palette, int target, RoundLedger& ledger);
+
+}  // namespace ckp

@@ -1,0 +1,198 @@
+#include "algo/defective_coloring.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "algo/color_reduction.hpp"
+#include "algo/linial.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+#include "util/primes.hpp"
+
+namespace ckp {
+
+DefectiveColoringResult defective_coloring_greedy(
+    const Graph& g, const std::vector<std::uint64_t>& ids, int delta,
+    int palette, RoundLedger& ledger) {
+  const NodeId n = g.num_nodes();
+  CKP_CHECK(delta >= g.max_degree());
+  CKP_CHECK(palette >= 1);
+  const int start_rounds = ledger.rounds();
+
+  // Schedule: Theorem 2 reduced to Δ+1 classes.
+  auto schedule = linial_coloring(g, ids, std::max(1, delta), ledger);
+  const int schedule_palette = std::min(schedule.palette, delta + 1);
+  if (schedule.palette > schedule_palette) {
+    reduce_palette_fast(g, schedule.colors, schedule.palette, schedule_palette,
+                        ledger);
+  }
+
+  DefectiveColoringResult out;
+  out.colors.assign(static_cast<std::size_t>(n), -1);
+  std::vector<int> load(static_cast<std::size_t>(palette), 0);
+  for (int s = 0; s < schedule_palette; ++s) {
+    // One round per schedule class: members pick the least-loaded color
+    // among their already-colored neighbors. Same-class members are
+    // non-adjacent, so simultaneous choices never interact.
+    for (NodeId v = 0; v < n; ++v) {
+      if (schedule.colors[static_cast<std::size_t>(v)] != s) continue;
+      std::fill(load.begin(), load.end(), 0);
+      for (NodeId u : g.neighbors(v)) {
+        const int cu = out.colors[static_cast<std::size_t>(u)];
+        if (cu >= 0) ++load[static_cast<std::size_t>(cu)];
+      }
+      out.colors[static_cast<std::size_t>(v)] = static_cast<int>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+    }
+    ledger.charge(1);
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    int defect = 0;
+    for (NodeId u : g.neighbors(v)) {
+      if (out.colors[static_cast<std::size_t>(u)] ==
+          out.colors[static_cast<std::size_t>(v)]) {
+        ++defect;
+      }
+    }
+    out.max_defect = std::max(out.max_defect, defect);
+  }
+  out.rounds = ledger.rounds() - start_rounds;
+  return out;
+}
+
+namespace {
+
+// Horner evaluation of c's base-q digit polynomial at x.
+int eval_color_poly(std::uint64_t c, std::uint64_t q, unsigned degree,
+                    std::uint64_t x) {
+  // coefficients = digits of c base q, least significant first.
+  std::uint64_t acc = 0;
+  // Horner from the most significant digit down.
+  std::vector<std::uint64_t> digits(degree + 1);
+  for (unsigned i = 0; i <= degree; ++i) {
+    digits[i] = c % q;
+    c /= q;
+  }
+  for (unsigned i = degree + 1; i-- > 0;) {
+    acc = (acc * x + digits[i]) % q;
+  }
+  return static_cast<int>(acc);
+}
+
+}  // namespace
+
+DefectiveColoringResult defective_coloring_kuhn(
+    const Graph& g, const std::vector<std::uint64_t>& ids, int delta,
+    int target_defect, RoundLedger& ledger, int* out_palette) {
+  const NodeId n = g.num_nodes();
+  CKP_CHECK(delta >= std::max(1, g.max_degree()));
+  CKP_CHECK(target_defect >= 1);
+  const int start_rounds = ledger.rounds();
+
+  // Proper base coloring with palette k.
+  const auto base = linial_coloring(g, ids, delta, ledger);
+  const auto k = static_cast<std::uint64_t>(base.palette);
+
+  // Choose (dp, q): q prime, q^{dp+1} >= k (colors encodable) and
+  // q >= Δ·dp/target (defect bound); minimize the palette q².
+  std::uint64_t best_q = 0;
+  unsigned best_dp = 0;
+  for (unsigned dp = 1; dp <= 16; ++dp) {
+    std::uint64_t need = ceil_div(static_cast<std::uint64_t>(delta) * dp,
+                                  static_cast<std::uint64_t>(target_defect));
+    // Integer (dp+1)-th root, rounded up, for encodability.
+    std::uint64_t root = 1;
+    while (ipow_sat(root, dp + 1) < k) ++root;
+    const std::uint64_t q = next_prime(std::max<std::uint64_t>({2, need, root}));
+    if (best_q == 0 || q < best_q) {
+      best_q = q;
+      best_dp = dp;
+    }
+  }
+  const std::uint64_t q = best_q;
+  const unsigned dp = best_dp;
+  CKP_CHECK(ipow_sat(q, dp + 1) >= k);
+
+  DefectiveColoringResult out;
+  out.colors.assign(static_cast<std::size_t>(n), -1);
+  // One synchronous round: every vertex evaluates its polynomial against
+  // its neighbors' and picks the least-agreeing evaluation point.
+  for (NodeId v = 0; v < n; ++v) {
+    const auto mine = static_cast<std::uint64_t>(
+        base.colors[static_cast<std::size_t>(v)]);
+    std::uint64_t best_x = 0;
+    int best_agreements = INT32_MAX;
+    for (std::uint64_t x = 0; x < q; ++x) {
+      const int val = eval_color_poly(mine, q, dp, x);
+      int agreements = 0;
+      for (NodeId u : g.neighbors(v)) {
+        const auto theirs = static_cast<std::uint64_t>(
+            base.colors[static_cast<std::size_t>(u)]);
+        if (eval_color_poly(theirs, q, dp, x) == val) ++agreements;
+      }
+      if (agreements < best_agreements) {
+        best_agreements = agreements;
+        best_x = x;
+      }
+      if (best_agreements == 0) break;
+    }
+    // Averaging bound: sum over x of agreements <= Δ·dp, so the best x has
+    // <= floor(Δ·dp / q) <= target agreements.
+    CKP_CHECK_MSG(best_agreements <= target_defect,
+                  "Kuhn defect bound violated at node " << v);
+    out.colors[static_cast<std::size_t>(v)] = static_cast<int>(
+        best_x * q + static_cast<std::uint64_t>(
+                         eval_color_poly(mine, q, dp, best_x)));
+  }
+  ledger.charge(1);
+
+  // Note: best_agreements bounds v's defect against neighbors' OLD colors'
+  // polynomials at v's chosen x — but neighbors pick their own x. Two
+  // neighbors share the NEW color only if they chose the same x AND their
+  // polynomials agree there; that event is contained in v's agreement count
+  // at its own x, so the per-vertex guarantee carries over.
+  for (NodeId v = 0; v < n; ++v) {
+    int defect = 0;
+    for (NodeId u : g.neighbors(v)) {
+      if (out.colors[static_cast<std::size_t>(u)] ==
+          out.colors[static_cast<std::size_t>(v)]) {
+        ++defect;
+      }
+    }
+    out.max_defect = std::max(out.max_defect, defect);
+  }
+  CKP_CHECK(out.max_defect <= target_defect);
+  if (out_palette != nullptr) {
+    *out_palette = static_cast<int>(q * q);
+  }
+  out.rounds = ledger.rounds() - start_rounds;
+  return out;
+}
+
+VerifyResult verify_defective_coloring(const Graph& g,
+                                       std::span<const int> colors, int palette,
+                                       int defect) {
+  if (colors.size() != static_cast<std::size_t>(g.num_nodes())) {
+    return VerifyResult::fail_at_node(kInvalidNode, "label count != node count");
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const int c = colors[static_cast<std::size_t>(v)];
+    if (c < 0 || c >= palette) {
+      return VerifyResult::fail_at_node(v, "color outside palette");
+    }
+    int same = 0;
+    for (NodeId u : g.neighbors(v)) {
+      if (colors[static_cast<std::size_t>(u)] == c) ++same;
+    }
+    if (same > defect) {
+      std::ostringstream os;
+      os << "node " << v << " has " << same << " same-colored neighbors > "
+         << defect;
+      return VerifyResult::fail_at_node(v, os.str());
+    }
+  }
+  return VerifyResult::pass();
+}
+
+}  // namespace ckp

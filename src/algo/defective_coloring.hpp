@@ -1,0 +1,56 @@
+// Defective coloring: a d-defective c-coloring allows every vertex up to d
+// same-colored neighbors. Trading defect for palette (c ≈ Δ/(d+1) colors
+// suffice) is the engine inside the sublinear-in-Δ deterministic coloring
+// algorithms the introduction cites (Barenboim PODC'15, Fraigniaud et al.
+// FOCS'16).
+//
+// The implementation is schedule-greedy: with a proper schedule (Theorem 2
+// reduced), each vertex picks the color minimizing the number of
+// already-colored neighbors holding it; by pigeonhole that count is at most
+// ⌊Δ/c⌋, so palette c gives defect d = ⌊Δ/c⌋ deterministically in
+// O(Δ log Δ + log* n) rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "lcl/problem.hpp"
+#include "local/context.hpp"
+
+namespace ckp {
+
+struct DefectiveColoringResult {
+  std::vector<int> colors;  // values [0, palette)
+  int max_defect = 0;       // measured
+  int rounds = 0;
+};
+
+// Greedy min-load heuristic: colors g with `palette` colors; each vertex's
+// defect at pick time is <= floor(Δ/palette) by pigeonhole, but later
+// neighbors may add to it — the *final* defect is measured and returned,
+// with no worst-case pointwise guarantee (the classical counterexamples are
+// why Kuhn's construction below exists). delta >= Δ(G); palette >= 1.
+DefectiveColoringResult defective_coloring_greedy(
+    const Graph& g, const std::vector<std::uint64_t>& ids, int delta,
+    int palette, RoundLedger& ledger);
+
+// Kuhn (PODC'09)-style one-round defective recoloring with a *guaranteed*
+// bound: starting from the Theorem 2 coloring (palette k), encode colors as
+// degree-dp polynomials over F_q and let every vertex pick the evaluation
+// point x minimizing agreements with its neighbors. Distinct polynomials
+// agree on <= dp points, so the average (hence minimum) agreement count is
+// <= Δ·dp/q: choosing q >= Δ·dp/target gives defect <= target_defect with a
+// palette of q² = O((Δ·dp/target)²) colors, in O(log* n) + 1 rounds.
+// Requires target_defect >= 1 (target 0 is proper coloring — use Theorem 2).
+DefectiveColoringResult defective_coloring_kuhn(
+    const Graph& g, const std::vector<std::uint64_t>& ids, int delta,
+    int target_defect, RoundLedger& ledger, int* out_palette = nullptr);
+
+// Every label in range and every vertex has at most `defect` same-colored
+// neighbors.
+VerifyResult verify_defective_coloring(const Graph& g,
+                                       std::span<const int> colors, int palette,
+                                       int defect);
+
+}  // namespace ckp

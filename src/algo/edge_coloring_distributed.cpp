@@ -1,0 +1,45 @@
+#include "algo/edge_coloring_distributed.hpp"
+
+#include <algorithm>
+
+#include "algo/color_reduction.hpp"
+#include "algo/linial.hpp"
+#include "graph/line_graph.hpp"
+#include "lcl/verify_edge_coloring.hpp"
+#include "util/check.hpp"
+
+namespace ckp {
+
+EdgeColoringResult edge_coloring_distributed(
+    const Graph& g, const std::vector<std::uint64_t>& ids,
+    RoundLedger& ledger) {
+  CKP_CHECK(ids.size() == static_cast<std::size_t>(g.num_nodes()));
+  for (auto id : ids) {
+    CKP_CHECK_MSG(id < (1ULL << 32), "node IDs must fit in 32 bits");
+  }
+  const int start_rounds = ledger.rounds();
+  EdgeColoringResult out;
+  out.palette = std::max(1, 2 * g.max_degree() - 1);
+  if (g.num_edges() == 0) return out;
+
+  const Graph lg = line_graph(g);
+  std::vector<std::uint64_t> edge_ids(static_cast<std::size_t>(g.num_edges()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    const std::uint64_t a = ids[static_cast<std::size_t>(u)];
+    const std::uint64_t b = ids[static_cast<std::size_t>(v)];
+    edge_ids[static_cast<std::size_t>(e)] = (std::min(a, b) << 32) | std::max(a, b);
+  }
+  auto coloring =
+      linial_coloring(lg, edge_ids, std::max(1, lg.max_degree()), ledger);
+  if (coloring.palette > out.palette) {
+    reduce_palette_fast(lg, coloring.colors, coloring.palette, out.palette,
+                        ledger);
+  }
+  out.colors = std::move(coloring.colors);
+  out.rounds = ledger.rounds() - start_rounds;
+  CKP_DCHECK(verify_edge_coloring(g, out.colors, out.palette).ok);
+  return out;
+}
+
+}  // namespace ckp

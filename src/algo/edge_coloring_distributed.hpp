@@ -1,0 +1,29 @@
+// Distributed (2Δ−1)-edge coloring — the problem of [20] in the paper's
+// introduction ("(2Δ−1)-edge coloring is much easier than maximal matching").
+//
+// Edges are MIS-style agents on the line graph L(G), whose maximum degree is
+// 2Δ−2: Theorem 2 colors L(G) with O(Δ²) colors in O(log* n) rounds and
+// blocked reduction brings the palette to 2Δ−1. Each L(G) round costs O(1)
+// rounds in G (edge agents live at their endpoints).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/context.hpp"
+
+namespace ckp {
+
+struct EdgeColoringResult {
+  std::vector<int> colors;  // per edge, values [0, palette)
+  int palette = 0;
+  int rounds = 0;
+};
+
+// DetLOCAL (2Δ−1)-edge coloring; node ids must fit in 32 bits (edge ids are
+// endpoint-id pairs).
+EdgeColoringResult edge_coloring_distributed(
+    const Graph& g, const std::vector<std::uint64_t>& ids, RoundLedger& ledger);
+
+}  // namespace ckp

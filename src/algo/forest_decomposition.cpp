@@ -1,0 +1,61 @@
+#include "algo/forest_decomposition.hpp"
+
+#include "util/check.hpp"
+
+namespace ckp {
+
+ForestDecomposition decompose_forest(const Graph& g, int threshold,
+                                     RoundLedger& ledger) {
+  CKP_CHECK(threshold >= 1);
+  const NodeId n = g.num_nodes();
+  ForestDecomposition out;
+  out.threshold = threshold;
+  out.layer.assign(static_cast<std::size_t>(n), -1);
+
+  std::vector<int> residual_degree(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    residual_degree[static_cast<std::size_t>(v)] = g.degree(v);
+  }
+  NodeId remaining = n;
+  int layer = 0;
+  while (remaining > 0) {
+    // One synchronous round: every remaining node with residual degree
+    // <= threshold peels simultaneously.
+    std::vector<NodeId> peeled;
+    for (NodeId v = 0; v < n; ++v) {
+      if (out.layer[static_cast<std::size_t>(v)] == -1 &&
+          residual_degree[static_cast<std::size_t>(v)] <= threshold) {
+        peeled.push_back(v);
+      }
+    }
+    CKP_CHECK_MSG(!peeled.empty(),
+                  "peeling stalled: residual min degree > " << threshold);
+    for (NodeId v : peeled) out.layer[static_cast<std::size_t>(v)] = layer;
+    for (NodeId v : peeled) {
+      for (NodeId u : g.neighbors(v)) {
+        --residual_degree[static_cast<std::size_t>(u)];
+      }
+    }
+    remaining -= static_cast<NodeId>(peeled.size());
+    ++layer;
+    ledger.charge(1);
+  }
+  out.num_layers = layer;
+  return out;
+}
+
+bool decomposition_valid(const Graph& g, const ForestDecomposition& d) {
+  if (d.layer.size() != static_cast<std::size_t>(g.num_nodes())) return false;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const int lv = d.layer[static_cast<std::size_t>(v)];
+    if (lv < 0 || lv >= d.num_layers) return false;
+    int up = 0;
+    for (NodeId u : g.neighbors(v)) {
+      if (d.layer[static_cast<std::size_t>(u)] >= lv) ++up;
+    }
+    if (up > d.threshold) return false;
+  }
+  return true;
+}
+
+}  // namespace ckp

@@ -1,0 +1,35 @@
+// Peeling-based H-partition of forests (Barenboim–Elkin).
+//
+// Repeatedly remove all vertices whose degree in the remaining graph is at
+// most `threshold`. In a forest fewer than 2n/(t+1) vertices have degree
+// > t, so each peel keeps at most that fraction and the number of layers is
+// O(log_{(t+1)/2} n). Every vertex has at most `threshold` neighbors in its
+// own or higher layers — the invariant the tree-coloring algorithm
+// (Theorem 9) consumes. Each peel is one LOCAL round.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/context.hpp"
+
+namespace ckp {
+
+struct ForestDecomposition {
+  std::vector<int> layer;  // per node, in [0, num_layers)
+  int num_layers = 0;
+  int threshold = 0;
+};
+
+// Requires threshold >= 1. Works on any graph but only guarantees
+// O(log n) layers on forests (and graphs of arboricity <= threshold/2);
+// throws CheckFailure if peeling stalls (some residual graph has minimum
+// degree > threshold), which cannot happen on forests with threshold >= 2.
+ForestDecomposition decompose_forest(const Graph& g, int threshold,
+                                     RoundLedger& ledger);
+
+// Verifies the decomposition invariant: every node has at most `threshold`
+// neighbors in its own or higher layers.
+bool decomposition_valid(const Graph& g, const ForestDecomposition& d);
+
+}  // namespace ckp

@@ -1,0 +1,34 @@
+// Schedule-driven greedy (list-)coloring.
+//
+// Given a proper "schedule" coloring with a small palette P (typically the
+// O(Δ²) coloring of Theorem 2), processing schedule classes one per round
+// lets every node pick a color knowing all previously processed neighbors'
+// choices — the standard way to turn Linial's coloring into greedy
+// symmetry breaking. Costs P rounds.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/context.hpp"
+
+namespace ckp {
+
+// Greedy coloring over `palette` colors driven by `schedule` (a proper
+// coloring with values [0, schedule_palette)). Only nodes with
+// active[v] != 0 participate; inactive nodes keep colors[v] untouched
+// (they may already hold colors that constrain active neighbors if
+// `respect_inactive` is true). colors[v] == -1 denotes uncolored.
+//
+// allowed(v, c) restricts node v's palette (list coloring); pass nullptr
+// for the full palette. Throws CheckFailure if some node finds no free
+// allowed color — callers must guarantee list sizes exceed constraint
+// counts, which is exactly the precondition of the algorithms in the paper.
+void greedy_color_by_schedule(
+    const Graph& g, const std::vector<int>& schedule, int schedule_palette,
+    int palette, std::vector<char> active, bool respect_inactive,
+    const std::function<bool(NodeId, int)>& allowed, std::vector<int>& colors,
+    RoundLedger& ledger);
+
+}  // namespace ckp

@@ -1,0 +1,73 @@
+#include "algo/leader_election.hpp"
+
+#include <algorithm>
+#include <span>
+
+#include "local/engine.hpp"
+#include "util/check.hpp"
+
+namespace ckp {
+namespace {
+
+struct FloodAlgo {
+  int margin;
+
+  struct State {
+    std::uint64_t best = 0;
+    int stable = 0;
+  };
+
+  State init(const NodeEnv& env) {
+    CKP_CHECK_MSG(env.has_id(), "leader election is a DetLOCAL algorithm");
+    return {env.id, 0};
+  }
+
+  bool step(State& self, const NodeEnv& env,
+            std::span<const State* const> nbrs) {
+    (void)env;
+    std::uint64_t best = self.best;
+    for (const State* nb : nbrs) best = std::max(best, nb->best);
+    if (best == self.best) {
+      ++self.stable;
+    } else {
+      self.best = best;
+      self.stable = 0;
+    }
+    return self.stable >= margin;
+  }
+};
+
+}  // namespace
+
+LeaderElectionResult elect_leader(const LocalInput& input,
+                                  int stability_margin) {
+  input.validate();
+  CKP_CHECK_MSG(input.has_ids(), "leader election needs IDs");
+  const int margin =
+      stability_margin > 0
+          ? stability_margin
+          : static_cast<int>(std::min<std::uint64_t>(
+                input.effective_n(), 1u << 20));
+  FloodAlgo algo{margin};
+  const auto run = run_local(input, algo, /*max_rounds=*/margin + 1 +
+                                              static_cast<int>(std::min<std::uint64_t>(
+                                                  input.effective_n(), 1u << 20)));
+  LeaderElectionResult out;
+  out.rounds = run.rounds;
+  out.completed = run.all_halted;
+  out.leader_seen.resize(run.states.size());
+  std::uint64_t global_best = 0;
+  for (std::size_t i = 0; i < run.states.size(); ++i) {
+    out.leader_seen[i] = run.states[i].best;
+    global_best = std::max(global_best, run.states[i].best);
+  }
+  for (NodeId v = 0; v < input.graph->num_nodes(); ++v) {
+    if (input.id_of(v) == global_best) {
+      out.leader = v;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ckp

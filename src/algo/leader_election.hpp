@@ -1,0 +1,35 @@
+// Leader election / extrema flooding on the strict synchronous engine.
+//
+// The second reference algorithm written against local/engine.hpp (Luby's
+// MIS is the first): every node floods the maximum ID it has heard; knowing
+// n, a node halts once the value has been stable for n rounds... which would
+// be Θ(n). The standard fix implemented here uses the *distance* the value
+// travelled: each node tracks (best id, hops since best changed) and halts
+// when the stability counter exceeds the declared n (a safe horizon) — or,
+// when a diameter bound is declared via LocalInput::declared_n, that bound.
+// The measured round count is Θ(ecc(leader)) + stability margin, exercising
+// engine halting semantics, per-node heterogeneous halting times, and the
+// declared-parameter plumbing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "local/context.hpp"
+
+namespace ckp {
+
+struct LeaderElectionResult {
+  std::vector<std::uint64_t> leader_seen;  // per node: the elected maximum ID
+  NodeId leader = kInvalidNode;            // index holding the maximum ID
+  int rounds = 0;
+  bool completed = true;
+};
+
+// DetLOCAL: requires input.ids. `stability_margin` controls how many stable
+// exchanges a node waits before halting (default: diameter-safe margin of
+// declared n; pass a diameter bound for tight termination).
+LeaderElectionResult elect_leader(const LocalInput& input,
+                                  int stability_margin = 0);
+
+}  // namespace ckp

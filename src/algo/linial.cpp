@@ -1,0 +1,180 @@
+#include "algo/linial.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+#include "util/primes.hpp"
+
+namespace ckp {
+namespace {
+
+// Largest s with s^r <= x (integer r-th root).
+std::uint64_t iroot(std::uint64_t x, unsigned r) {
+  CKP_CHECK(r >= 1);
+  if (r == 1 || x <= 1) return x;
+  auto s = static_cast<std::uint64_t>(
+      std::pow(static_cast<double>(x), 1.0 / static_cast<double>(r)));
+  while (s > 1 && ipow_sat(s, r) > x) --s;
+  while (ipow_sat(s + 1, r) <= x) ++s;
+  return s;
+}
+
+// Smallest s with s^r >= x.
+std::uint64_t iroot_ceil(std::uint64_t x, unsigned r) {
+  const std::uint64_t s = iroot(x, r);
+  return ipow_sat(s, r) == x ? s : s + 1;
+}
+
+struct DegreeChoice {
+  unsigned d = 0;
+  std::uint64_t q = 0;
+  std::uint64_t palette = 0;  // q*q
+};
+
+// Chooses the polynomial degree d and field size q minimizing the output
+// palette q² subject to q >= dΔ+1 and q^{d+1} >= k.
+DegreeChoice choose_parameters(std::uint64_t k, int delta) {
+  CKP_CHECK(k >= 2);
+  CKP_CHECK(delta >= 1);
+  DegreeChoice best;
+  for (unsigned d = 1; d <= 64; ++d) {
+    const std::uint64_t lower_bound_q =
+        std::max<std::uint64_t>(static_cast<std::uint64_t>(d) * static_cast<std::uint64_t>(delta) + 1,
+                                iroot_ceil(k, d + 1));
+    // Once the degree constraint alone exceeds the best palette, larger d
+    // cannot help.
+    if (best.palette != 0 &&
+        ipow_sat(static_cast<std::uint64_t>(d) * static_cast<std::uint64_t>(delta) + 1, 2) >= best.palette) {
+      break;
+    }
+    const std::uint64_t q = next_prime(lower_bound_q);
+    CKP_CHECK(ipow_sat(q, d + 1) >= k);
+    const std::uint64_t palette = ipow_sat(q, 2);
+    if (best.palette == 0 || palette < best.palette) {
+      best = {d, q, palette};
+    }
+  }
+  CKP_CHECK(best.palette != 0);
+  return best;
+}
+
+// Digits of `c` base q, least significant first, exactly `len` digits.
+void digits_of(std::uint64_t c, std::uint64_t q, unsigned len,
+               std::vector<std::uint64_t>& out) {
+  out.assign(len, 0);
+  for (unsigned i = 0; i < len; ++i) {
+    out[i] = c % q;
+    c /= q;
+  }
+  CKP_CHECK_MSG(c == 0, "color does not fit in q^" << len);
+}
+
+// Horner evaluation of the polynomial with coefficients `coef` at x mod q.
+std::uint64_t eval_poly(const std::vector<std::uint64_t>& coef, std::uint64_t x,
+                        std::uint64_t q) {
+  std::uint64_t acc = 0;
+  for (auto it = coef.rbegin(); it != coef.rend(); ++it) {
+    acc = (acc * x + *it) % q;
+  }
+  return acc;
+}
+
+}  // namespace
+
+std::uint64_t linial_step_palette(std::uint64_t k, int delta) {
+  if (k <= 2) return k;
+  const auto choice = choose_parameters(k, delta);
+  return std::min(choice.palette, k);
+}
+
+std::vector<std::uint64_t> linial_reduce_once(
+    const Graph& g, const std::vector<std::uint64_t>& colors, std::uint64_t k,
+    int delta, RoundLedger& ledger) {
+  const NodeId n = g.num_nodes();
+  CKP_CHECK(colors.size() == static_cast<std::size_t>(n));
+  CKP_CHECK_MSG(delta >= g.max_degree(),
+                "delta bound below the true maximum degree");
+  for (auto c : colors) CKP_CHECK(c < k);
+
+  const auto choice = choose_parameters(k, delta);
+  CKP_CHECK_MSG(choice.palette < k, "no reduction possible from palette " << k);
+  const std::uint64_t q = choice.q;
+  const unsigned coeffs = choice.d + 1;
+
+  // Precompute every node's polynomial (its color's base-q digits).
+  std::vector<std::vector<std::uint64_t>> poly(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    digits_of(colors[static_cast<std::size_t>(v)], q, coeffs,
+              poly[static_cast<std::size_t>(v)]);
+  }
+
+  std::vector<std::uint64_t> next(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    const auto nbrs = g.neighbors(v);
+    bool found = false;
+    // Neighbors rule out at most dΔ < q points, so some x always works.
+    for (std::uint64_t x = 0; x < q && !found; ++x) {
+      const std::uint64_t mine = eval_poly(poly[static_cast<std::size_t>(v)], x, q);
+      bool clash = false;
+      for (NodeId u : nbrs) {
+        CKP_CHECK_MSG(colors[static_cast<std::size_t>(u)] !=
+                          colors[static_cast<std::size_t>(v)],
+                      "input coloring not proper at edge {" << v << "," << u
+                                                            << "}");
+        if (eval_poly(poly[static_cast<std::size_t>(u)], x, q) == mine) {
+          clash = true;
+          break;
+        }
+      }
+      if (!clash) {
+        next[static_cast<std::size_t>(v)] = x * q + mine;
+        found = true;
+      }
+    }
+    CKP_CHECK_MSG(found, "no collision-free evaluation point found");
+  }
+  ledger.charge(1);
+  return next;
+}
+
+LinialColoring linial_coloring(const Graph& g,
+                               const std::vector<std::uint64_t>& ids,
+                               int delta, RoundLedger& ledger) {
+  CKP_CHECK(ids.size() == static_cast<std::size_t>(g.num_nodes()));
+  delta = std::max({delta, g.max_degree(), 1});
+  std::uint64_t k = 2;
+  for (auto id : ids) k = std::max(k, id + 1);
+
+  std::vector<std::uint64_t> colors = ids;
+  const int start_rounds = ledger.rounds();
+  while (true) {
+    const std::uint64_t next_palette = linial_step_palette(k, delta);
+    if (next_palette >= k) break;
+    colors = linial_reduce_once(g, colors, k, delta, ledger);
+    k = next_palette;
+  }
+  LinialColoring out;
+  CKP_CHECK_MSG(k <= static_cast<std::uint64_t>(INT32_MAX),
+                "fixed-point palette does not fit in int");
+  out.palette = static_cast<int>(k);
+  out.rounds = ledger.rounds() - start_rounds;
+  out.colors.resize(colors.size());
+  for (std::size_t i = 0; i < colors.size(); ++i) {
+    out.colors[i] = static_cast<int>(colors[i]);
+  }
+  return out;
+}
+
+std::uint64_t linial_fixed_point_palette(int delta) {
+  CKP_CHECK(delta >= 1);
+  std::uint64_t k = 1ULL << 62;
+  while (true) {
+    const std::uint64_t next = linial_step_palette(k, delta);
+    if (next >= k) return k;
+    k = next;
+  }
+}
+
+}  // namespace ckp

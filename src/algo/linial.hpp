@@ -1,0 +1,57 @@
+// Linial's color reduction (Theorems 1 and 2 of the paper).
+//
+// Theorem 1 (one-round reduction): a graph k-colored can be recolored with
+// O(Δ² log k) colors in ONE round. The constructive version implemented here
+// encodes each color c as a polynomial p_c of degree <= d over a prime field
+// F_q with q >= dΔ+1 and q^{d+1} >= k; node v picks an evaluation point x
+// such that p_v(x) differs from p_u(x) for every neighbor u (possible since
+// two distinct degree-d polynomials agree on <= d points, so neighbors rule
+// out <= dΔ < q points), and its new color is the pair (x, p_v(x)) — a
+// palette of q² colors. The implementation chooses the degree d minimizing
+// the resulting palette.
+//
+// Theorem 2 (iterated): starting from unique IDs (an n^O(1)-coloring),
+// iterating the one-round reduction reaches a palette of β·Δ² colors in
+// O(log* n − log* Δ + 1) rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/context.hpp"
+
+namespace ckp {
+
+// The palette produced by one reduction round from palette `k` at maximum
+// degree `delta` (no graph needed — it is a function of k and Δ only).
+// Returns k itself when no reduction is possible (palette at fixed point).
+std::uint64_t linial_step_palette(std::uint64_t k, int delta);
+
+// One synchronous round of Linial reduction. `colors` must be a proper
+// coloring with values in [0, k). Returns a proper coloring with values in
+// [0, linial_step_palette(k, delta)). Charges one round.
+std::vector<std::uint64_t> linial_reduce_once(const Graph& g,
+                                              const std::vector<std::uint64_t>& colors,
+                                              std::uint64_t k, int delta,
+                                              RoundLedger& ledger);
+
+struct LinialColoring {
+  std::vector<int> colors;
+  int palette = 0;
+  int rounds = 0;  // rounds spent inside this call
+};
+
+// Theorem 2: reduce from the implicit ID coloring (palette 2^id_bits) to the
+// fixed-point palette of β·Δ² colors. `delta` must be >= Δ(G); passing a
+// larger Δ is allowed (the algorithm then behaves as if the graph were
+// embedded in a Δ-regular one, which the speedup transform relies on).
+LinialColoring linial_coloring(const Graph& g,
+                               const std::vector<std::uint64_t>& ids,
+                               int delta, RoundLedger& ledger);
+
+// The fixed-point palette size for maximum degree `delta` (the β·Δ² of
+// Theorem 2, exactly as this implementation converges).
+std::uint64_t linial_fixed_point_palette(int delta);
+
+}  // namespace ckp

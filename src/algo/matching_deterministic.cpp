@@ -1,0 +1,37 @@
+#include "algo/matching_deterministic.hpp"
+
+#include <algorithm>
+
+#include "algo/mis_deterministic.hpp"
+#include "graph/line_graph.hpp"
+#include "util/check.hpp"
+
+namespace ckp {
+
+DetMatchingResult matching_deterministic(const Graph& g,
+                                         const std::vector<std::uint64_t>& ids,
+                                         RoundLedger& ledger) {
+  CKP_CHECK(ids.size() == static_cast<std::size_t>(g.num_nodes()));
+  for (auto id : ids) {
+    CKP_CHECK_MSG(id < (1ULL << 32), "node IDs must fit in 32 bits");
+  }
+  const Graph lg = line_graph(g);
+  std::vector<std::uint64_t> edge_ids(static_cast<std::size_t>(g.num_edges()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    const std::uint64_t a = ids[static_cast<std::size_t>(u)];
+    const std::uint64_t b = ids[static_cast<std::size_t>(v)];
+    edge_ids[static_cast<std::size_t>(e)] =
+        (std::min(a, b) << 32) | std::max(a, b);
+  }
+  const int lg_delta = std::max(lg.max_degree(), 1);
+
+  DetMatchingResult out;
+  const int start_rounds = ledger.rounds();
+  const auto mis = mis_deterministic(lg, edge_ids, lg_delta, ledger);
+  out.in_matching.assign(mis.in_set.begin(), mis.in_set.end());
+  out.rounds = ledger.rounds() - start_rounds;
+  return out;
+}
+
+}  // namespace ckp

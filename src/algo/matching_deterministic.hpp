@@ -1,0 +1,27 @@
+// Deterministic maximal matching in O(Δ² + log* n) rounds: maximal matching
+// in G equals MIS in the line graph L(G), whose nodes (the edges of G)
+// inherit unique IDs from their endpoints' IDs. Each L(G) round is simulated
+// by O(1) rounds in G; the ledger charges L(G) rounds directly (the constant
+// simulation overhead is documented, not hidden in the asymptotics).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/context.hpp"
+
+namespace ckp {
+
+struct DetMatchingResult {
+  std::vector<char> in_matching;  // per edge
+  int rounds = 0;
+};
+
+// `ids` are the DetLOCAL node IDs; they must fit in 32 bits so that edge IDs
+// (endpoint-ID pairs) stay unique 64-bit values.
+DetMatchingResult matching_deterministic(const Graph& g,
+                                         const std::vector<std::uint64_t>& ids,
+                                         RoundLedger& ledger);
+
+}  // namespace ckp

@@ -1,0 +1,78 @@
+#include "algo/matching_randomized.hpp"
+
+#include "util/check.hpp"
+
+namespace ckp {
+
+MatchingResult matching_randomized(const Graph& g, std::uint64_t seed,
+                                   RoundLedger& ledger, int max_iterations) {
+  const EdgeId m = g.num_edges();
+  const NodeId n = g.num_nodes();
+  MatchingResult out;
+  out.in_matching.assign(static_cast<std::size_t>(m), 0);
+  std::vector<char> live(static_cast<std::size_t>(m), 1);
+  std::vector<char> node_matched(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint64_t> draw(static_cast<std::size_t>(m), 0);
+
+  // Each edge's randomness is derived from a per-edge stream; in a real
+  // deployment one endpoint (say the smaller port) would draw on the edge's
+  // behalf, which costs no extra rounds.
+  std::vector<Rng> rngs;
+  rngs.reserve(static_cast<std::size_t>(m));
+  for (EdgeId e = 0; e < m; ++e) {
+    rngs.push_back(node_rng(seed, static_cast<std::uint64_t>(e), /*epoch=*/7));
+  }
+
+  const int start_rounds = ledger.rounds();
+  EdgeId live_count = m;
+  int it = 0;
+  for (; it < max_iterations && live_count > 0; ++it) {
+    for (EdgeId e = 0; e < m; ++e) {
+      if (live[static_cast<std::size_t>(e)]) {
+        draw[static_cast<std::size_t>(e)] = rngs[static_cast<std::size_t>(e)]();
+      }
+    }
+    // An edge joins if its draw is a strict minimum among live edges sharing
+    // an endpoint.
+    std::vector<char> joins(static_cast<std::size_t>(m), 0);
+    for (EdgeId e = 0; e < m; ++e) {
+      if (!live[static_cast<std::size_t>(e)]) continue;
+      bool is_min = true;
+      const auto [a, b] = g.endpoints(e);
+      for (NodeId endpoint : {a, b}) {
+        for (EdgeId f : g.incident_edges(endpoint)) {
+          if (f != e && live[static_cast<std::size_t>(f)] &&
+              draw[static_cast<std::size_t>(f)] <=
+                  draw[static_cast<std::size_t>(e)]) {
+            is_min = false;
+            break;
+          }
+        }
+        if (!is_min) break;
+      }
+      joins[static_cast<std::size_t>(e)] = is_min;
+    }
+    for (EdgeId e = 0; e < m; ++e) {
+      if (!joins[static_cast<std::size_t>(e)]) continue;
+      out.in_matching[static_cast<std::size_t>(e)] = 1;
+      const auto [a, b] = g.endpoints(e);
+      node_matched[static_cast<std::size_t>(a)] = 1;
+      node_matched[static_cast<std::size_t>(b)] = 1;
+    }
+    for (EdgeId e = 0; e < m; ++e) {
+      if (!live[static_cast<std::size_t>(e)]) continue;
+      const auto [a, b] = g.endpoints(e);
+      if (node_matched[static_cast<std::size_t>(a)] ||
+          node_matched[static_cast<std::size_t>(b)]) {
+        live[static_cast<std::size_t>(e)] = 0;
+        --live_count;
+      }
+    }
+    ledger.charge(2);  // draw exchange + join/retire exchange
+  }
+  out.completed = (live_count == 0);
+  out.rounds = ledger.rounds() - start_rounds;
+  return out;
+}
+
+}  // namespace ckp

@@ -1,0 +1,27 @@
+// Randomized maximal matching: Luby's algorithm run on the line graph,
+// simulated edge-locally (an edge's "neighbors" are the edges sharing an
+// endpoint, so one line-graph round costs O(1) rounds in G).
+//
+// Each iteration every live edge draws a 64-bit value; local minima join the
+// matching and all edges touching a matched endpoint die. O(log n) rounds
+// w.h.p. — the RandLOCAL side of the intro's maximal-matching comparison.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/context.hpp"
+
+namespace ckp {
+
+struct MatchingResult {
+  std::vector<char> in_matching;  // per edge
+  int rounds = 0;
+  bool completed = true;
+};
+
+MatchingResult matching_randomized(const Graph& g, std::uint64_t seed,
+                                   RoundLedger& ledger,
+                                   int max_iterations = 1 << 20);
+
+}  // namespace ckp

@@ -1,0 +1,34 @@
+// Deterministic MIS in O(Δ² + log* n) rounds: color with the Theorem 2
+// palette of O(Δ²) colors, then sweep the color classes; in the class-c
+// round every still-undecided node of color c with no MIS neighbor joins.
+//
+// The runtime has the form f(Δ) + O(log* n) with f(Δ) = O(Δ²), which makes
+// this algorithm a *valid input* to the Theorem 6/8 speedup transformation
+// (its running time as a function of ID length ℓ is f(Δ) + O(log* ℓ),
+// comfortably below the ε·ℓ/log Δ budget); bench_speedup builds on it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/context.hpp"
+
+namespace ckp {
+
+struct DetMisResult {
+  std::vector<char> in_set;
+  int rounds = 0;
+  int schedule_palette = 0;
+};
+
+// `delta` must be >= Δ(G); the Linial schedule is computed for this bound
+// (the speedup transform deliberately passes the global Δ of a larger
+// pretend-graph). `restrict_to`, if non-empty, limits the MIS to the induced
+// subgraph on {v : restrict_to[v] != 0}; other nodes get in_set = 0.
+DetMisResult mis_deterministic(const Graph& g,
+                               const std::vector<std::uint64_t>& ids, int delta,
+                               RoundLedger& ledger,
+                               const std::vector<char>& restrict_to = {});
+
+}  // namespace ckp

@@ -1,0 +1,79 @@
+#include "algo/mis_luby.hpp"
+
+#include <span>
+
+#include "local/engine.hpp"
+#include "util/check.hpp"
+
+namespace ckp {
+namespace {
+
+enum class Status : std::uint8_t { kUndecided, kInMis, kRetired };
+
+struct LubyAlgo {
+  struct State {
+    Status status = Status::kUndecided;
+    std::uint64_t draw = 0;
+    bool draw_valid = false;  // whether `draw` belongs to the current iteration
+  };
+
+  State init(const NodeEnv& env) {
+    State s;
+    // First exchange happens in step(); draw now so round 1 can compare.
+    s.draw = env.random()();
+    s.draw_valid = true;
+    return s;
+  }
+
+  bool step(State& self, const NodeEnv& env,
+            std::span<const State* const> nbrs) {
+    if (self.status != Status::kUndecided) return true;
+    if (self.draw_valid) {
+      // Decision sub-round: compare with neighbor draws published last round.
+      bool local_min = true;
+      for (const State* nb : nbrs) {
+        if (nb->status == Status::kUndecided && nb->draw_valid &&
+            nb->draw <= self.draw) {
+          // Ties keep both out this iteration — safe, and vanishingly rare.
+          local_min = false;
+          break;
+        }
+      }
+      if (local_min) {
+        self.status = Status::kInMis;
+        return true;
+      }
+      self.draw_valid = false;  // publish "no draw" so neighbors resync
+      return false;
+    }
+    // Reaction sub-round: retire next to a new MIS member, else redraw.
+    for (const State* nb : nbrs) {
+      if (nb->status == Status::kInMis) {
+        self.status = Status::kRetired;
+        return true;
+      }
+    }
+    self.draw = env.random()();
+    self.draw_valid = true;
+    return false;
+  }
+};
+
+}  // namespace
+
+MisResult mis_luby(const LocalInput& input, int max_rounds) {
+  LubyAlgo algo;
+  const auto run = run_local(input, algo, max_rounds);
+  MisResult out;
+  out.rounds = run.rounds;
+  out.completed = run.all_halted;
+  out.in_set.resize(run.states.size());
+  for (std::size_t i = 0; i < run.states.size(); ++i) {
+    CKP_CHECK_MSG(!out.completed || run.states[i].status != Status::kUndecided,
+                  "completed run left an undecided node");
+    out.in_set[i] = run.states[i].status == Status::kInMis ? 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace ckp

@@ -1,0 +1,236 @@
+#include "algo/network_decomposition.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "lcl/verify_mis.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace ckp {
+
+NetworkDecomposition linial_saks_decomposition(const Graph& g,
+                                               std::uint64_t seed,
+                                               RoundLedger& ledger,
+                                               const LinialSaksParams& params) {
+  const NodeId n = g.num_nodes();
+  const int start_rounds = ledger.rounds();
+  const std::uint64_t n_bound = std::max<std::uint64_t>(2, static_cast<std::uint64_t>(n));
+  const int cap = params.radius_cap > 0 ? params.radius_cap
+                                        : 2 * ceil_log2(n_bound) + 2;
+  const int max_colors = params.max_colors > 0 ? params.max_colors
+                                               : 8 * ceil_log2(n_bound) + 8;
+  CKP_CHECK(params.geometric_p > 0.0 && params.geometric_p < 1.0);
+
+  NetworkDecomposition out;
+  out.color.assign(static_cast<std::size_t>(n), -1);
+  out.center.assign(static_cast<std::size_t>(n), kInvalidNode);
+
+  std::vector<Rng> rngs;
+  rngs.reserve(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    rngs.push_back(node_rng(seed, static_cast<std::uint64_t>(v), 0x15D));
+  }
+
+  std::vector<int> radius(static_cast<std::size_t>(n));
+  std::vector<std::uint64_t> priority(static_cast<std::size_t>(n));
+  std::vector<NodeId> tentative_center(static_cast<std::size_t>(n));
+  std::vector<int> dist_to_center(static_cast<std::size_t>(n));
+  NodeId live_count = n;
+  int color = 0;
+  for (; color < max_colors && live_count > 0; ++color) {
+    int max_radius = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (out.color[static_cast<std::size_t>(v)] != -1) continue;
+      // Geometric radius (memoryless — the key to Δ-independent progress).
+      int r = 0;
+      while (r < cap && rngs[static_cast<std::size_t>(v)].next_bernoulli(
+                            1.0 - params.geometric_p)) {
+        ++r;
+      }
+      radius[static_cast<std::size_t>(v)] = r;
+      priority[static_cast<std::size_t>(v)] = rngs[static_cast<std::size_t>(v)]();
+      tentative_center[static_cast<std::size_t>(v)] = kInvalidNode;
+      max_radius = std::max(max_radius, r);
+    }
+
+    // First-touch BFS in decreasing priority order: the first center whose
+    // ball reaches a live vertex is the maximum-priority one.
+    std::vector<NodeId> order;
+    for (NodeId v = 0; v < n; ++v) {
+      if (out.color[static_cast<std::size_t>(v)] == -1) order.push_back(v);
+    }
+    std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+      return priority[static_cast<std::size_t>(a)] >
+             priority[static_cast<std::size_t>(b)];
+    });
+    std::vector<int> dist(static_cast<std::size_t>(n));
+    for (NodeId u : order) {
+      if (tentative_center[static_cast<std::size_t>(u)] != kInvalidNode) {
+        // MPX-style variant: a vertex already captured by a higher-priority
+        // center stops being a candidate center itself (its own position
+        // lost the priority contest). This only prunes redundant balls; the
+        // validity invariants are unaffected.
+        continue;
+      }
+      // BFS to depth r_u through the whole graph (weak-diameter clusters
+      // may route through assigned vertices).
+      const int r = radius[static_cast<std::size_t>(u)];
+      std::fill(dist.begin(), dist.end(), -1);
+      std::queue<NodeId> q;
+      dist[static_cast<std::size_t>(u)] = 0;
+      q.push(u);
+      while (!q.empty()) {
+        const NodeId x = q.front();
+        q.pop();
+        if (out.color[static_cast<std::size_t>(x)] == -1 &&
+            tentative_center[static_cast<std::size_t>(x)] == kInvalidNode) {
+          tentative_center[static_cast<std::size_t>(x)] = u;
+          dist_to_center[static_cast<std::size_t>(x)] =
+              dist[static_cast<std::size_t>(x)];
+        }
+        if (dist[static_cast<std::size_t>(x)] == r) continue;
+        for (NodeId y : g.neighbors(x)) {
+          if (dist[static_cast<std::size_t>(y)] < 0) {
+            dist[static_cast<std::size_t>(y)] = dist[static_cast<std::size_t>(x)] + 1;
+            q.push(y);
+          }
+        }
+      }
+    }
+
+    // Membership: the whole (live) neighborhood agrees on the center.
+    int cluster_reach = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (out.color[static_cast<std::size_t>(v)] != -1) continue;
+      const NodeId c = tentative_center[static_cast<std::size_t>(v)];
+      CKP_CHECK(c != kInvalidNode);  // v reaches itself at distance 0
+      bool agreed = true;
+      for (NodeId w : g.neighbors(v)) {
+        if (out.color[static_cast<std::size_t>(w)] != -1) continue;
+        if (tentative_center[static_cast<std::size_t>(w)] != c) {
+          agreed = false;
+          break;
+        }
+      }
+      if (agreed) {
+        out.color[static_cast<std::size_t>(v)] = color;
+        out.center[static_cast<std::size_t>(v)] = c;
+        --live_count;
+        cluster_reach = std::max(cluster_reach,
+                                 dist_to_center[static_cast<std::size_t>(v)]);
+      }
+    }
+    out.max_weak_diameter = std::max(out.max_weak_diameter, 2 * cluster_reach);
+    ledger.charge(max_radius + 2);  // ball flood + agreement exchange
+  }
+  out.num_colors = color;
+  out.completed = (live_count == 0);
+  out.rounds = ledger.rounds() - start_rounds;
+  return out;
+}
+
+bool decomposition_valid(const Graph& g, const NetworkDecomposition& d,
+                         int diameter_bound) {
+  const NodeId n = g.num_nodes();
+  if (d.color.size() != static_cast<std::size_t>(n) ||
+      d.center.size() != static_cast<std::size_t>(n)) {
+    return false;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (d.color[static_cast<std::size_t>(v)] < 0 ||
+        d.color[static_cast<std::size_t>(v)] >= d.num_colors) {
+      return false;
+    }
+    if (d.center[static_cast<std::size_t>(v)] == kInvalidNode) return false;
+  }
+  // Same-color adjacent nodes must share a cluster.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    if (d.color[static_cast<std::size_t>(u)] == d.color[static_cast<std::size_t>(v)] &&
+        d.center[static_cast<std::size_t>(u)] != d.center[static_cast<std::size_t>(v)]) {
+      return false;
+    }
+  }
+  if (diameter_bound > 0) {
+    // Exact weak diameter per cluster: BFS in G from every member,
+    // grouping members by (color, center).
+    std::map<std::pair<int, NodeId>, std::vector<NodeId>> groups;
+    for (NodeId v = 0; v < n; ++v) {
+      groups[{d.color[static_cast<std::size_t>(v)],
+              d.center[static_cast<std::size_t>(v)]}]
+          .push_back(v);
+    }
+    for (const auto& [key, members] : groups) {
+      for (NodeId s : members) {
+        // BFS from s through the whole graph.
+        std::vector<int> dist(static_cast<std::size_t>(n), -1);
+        std::queue<NodeId> q;
+        dist[static_cast<std::size_t>(s)] = 0;
+        q.push(s);
+        while (!q.empty()) {
+          const NodeId x = q.front();
+          q.pop();
+          for (NodeId y : g.neighbors(x)) {
+            if (dist[static_cast<std::size_t>(y)] < 0) {
+              dist[static_cast<std::size_t>(y)] = dist[static_cast<std::size_t>(x)] + 1;
+              q.push(y);
+            }
+          }
+        }
+        for (NodeId t : members) {
+          if (dist[static_cast<std::size_t>(t)] < 0 ||
+              dist[static_cast<std::size_t>(t)] > diameter_bound) {
+            return false;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+DecompositionMisResult mis_via_decomposition(const Graph& g,
+                                             const NetworkDecomposition& d,
+                                             RoundLedger& ledger) {
+  const NodeId n = g.num_nodes();
+  CKP_CHECK(d.completed);
+  const int start_rounds = ledger.rounds();
+  DecompositionMisResult out;
+  out.in_set.assign(static_cast<std::size_t>(n), 0);
+  std::vector<char> decided(static_cast<std::size_t>(n), 0);
+
+  for (int c = 0; c < d.num_colors; ++c) {
+    // Clusters of one color are non-adjacent: all run in parallel, each
+    // solving its members centrally (cost ~ weak diameter, merged as max).
+    std::map<NodeId, std::vector<NodeId>> clusters;
+    for (NodeId v = 0; v < n; ++v) {
+      if (d.color[static_cast<std::size_t>(v)] == c) {
+        clusters[d.center[static_cast<std::size_t>(v)]].push_back(v);
+      }
+    }
+    int class_cost = 0;
+    for (const auto& [center, members] : clusters) {
+      for (NodeId v : members) {
+        bool blocked = false;
+        for (NodeId u : g.neighbors(v)) {
+          if (out.in_set[static_cast<std::size_t>(u)]) {
+            blocked = true;
+            break;
+          }
+        }
+        if (!blocked) out.in_set[static_cast<std::size_t>(v)] = 1;
+        decided[static_cast<std::size_t>(v)] = 1;
+      }
+      class_cost = std::max(class_cost, d.max_weak_diameter + 2);
+    }
+    ledger.charge(class_cost);
+  }
+  for (NodeId v = 0; v < n; ++v) CKP_CHECK(decided[static_cast<std::size_t>(v)]);
+  out.rounds = ledger.rounds() - start_rounds;
+  CKP_DCHECK(verify_mis(g, out.in_set).ok);
+  return out;
+}
+
+}  // namespace ckp

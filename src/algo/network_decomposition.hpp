@@ -1,0 +1,69 @@
+// Network decomposition — the deterministic frontier the paper's Result 3
+// speaks to.
+//
+// Theorem 3 says the 2^{O(√log log n)} terms in the randomized MIS/coloring
+// algorithms cannot improve without improving Panconesi–Srinivasan's
+// deterministic 2^{O(√log n)} network decomposition. This module implements
+// the classical *randomized* counterpart (Linial–Saks): a (O(log n), O(log
+// n)) weak-diameter network decomposition in O(log² n) rounds, plus the
+// standard pipeline that turns any decomposition into symmetry breaking
+// (process color classes sequentially; inside a class, every cluster solves
+// its subproblem centrally in O(diameter) rounds).
+//
+// Linial–Saks, one color class: every live vertex draws a radius from a
+// geometric distribution (p = 1/2, truncated at B = O(log n)); v tentatively
+// joins the highest-ID vertex u (its "center") among those with
+// dist(u, v) <= r_u; v becomes a *member* of this class if additionally
+// every neighbor of v joined the same center with slack (dist < r_u), which
+// makes same-class clusters non-adjacent. Members retire; O(log n) classes
+// empty the graph w.h.p.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/context.hpp"
+
+namespace ckp {
+
+struct NetworkDecomposition {
+  // Per node: color class in [0, num_colors) and cluster id (the center's
+  // node index); clusters of one color are pairwise non-adjacent.
+  std::vector<int> color;
+  std::vector<NodeId> center;
+  int num_colors = 0;
+  int rounds = 0;
+  int max_weak_diameter = 0;  // measured over clusters, distances in G
+  bool completed = true;
+};
+
+struct LinialSaksParams {
+  double geometric_p = 0.5;
+  int radius_cap = 0;     // 0 = 2·ceil(log2 n)+2
+  int max_colors = 0;     // 0 = 8·ceil(log2 n)+8
+};
+
+// RandLOCAL Linial–Saks decomposition.
+NetworkDecomposition linial_saks_decomposition(
+    const Graph& g, std::uint64_t seed, RoundLedger& ledger,
+    const LinialSaksParams& params = {});
+
+// Validates: colors/centers total, same-color adjacent nodes share a
+// cluster, and every cluster's weak diameter (max pairwise distance in G)
+// is at most `diameter_bound` (pass <= 0 to skip the diameter check).
+bool decomposition_valid(const Graph& g, const NetworkDecomposition& d,
+                         int diameter_bound);
+
+// The decomposition -> MIS pipeline: color classes processed sequentially;
+// within a class, each cluster greedily extends the MIS in O(weak diameter)
+// rounds (clusters are non-adjacent, so they proceed in parallel).
+struct DecompositionMisResult {
+  std::vector<char> in_set;
+  int rounds = 0;
+};
+DecompositionMisResult mis_via_decomposition(const Graph& g,
+                                             const NetworkDecomposition& d,
+                                             RoundLedger& ledger);
+
+}  // namespace ckp

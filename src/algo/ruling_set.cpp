@@ -1,0 +1,52 @@
+#include "algo/ruling_set.hpp"
+
+#include "algo/mis_deterministic.hpp"
+#include "algo/mis_luby.hpp"
+#include "graph/power.hpp"
+#include "lcl/verify_ruling_set.hpp"
+#include "util/check.hpp"
+
+namespace ckp {
+
+RulingSetResult ruling_set_deterministic(const Graph& g, int beta,
+                                         const std::vector<std::uint64_t>& ids,
+                                         RoundLedger& ledger) {
+  CKP_CHECK(beta >= 1);
+  const int start_rounds = ledger.rounds();
+  const Graph power = power_graph(g, beta);
+
+  RulingSetResult out;
+  out.power_delta = power.max_degree();
+  RoundLedger inner;
+  const auto mis = mis_deterministic(power, ids, std::max(1, power.max_degree()),
+                                     inner);
+  // Every power-graph round is β real rounds, plus β to collect the ball.
+  ledger.charge(inner.rounds() * beta + beta);
+  out.in_set = mis.in_set;
+  out.rounds = ledger.rounds() - start_rounds;
+  CKP_DCHECK(verify_ruling_set(g, out.in_set, beta + 1, beta).ok);
+  return out;
+}
+
+RulingSetResult ruling_set_randomized(const Graph& g, int beta,
+                                      std::uint64_t seed, RoundLedger& ledger) {
+  CKP_CHECK(beta >= 1);
+  const int start_rounds = ledger.rounds();
+  const Graph power = power_graph(g, beta);
+
+  RulingSetResult out;
+  out.power_delta = power.max_degree();
+  LocalInput in;
+  in.graph = &power;
+  in.seed = seed;
+  const auto mis = mis_luby(in);
+  out.completed = mis.completed;
+  ledger.charge(mis.rounds * beta + beta);
+  out.in_set = mis.in_set;
+  out.rounds = ledger.rounds() - start_rounds;
+  CKP_DCHECK(!out.completed ||
+             verify_ruling_set(g, out.in_set, beta + 1, beta).ok);
+  return out;
+}
+
+}  // namespace ckp

@@ -1,0 +1,35 @@
+// (β+1, β)-ruling sets via MIS on graph powers.
+//
+// Ruling sets are the relaxation driving several of the shattering
+// algorithms the paper cites ([18], [22]): an MIS of the power graph G^β is
+// a set whose members are pairwise at distance > β and which dominates
+// every vertex within distance β. One G^β round costs β rounds in G, which
+// the ledger charges; the trade-off β vs rounds is the point of the
+// experiment in bench_mis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/context.hpp"
+
+namespace ckp {
+
+struct RulingSetResult {
+  std::vector<char> in_set;
+  int rounds = 0;
+  int power_delta = 0;  // Δ(G^β), the degree the inner MIS paid for
+  bool completed = true;
+};
+
+// Deterministic: MIS on G^β scheduled by Theorem 2. ids unique; beta >= 1.
+RulingSetResult ruling_set_deterministic(const Graph& g, int beta,
+                                         const std::vector<std::uint64_t>& ids,
+                                         RoundLedger& ledger);
+
+// Randomized: Luby's algorithm on G^β.
+RulingSetResult ruling_set_randomized(const Graph& g, int beta,
+                                      std::uint64_t seed, RoundLedger& ledger);
+
+}  // namespace ckp

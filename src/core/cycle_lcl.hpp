@@ -1,0 +1,87 @@
+// A decision procedure + generic solver for LCLs on cycles — the complete,
+// mechanical form of Theorem 7's dichotomy.
+//
+// An LCL on cycles (no inputs) is a window constraint: labels Σ and a set W
+// of allowed length-w windows; a labeling of the cycle is valid iff every w
+// consecutive labels (in one of the two traversal directions) form a window
+// in W. MIS is w=3 with W = {001,010,100,101}; proper 2-coloring is w=2
+// with W = {01,10}.
+//
+// Build the de Bruijn-style automaton D over (w-1)-grams with an edge
+// g -> g' whenever g and g' overlap into a window of W. Then, as the paper's
+// Theorem 7 asserts and later work (Chang–Pettie; Brandt et al.) made fully
+// algorithmic, the complexity of the LCL on large cycles is decided by D:
+//
+//   kUnsolvable — some cycle length admits no valid labeling at all beyond
+//                 a finite set (no closed walks of unbounded lengths);
+//   kConstant   — a monochromatic window σ^w ∈ W exists (0 rounds);
+//   kLogStar    — D has a *flexible* gram: a strongly connected, aperiodic
+//                 component (closed walks of every sufficiently large length
+//                 through one gram). Anchors found by symmetry breaking are
+//                 then joined by walks of the right lengths: Θ(log* n);
+//   kGlobal     — closed walks exist but only with length restrictions
+//                 (e.g. even): consistent output needs global coordination:
+//                 Θ(n).
+//
+// solve_cycle_lcl realizes the classified complexity: it returns a valid
+// labeling and charges the matching round cost (0 / O(log* n) / ⌈n/2⌉).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/context.hpp"
+
+namespace ckp {
+
+struct CycleLcl {
+  int num_labels = 0;
+  int window = 0;                        // w >= 2
+  std::vector<std::vector<int>> allowed;  // each of length `window`
+
+  void validate() const;
+};
+
+enum class CycleComplexity { kUnsolvable, kConstant, kLogStar, kGlobal };
+
+std::string to_string(CycleComplexity c);
+
+struct CycleClassification {
+  CycleComplexity complexity = CycleComplexity::kUnsolvable;
+  int flexible_gram = -1;   // a witness gram for kLogStar
+  int flexibility_onset = 0;  // L0: all walk lengths >= L0 realizable
+  // For kGlobal/kUnsolvable: the set of realizable closed-walk lengths is
+  // eventually periodic; `period` divides every realizable length beyond
+  // the onset (0 when no closed walk exists at all).
+  int period = 0;
+};
+
+// Classifies the LCL. Pure automaton analysis; no graph needed.
+CycleClassification classify_cycle_lcl(const CycleLcl& lcl);
+
+struct CycleSolveResult {
+  std::vector<int> labels;
+  int rounds = 0;
+  bool feasible = true;  // false when this specific n admits no labeling
+};
+
+// Solves the LCL on the cycle g (labels assigned around the traversal
+// order), charging rounds per the classification. DetLOCAL: needs ids for
+// the log*-side symmetry breaking and the global side's anchor.
+CycleSolveResult solve_cycle_lcl(const CycleLcl& lcl, const Graph& g,
+                                 const std::vector<std::uint64_t>& ids,
+                                 RoundLedger& ledger);
+
+// Validates a candidate labeling around the cycle (both directions tried).
+bool cycle_labeling_valid(const CycleLcl& lcl, const std::vector<int>& labels);
+
+// Ready-made problem descriptions.
+CycleLcl mis_cycle_lcl();            // w=3, log*
+CycleLcl proper_coloring_cycle_lcl(int k);  // w=2: k=2 global, k>=3 log*
+CycleLcl maximal_matching_cycle_lcl();      // edge-ish encoding, log*
+CycleLcl unsolvable_cycle_lcl();     // no closed walks: unsolvable
+CycleLcl all_equal_cycle_lcl();      // monochromatic: constant
+
+}  // namespace ckp

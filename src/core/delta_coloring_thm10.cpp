@@ -1,0 +1,216 @@
+#include "core/delta_coloring_thm10.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "algo/be_tree_coloring.hpp"
+#include "graph/components.hpp"
+#include "graph/subgraph.hpp"
+#include "lcl/verify_coloring.hpp"
+#include "local/ids.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace ckp {
+namespace {
+
+// The c_i schedule: c_1 = 1, c_2 = α/(α-1), then the paper's recurrence
+// with the configured constants, capped at Δ^cap_exponent. The returned
+// vector has c[i] for iterations i = 1..t at indices 0..t-1.
+std::vector<double> c_schedule(int delta, const Thm10Params& p) {
+  const double cap = std::max(2.0, std::pow(static_cast<double>(delta),
+                                            p.cap_exponent));
+  std::vector<double> c;
+  c.push_back(1.0);
+  c.push_back(p.alpha / (p.alpha - 1.0));
+  while (c.back() < cap &&
+         static_cast<int>(c.size()) < p.max_iterations) {
+    const double prev = c.back();
+    c.push_back(std::min(cap, prev * std::exp(prev / p.growth_divisor)));
+  }
+  return c;
+}
+
+}  // namespace
+
+Thm10Result delta_coloring_thm10(const Graph& g, int delta, std::uint64_t seed,
+                                 RoundLedger& ledger,
+                                 const Thm10Params& params) {
+  const NodeId n = g.num_nodes();
+  CKP_CHECK_MSG(delta >= 16, "Theorem 10 implementation needs Δ >= 16");
+  CKP_CHECK_MSG(delta >= g.max_degree(), "delta below the true max degree");
+  const int start_rounds = ledger.rounds();
+
+  const int reserve = static_cast<int>(isqrt(static_cast<std::uint64_t>(delta)));
+  const int phase1_palette = delta - reserve;  // colors [0, phase1_palette)
+  CKP_CHECK(reserve >= 3 && phase1_palette >= 1);
+
+  Thm10Result out;
+  out.colors.assign(static_cast<std::size_t>(n), -1);
+  if (n == 0) return out;
+
+  std::vector<Rng> rngs;
+  rngs.reserve(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    rngs.push_back(node_rng(seed, static_cast<std::uint64_t>(v), 0x10));
+  }
+
+  // Per-vertex palette Ψ as membership flags + count.
+  std::vector<std::vector<char>> psi(
+      static_cast<std::size_t>(n),
+      std::vector<char>(static_cast<std::size_t>(phase1_palette), 1));
+  std::vector<int> psi_count(static_cast<std::size_t>(n), phase1_palette);
+
+  enum : char { kActive = 0, kColored = 1, kBad = 2 };
+  std::vector<char> status(static_cast<std::size_t>(n), kActive);
+
+  const auto c = c_schedule(delta, params);
+  const int t = static_cast<int>(c.size());
+  out.phase1_iterations = t;
+
+  // ---- Phase 1: ColorBidding(i) + Filtering(i), i = 1..t. ----
+  const int phase1_start = ledger.rounds();
+  std::vector<std::vector<int>> sampled(static_cast<std::size_t>(n));
+  std::vector<std::vector<char>> sample_flags(
+      static_cast<std::size_t>(n),
+      std::vector<char>(static_cast<std::size_t>(phase1_palette), 0));
+  for (int i = 1; i <= t; ++i) {
+    const double ci = c[static_cast<std::size_t>(i - 1)];
+
+    // ColorBidding step 1: sample S_v.
+    for (NodeId v = 0; v < n; ++v) {
+      auto& s = sampled[static_cast<std::size_t>(v)];
+      for (int col : s) {
+        sample_flags[static_cast<std::size_t>(v)][static_cast<std::size_t>(col)] = 0;
+      }
+      s.clear();
+      if (status[static_cast<std::size_t>(v)] != kActive) continue;
+      auto& rng = rngs[static_cast<std::size_t>(v)];
+      const auto& avail = psi[static_cast<std::size_t>(v)];
+      if (i == 1) {
+        // One uniform color from Ψ_1(v) (the full palette).
+        s.push_back(static_cast<int>(
+            rng.next_below(static_cast<std::uint64_t>(phase1_palette))));
+      } else {
+        const double rate =
+            std::min(1.0, ci / std::max(1, psi_count[static_cast<std::size_t>(v)]));
+        for (int col = 0; col < phase1_palette; ++col) {
+          if (avail[static_cast<std::size_t>(col)] && rng.next_bernoulli(rate)) {
+            s.push_back(col);
+          }
+        }
+      }
+      for (int col : s) {
+        sample_flags[static_cast<std::size_t>(v)][static_cast<std::size_t>(col)] = 1;
+      }
+    }
+
+    // ColorBidding step 2: succeed on any sampled color no active neighbor
+    // sampled. Simultaneous successes cannot conflict: a taken color is
+    // outside every neighbor's sample set.
+    std::vector<NodeId> newly_colored;
+    for (NodeId v = 0; v < n; ++v) {
+      if (status[static_cast<std::size_t>(v)] != kActive) continue;
+      for (int col : sampled[static_cast<std::size_t>(v)]) {
+        if (!psi[static_cast<std::size_t>(v)][static_cast<std::size_t>(col)]) {
+          continue;  // stale sample (color just removed) — skip defensively
+        }
+        bool contested = false;
+        for (NodeId u : g.neighbors(v)) {
+          if (status[static_cast<std::size_t>(u)] == kActive &&
+              sample_flags[static_cast<std::size_t>(u)][static_cast<std::size_t>(col)]) {
+            contested = true;
+            break;
+          }
+        }
+        if (!contested) {
+          out.colors[static_cast<std::size_t>(v)] = col;
+          newly_colored.push_back(v);
+          break;
+        }
+      }
+    }
+    for (NodeId v : newly_colored) status[static_cast<std::size_t>(v)] = kColored;
+
+    // ColorBidding step 3: Ψ update.
+    for (NodeId v : newly_colored) {
+      const int col = out.colors[static_cast<std::size_t>(v)];
+      for (NodeId u : g.neighbors(v)) {
+        if (status[static_cast<std::size_t>(u)] != kActive) continue;
+        auto& flag = psi[static_cast<std::size_t>(u)][static_cast<std::size_t>(col)];
+        if (flag) {
+          flag = 0;
+          --psi_count[static_cast<std::size_t>(u)];
+        }
+      }
+    }
+
+    // Filtering(i).
+    std::vector<NodeId> newly_bad;
+    const double degree_bound =
+        (i + 1 <= t) ? static_cast<double>(delta) / c[static_cast<std::size_t>(i)]
+                     : 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (status[static_cast<std::size_t>(v)] != kActive) continue;
+      if (i == t) {
+        newly_bad.push_back(v);
+        continue;
+      }
+      int active_neighbors = 0;  // N'_{i+1}(v)
+      for (NodeId u : g.neighbors(v)) {
+        if (status[static_cast<std::size_t>(u)] == kActive) ++active_neighbors;
+      }
+      if (i == 1) {
+        if (psi_count[static_cast<std::size_t>(v)] - active_neighbors <
+            static_cast<double>(delta) / params.alpha) {
+          newly_bad.push_back(v);
+        }
+      } else {
+        if (active_neighbors > degree_bound) newly_bad.push_back(v);
+      }
+    }
+    for (NodeId v : newly_bad) status[static_cast<std::size_t>(v)] = kBad;
+    ledger.charge(2);  // bid exchange + color/filter exchange
+  }
+  out.trace.record("phase1(ColorBidding)", ledger.rounds() - phase1_start, t);
+
+  // ---- Phase 2: Theorem 9 with q = ⌊√Δ⌋ on the bad vertices. ----
+  const int phase2_start = ledger.rounds();
+  std::vector<char> bad(static_cast<std::size_t>(n), 0);
+  for (NodeId v = 0; v < n; ++v) {
+    CKP_CHECK(status[static_cast<std::size_t>(v)] != kActive);
+    if (status[static_cast<std::size_t>(v)] == kBad) {
+      bad[static_cast<std::size_t>(v)] = 1;
+      ++out.bad_vertices;
+    }
+  }
+  out.largest_bad_component = components_of_subset(g, bad).largest();
+  if (out.bad_vertices > 0) {
+    const auto sub = induced_subgraph(g, bad);
+    // RandLOCAL: locally generated random IDs, unique w.h.p.
+    std::vector<std::uint64_t> sub_ids(sub.to_original.size());
+    for (std::uint64_t epoch = 1;; ++epoch) {
+      for (std::size_t idx = 0; idx < sub.to_original.size(); ++idx) {
+        sub_ids[idx] = node_rng(
+            seed, static_cast<std::uint64_t>(sub.to_original[idx]), epoch)();
+      }
+      if (ids_unique(sub_ids)) break;
+    }
+    RoundLedger sub_ledger;
+    const auto bad_coloring =
+        be_tree_coloring(sub.graph, reserve, sub_ids, sub_ledger);
+    ledger.charge(sub_ledger.rounds());
+    for (std::size_t idx = 0; idx < sub.to_original.size(); ++idx) {
+      out.colors[static_cast<std::size_t>(sub.to_original[idx])] =
+          phase1_palette + bad_coloring.colors[idx];
+    }
+  }
+  out.trace.record("phase2(Thm9 on bad)", ledger.rounds() - phase2_start,
+                   out.largest_bad_component);
+
+  out.rounds = ledger.rounds() - start_rounds;
+  CKP_DCHECK(verify_coloring(g, out.colors, delta).ok);
+  return out;
+}
+
+}  // namespace ckp

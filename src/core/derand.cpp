@@ -1,0 +1,194 @@
+#include "core/derand.hpp"
+
+#include <algorithm>
+
+#include "lcl/verify_mis.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace ckp {
+namespace {
+
+// All injective ID assignments [0,n) -> [0,S), as flat vectors.
+std::vector<std::vector<int>> enumerate_id_assignments(NodeId n, int space) {
+  CKP_CHECK(space >= n);
+  std::vector<std::vector<int>> out;
+  std::vector<int> current;
+  std::vector<char> used(static_cast<std::size_t>(space), 0);
+  // Depth-first enumeration.
+  std::vector<int> stack{0};
+  current.reserve(static_cast<std::size_t>(n));
+  while (!stack.empty()) {
+    int& candidate = stack.back();
+    if (static_cast<NodeId>(current.size()) == n) {
+      out.push_back(current);
+      stack.pop_back();
+      if (!current.empty()) {
+        used[static_cast<std::size_t>(current.back())] = 0;
+        current.pop_back();
+        if (!stack.empty()) ++stack.back();
+      }
+      continue;
+    }
+    while (candidate < space && used[static_cast<std::size_t>(candidate)]) {
+      ++candidate;
+    }
+    if (candidate >= space) {
+      stack.pop_back();
+      if (!current.empty()) {
+        used[static_cast<std::size_t>(current.back())] = 0;
+        current.pop_back();
+        if (!stack.empty()) ++stack.back();
+      }
+      continue;
+    }
+    used[static_cast<std::size_t>(candidate)] = 1;
+    current.push_back(candidate);
+    stack.push_back(0);
+  }
+  return out;
+}
+
+// φ encoded as base-2^r digits of an integer: φ(id) = digit id.
+std::uint32_t phi_of(std::uint64_t phi_index, int id, int rank_bits) {
+  const std::uint64_t base = 1ULL << rank_bits;
+  std::uint64_t x = phi_index;
+  for (int i = 0; i < id; ++i) x /= base;
+  return static_cast<std::uint32_t>(x % base);
+}
+
+}  // namespace
+
+std::vector<Graph> enumerate_graphs(NodeId n, int delta) {
+  CKP_CHECK(n >= 1 && n <= 6);
+  std::vector<std::pair<NodeId, NodeId>> all_pairs;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) all_pairs.emplace_back(u, v);
+  }
+  const std::size_t pairs = all_pairs.size();
+  std::vector<Graph> out;
+  for (std::uint64_t mask = 0; mask < (1ULL << pairs); ++mask) {
+    std::vector<int> deg(static_cast<std::size_t>(n), 0);
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    bool ok = true;
+    for (std::size_t i = 0; i < pairs && ok; ++i) {
+      if (mask & (1ULL << i)) {
+        edges.push_back(all_pairs[i]);
+        if (++deg[static_cast<std::size_t>(all_pairs[i].first)] > delta ||
+            ++deg[static_cast<std::size_t>(all_pairs[i].second)] > delta) {
+          ok = false;
+        }
+      }
+    }
+    if (ok) out.push_back(Graph::from_edges(n, edges));
+  }
+  return out;
+}
+
+bool run_rank_greedy_mis(const Graph& g, const std::vector<std::uint32_t>& ranks,
+                         int rounds, std::vector<char>& in_set) {
+  const NodeId n = g.num_nodes();
+  CKP_CHECK(ranks.size() == static_cast<std::size_t>(n));
+  enum : char { kUndecided = 0, kIn = 1, kOut = 2 };
+  std::vector<char> status(static_cast<std::size_t>(n), kUndecided);
+  for (int r = 0; r < rounds; ++r) {
+    bool any_undecided = false;
+    std::vector<char> joins(static_cast<std::size_t>(n), 0);
+    for (NodeId v = 0; v < n; ++v) {
+      if (status[static_cast<std::size_t>(v)] != kUndecided) continue;
+      any_undecided = true;
+      bool is_min = true;
+      for (NodeId u : g.neighbors(v)) {
+        if (status[static_cast<std::size_t>(u)] == kUndecided &&
+            ranks[static_cast<std::size_t>(u)] <=
+                ranks[static_cast<std::size_t>(v)]) {
+          is_min = false;  // ties block both — the failure mode
+          break;
+        }
+      }
+      joins[static_cast<std::size_t>(v)] = is_min;
+    }
+    if (!any_undecided) break;
+    for (NodeId v = 0; v < n; ++v) {
+      if (joins[static_cast<std::size_t>(v)]) {
+        status[static_cast<std::size_t>(v)] = kIn;
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (status[static_cast<std::size_t>(v)] != kUndecided) continue;
+      for (NodeId u : g.neighbors(v)) {
+        if (status[static_cast<std::size_t>(u)] == kIn) {
+          status[static_cast<std::size_t>(v)] = kOut;
+          break;
+        }
+      }
+    }
+  }
+  in_set.assign(static_cast<std::size_t>(n), 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (status[static_cast<std::size_t>(v)] == kUndecided) return false;
+    in_set[static_cast<std::size_t>(v)] = status[static_cast<std::size_t>(v)] == kIn;
+  }
+  return verify_mis(g, in_set).ok;
+}
+
+DerandResult derandomize_mis(const DerandSetup& setup, int phi_samples,
+                             std::uint64_t seed) {
+  CKP_CHECK(setup.n >= 1 && setup.n <= 5);
+  CKP_CHECK(setup.id_space >= setup.n && setup.id_space <= 10);
+  CKP_CHECK(setup.rank_bits >= 1 && setup.rank_bits <= 8);
+  const int rounds = setup.rounds > 0 ? setup.rounds : setup.n;
+
+  DerandResult out;
+  const auto graphs = enumerate_graphs(setup.n, setup.delta);
+  const auto assignments = enumerate_id_assignments(setup.n, setup.id_space);
+  out.graphs = graphs.size();
+  out.id_assignments = assignments.size();
+  out.instances = out.graphs * out.id_assignments;
+  out.log2_thm3_bound =
+      static_cast<double>(setup.n) * static_cast<double>(setup.n);
+  out.phi_space = ipow_sat(1ULL << setup.rank_bits,
+                           static_cast<unsigned>(setup.id_space));
+  CKP_CHECK_MSG(out.phi_space != UINT64_MAX, "φ space too large to index");
+
+  auto phi_is_good = [&](std::uint64_t phi_index) {
+    std::vector<std::uint32_t> ranks(static_cast<std::size_t>(setup.n));
+    std::vector<char> in_set;
+    for (const auto& g : graphs) {
+      for (const auto& ids : assignments) {
+        for (NodeId v = 0; v < setup.n; ++v) {
+          ranks[static_cast<std::size_t>(v)] =
+              phi_of(phi_index, ids[static_cast<std::size_t>(v)],
+                     setup.rank_bits);
+        }
+        if (!run_rank_greedy_mis(g, ranks, rounds, in_set)) return false;
+      }
+    }
+    return true;
+  };
+
+  // Lexicographic scan for φ* (the proof's canonical choice).
+  for (std::uint64_t phi = 0; phi < out.phi_space; ++phi) {
+    ++out.phis_scanned;
+    if (phi_is_good(phi)) {
+      out.found = true;
+      out.first_good_phi = phi;
+      break;
+    }
+  }
+
+  // Density estimate over a random sample.
+  if (phi_samples > 0) {
+    Rng rng(mix_seed(seed, 0xde7a));
+    int good = 0;
+    for (int s = 0; s < phi_samples; ++s) {
+      if (phi_is_good(rng.next_below(out.phi_space))) ++good;
+    }
+    out.sampled_good_fraction =
+        static_cast<double>(good) / static_cast<double>(phi_samples);
+  }
+  return out;
+}
+
+}  // namespace ckp

@@ -1,0 +1,66 @@
+// Theorem 3, executed: Det_P(n, Δ) <= Rand_P(2^{n²}, Δ).
+//
+// The proof is non-constructive only because of scale: fix the randomized
+// algorithm's coin flips to φ(ID(v)) for a function φ from the ID space to
+// bit strings; a union bound over the instance class G_{n,Δ} shows a "good"
+// φ (one for which the now-deterministic algorithm succeeds on EVERY
+// instance) exists, and A_Det picks the lexicographically first one by local
+// simulation. At micro scale the whole construction is executable:
+//
+//   * the instance class — every labeled graph on n nodes with max degree
+//     <= Δ, under every injective ID assignment from a space of S IDs — is
+//     enumerated explicitly;
+//   * the randomized algorithm is rank-greedy MIS: each node holds an
+//     r-bit random rank; undecided strict local minima join, neighbors
+//     retire; rank ties can deadlock, which is exactly the failure mode the
+//     derandomization must (and does) eliminate;
+//   * φ ranges over all (2^r)^S functions; the first good φ is found by
+//     lexicographic scan (the union bound predicts most φ are good, so the
+//     scan is short), and a random sample estimates the good fraction.
+//
+// bench_derand tabulates class sizes, the 2^{n²} bound of the theorem, the
+// scan length and the good-φ density.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ckp {
+
+struct DerandSetup {
+  NodeId n = 4;       // instance size
+  int delta = 3;      // degree bound of the class
+  int id_space = 6;   // S: IDs are [0, S), assigned injectively
+  int rank_bits = 3;  // r: random bits per node
+  int rounds = 0;     // simulation budget; 0 means n (always enough)
+};
+
+struct DerandResult {
+  std::uint64_t graphs = 0;          // |graphs on n nodes with Δ <= delta|
+  std::uint64_t id_assignments = 0;  // S·(S-1)···(S-n+1)
+  std::uint64_t instances = 0;       // product
+  double log2_thm3_bound = 0.0;      // n² (the paper's coarse class bound)
+  std::uint64_t phi_space = 0;       // (2^r)^S
+  bool found = false;
+  std::uint64_t first_good_phi = 0;  // lexicographic index
+  std::uint64_t phis_scanned = 0;
+  double sampled_good_fraction = 0.0;
+};
+
+// Enumerates all labeled graphs on n nodes with maximum degree <= delta.
+std::vector<Graph> enumerate_graphs(NodeId n, int delta);
+
+// Runs the rank-greedy MIS under ranks[v]; returns true and fills `in_set`
+// iff it terminates with a valid MIS within `rounds` rounds.
+bool run_rank_greedy_mis(const Graph& g, const std::vector<std::uint32_t>& ranks,
+                         int rounds, std::vector<char>& in_set);
+
+// The full derandomization experiment. `phi_samples` random φ are tested to
+// estimate the good fraction; the lexicographic scan runs until the first
+// good φ (or the φ space is exhausted).
+DerandResult derandomize_mis(const DerandSetup& setup, int phi_samples,
+                             std::uint64_t seed);
+
+}  // namespace ckp

@@ -1,0 +1,77 @@
+#include "core/dichotomy.hpp"
+
+#include <queue>
+
+#include "algo/color_reduction.hpp"
+#include "algo/linial.hpp"
+#include "graph/components.hpp"
+#include "lcl/verify_coloring.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace ckp {
+
+bool is_cycle(const Graph& g) {
+  if (g.num_nodes() < 3) return false;
+  if (!g.is_regular(2)) return false;
+  return connected_components(g).count == 1;
+}
+
+CycleColoringResult two_color_cycle(const Graph& g,
+                                    const std::vector<std::uint64_t>& ids,
+                                    RoundLedger& ledger) {
+  const NodeId n = g.num_nodes();
+  CKP_CHECK_MSG(is_cycle(g), "two_color_cycle requires a single cycle");
+  CKP_CHECK_MSG(n % 2 == 0, "odd cycles are not 2-colorable");
+  CKP_CHECK(ids.size() == static_cast<std::size_t>(n));
+  const int start_rounds = ledger.rounds();
+
+  // Anchor: the minimum-ID vertex. Certifying "my ID is the minimum" (or
+  // learning who the minimum is) requires seeing every vertex: radius
+  // ceil(n/2) on a cycle. The simulation computes the answer centrally and
+  // charges exactly that radius.
+  NodeId anchor = 0;
+  for (NodeId v = 1; v < n; ++v) {
+    if (ids[static_cast<std::size_t>(v)] < ids[static_cast<std::size_t>(anchor)]) {
+      anchor = v;
+    }
+  }
+  CycleColoringResult out;
+  out.colors.assign(static_cast<std::size_t>(n), -1);
+  std::queue<NodeId> q;
+  out.colors[static_cast<std::size_t>(anchor)] = 0;
+  q.push(anchor);
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (NodeId u : g.neighbors(v)) {
+      if (out.colors[static_cast<std::size_t>(u)] == -1) {
+        out.colors[static_cast<std::size_t>(u)] =
+            1 - out.colors[static_cast<std::size_t>(v)];
+        q.push(u);
+      }
+    }
+  }
+  ledger.charge(static_cast<int>(ceil_div(static_cast<std::uint64_t>(n), 2)));
+  out.rounds = ledger.rounds() - start_rounds;
+  CKP_DCHECK(verify_coloring(g, out.colors, 2).ok);
+  return out;
+}
+
+CycleColoringResult three_color_cycle(const Graph& g,
+                                      const std::vector<std::uint64_t>& ids,
+                                      RoundLedger& ledger) {
+  CKP_CHECK_MSG(is_cycle(g), "three_color_cycle requires a single cycle");
+  const int start_rounds = ledger.rounds();
+  CycleColoringResult out;
+  auto coloring = linial_coloring(g, ids, 2, ledger);
+  if (coloring.palette > 3) {
+    reduce_palette_fast(g, coloring.colors, coloring.palette, 3, ledger);
+  }
+  out.colors = std::move(coloring.colors);
+  out.rounds = ledger.rounds() - start_rounds;
+  CKP_DCHECK(verify_coloring(g, out.colors, 3).ok);
+  return out;
+}
+
+}  // namespace ckp

@@ -1,0 +1,46 @@
+// Theorem 7: the Δ=2 dichotomy — on paths and cycles, every LCL is either
+// O(log* n) or Ω(n).
+//
+// Both sides are made executable on cycles:
+//  * 2-COLORING sits on the Ω(n) side: a vertex's color depends on its
+//    distance parity to a globally agreed anchor, and no anchor can be
+//    agreed on without seeing the entire cycle — the algorithm here needs
+//    radius ⌈n/2⌉, charged through the view engine (and odd cycles are
+//    correctly rejected as infeasible).
+//  * 3-COLORING sits on the O(log* n) side: Theorem 2 gives a constant
+//    palette in O(log* n) rounds and class elimination finishes.
+// bench_dichotomy prints both measured curves; the empty band between them
+// is Theorem 7's gap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/context.hpp"
+
+namespace ckp {
+
+struct CycleColoringResult {
+  std::vector<int> colors;
+  int rounds = 0;
+};
+
+// Proper 2-coloring of an even cycle in DetLOCAL: anchor = minimum-ID
+// vertex, colors by BFS parity. Charges ⌈n/2⌉ rounds (every vertex must see
+// the whole cycle to certify the anchor). Throws on odd cycles (infeasible)
+// and non-cycles.
+CycleColoringResult two_color_cycle(const Graph& g,
+                                    const std::vector<std::uint64_t>& ids,
+                                    RoundLedger& ledger);
+
+// Proper 3-coloring of any cycle in O(log* n) rounds (Theorem 2 + class
+// elimination).
+CycleColoringResult three_color_cycle(const Graph& g,
+                                      const std::vector<std::uint64_t>& ids,
+                                      RoundLedger& ledger);
+
+// True iff g is a single cycle (connected, 2-regular).
+bool is_cycle(const Graph& g);
+
+}  // namespace ckp

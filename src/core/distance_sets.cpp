@@ -1,0 +1,122 @@
+#include "core/distance_sets.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <cmath>
+#include <set>
+
+#include "graph/power.hpp"
+#include "util/check.hpp"
+
+namespace ckp {
+namespace {
+
+// Pairwise distances restricted to the set (BFS from each member).
+bool pairwise_far_and_exact_links(const Graph& g,
+                                  const std::vector<NodeId>& set, int k,
+                                  std::vector<std::pair<int, int>>* links) {
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const auto dist = bfs_distances(g, set[i], k);
+    for (std::size_t j = 0; j < set.size(); ++j) {
+      if (i == j) continue;
+      const int d = dist[static_cast<std::size_t>(set[j])];
+      if (d >= 0 && d < k) return false;  // closer than k
+      if (d == k && links != nullptr && i < j) {
+        links->emplace_back(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+  }
+  return true;
+}
+
+bool links_connected(int t, const std::vector<std::pair<int, int>>& links) {
+  std::vector<int> parent(static_cast<std::size_t>(t));
+  for (int i = 0; i < t; ++i) parent[static_cast<std::size_t>(i)] = i;
+  std::function<int(int)> find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      x = parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+    }
+    return x;
+  };
+  int components = t;
+  for (const auto& [a, b] : links) {
+    const int ra = find(a);
+    const int rb = find(b);
+    if (ra != rb) {
+      parent[static_cast<std::size_t>(ra)] = rb;
+      --components;
+    }
+  }
+  return components == 1;
+}
+
+}  // namespace
+
+bool is_distance_k_set(const Graph& g, const std::vector<NodeId>& set, int k) {
+  CKP_CHECK(k >= 1);
+  CKP_CHECK(!set.empty());
+  std::set<NodeId> distinct(set.begin(), set.end());
+  CKP_CHECK_MSG(distinct.size() == set.size(), "set has duplicates");
+  std::vector<std::pair<int, int>> links;
+  if (!pairwise_far_and_exact_links(g, set, k, &links)) return false;
+  return links_connected(static_cast<int>(set.size()), links);
+}
+
+std::uint64_t count_distance_k_sets(const Graph& g, int k, int t) {
+  CKP_CHECK(k >= 1 && t >= 1);
+  CKP_CHECK_MSG(g.num_nodes() <= 512, "exhaustive counting is for small graphs");
+  if (t == 1) return static_cast<std::uint64_t>(g.num_nodes());
+
+  // Grow candidate sets by adding vertices at distance exactly k from some
+  // member (a necessary condition for connectivity in G^{=k}); deduplicate
+  // by the sorted vertex set; validate the full definition at size t.
+  std::set<std::vector<NodeId>> frontier;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) frontier.insert({v});
+  for (int size = 1; size < t; ++size) {
+    std::set<std::vector<NodeId>> next;
+    for (const auto& set : frontier) {
+      // Candidates: distance exactly k from some member, >= k from all.
+      std::vector<int> min_dist(static_cast<std::size_t>(g.num_nodes()), -1);
+      std::vector<char> exact(static_cast<std::size_t>(g.num_nodes()), 0);
+      for (NodeId m : set) {
+        const auto dist = bfs_distances(g, m, k);
+        for (NodeId u = 0; u < g.num_nodes(); ++u) {
+          const int d = dist[static_cast<std::size_t>(u)];
+          if (d < 0) continue;
+          if (min_dist[static_cast<std::size_t>(u)] < 0 ||
+              d < min_dist[static_cast<std::size_t>(u)]) {
+            min_dist[static_cast<std::size_t>(u)] = d;
+          }
+          if (d == k) exact[static_cast<std::size_t>(u)] = 1;
+        }
+      }
+      for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        if (!exact[static_cast<std::size_t>(u)]) continue;
+        if (min_dist[static_cast<std::size_t>(u)] >= 0 &&
+            min_dist[static_cast<std::size_t>(u)] < k) {
+          continue;
+        }
+        if (std::find(set.begin(), set.end(), u) != set.end()) continue;
+        std::vector<NodeId> grown = set;
+        grown.push_back(u);
+        std::sort(grown.begin(), grown.end());
+        next.insert(std::move(grown));
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::uint64_t count = 0;
+  for (const auto& set : frontier) {
+    if (is_distance_k_set(g, set, k)) ++count;
+  }
+  return count;
+}
+
+double lemma3_log2_bound(std::uint64_t n, int delta, int k, int t) {
+  CKP_CHECK(delta >= 1 && k >= 1 && t >= 1);
+  return 2.0 * t + std::log2(static_cast<double>(n)) +
+         static_cast<double>(k) * (t - 1) * std::log2(static_cast<double>(delta));
+}
+
+}  // namespace ckp

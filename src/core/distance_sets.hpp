@@ -1,0 +1,33 @@
+// Distance-k sets and Lemma 3 (the combinatorial engine of the Theorem 10
+// shattering analysis).
+//
+// S ⊆ V is a distance-k set when (1) members are pairwise at distance >= k
+// and (2) S is connected in G^{=k} (the graph joining vertices at distance
+// exactly k). Lemma 3 bounds their number: at most 4^t · n · Δ^{k(t-1)}
+// distance-k sets of size t — which, union-bounded against the
+// exp(-t·poly(Δ)) probability that all of a set's members turn out bad,
+// yields the Δ⁴·log n component bound of Theorem 10's Phase 2.
+//
+// This module makes the lemma checkable: an exhaustive enumerator for small
+// instances, the bound itself, and a sampling estimator of the bad-vertex
+// union-bound expression.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ckp {
+
+// True iff `set` (distinct vertices) is a distance-k set of g.
+bool is_distance_k_set(const Graph& g, const std::vector<NodeId>& set, int k);
+
+// Exact number of distance-k sets of size t (exhaustive; small inputs).
+// Counts each set once regardless of discovery order.
+std::uint64_t count_distance_k_sets(const Graph& g, int k, int t);
+
+// log2 of Lemma 3's bound 4^t · n · Δ^{k(t-1)}.
+double lemma3_log2_bound(std::uint64_t n, int delta, int k, int t);
+
+}  // namespace ckp

@@ -1,0 +1,179 @@
+#include "core/lll.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "lcl/verify_orientation.hpp"
+#include "util/check.hpp"
+
+namespace ckp {
+
+void LllInstance::validate() const {
+  CKP_CHECK(num_variables >= 1);
+  CKP_CHECK(!scopes.empty());
+  CKP_CHECK(static_cast<bool>(violated));
+  CKP_CHECK(static_cast<bool>(sample));
+  for (const auto& scope : scopes) {
+    CKP_CHECK(!scope.empty());
+    for (int v : scope) CKP_CHECK(v >= 0 && v < num_variables);
+  }
+}
+
+LllResult moser_tardos_parallel(const LllInstance& instance, std::uint64_t seed,
+                                RoundLedger& ledger, int max_iterations) {
+  instance.validate();
+  const int events = instance.num_events();
+  const int start_rounds = ledger.rounds();
+
+  // var -> events whose scope contains it (for the dependency structure).
+  std::vector<std::vector<int>> var_events(
+      static_cast<std::size_t>(instance.num_variables));
+  for (int e = 0; e < events; ++e) {
+    for (int v : instance.scopes[static_cast<std::size_t>(e)]) {
+      var_events[static_cast<std::size_t>(v)].push_back(e);
+    }
+  }
+
+  // Per-variable and per-event private streams.
+  std::vector<Rng> var_rng;
+  var_rng.reserve(static_cast<std::size_t>(instance.num_variables));
+  for (int v = 0; v < instance.num_variables; ++v) {
+    var_rng.push_back(node_rng(seed, static_cast<std::uint64_t>(v), 0x77A));
+  }
+  std::vector<Rng> event_rng;
+  event_rng.reserve(static_cast<std::size_t>(events));
+  for (int e = 0; e < events; ++e) {
+    event_rng.push_back(node_rng(seed, static_cast<std::uint64_t>(e), 0x77B));
+  }
+
+  LllResult out;
+  out.assignment.resize(static_cast<std::size_t>(instance.num_variables));
+  for (int v = 0; v < instance.num_variables; ++v) {
+    out.assignment[static_cast<std::size_t>(v)] =
+        instance.sample(v, var_rng[static_cast<std::size_t>(v)]);
+  }
+
+  std::vector<std::uint64_t> priority(static_cast<std::size_t>(events));
+  std::vector<char> is_violated(static_cast<std::size_t>(events));
+  int it = 0;
+  for (; it < max_iterations; ++it) {
+    bool any = false;
+    for (int e = 0; e < events; ++e) {
+      is_violated[static_cast<std::size_t>(e)] =
+          instance.violated(e, out.assignment);
+      any |= static_cast<bool>(is_violated[static_cast<std::size_t>(e)]);
+    }
+    if (!any) break;
+    // Independent selection by random priorities: a violated event is
+    // selected iff its priority beats every violated event sharing a
+    // variable with it (strict; ties lose on both sides).
+    for (int e = 0; e < events; ++e) {
+      if (is_violated[static_cast<std::size_t>(e)]) {
+        priority[static_cast<std::size_t>(e)] =
+            event_rng[static_cast<std::size_t>(e)]();
+      }
+    }
+    std::vector<int> selected;
+    for (int e = 0; e < events; ++e) {
+      if (!is_violated[static_cast<std::size_t>(e)]) continue;
+      bool local_min = true;
+      for (int v : instance.scopes[static_cast<std::size_t>(e)]) {
+        for (int other : var_events[static_cast<std::size_t>(v)]) {
+          if (other != e && is_violated[static_cast<std::size_t>(other)] &&
+              priority[static_cast<std::size_t>(other)] <=
+                  priority[static_cast<std::size_t>(e)]) {
+            local_min = false;
+            break;
+          }
+        }
+        if (!local_min) break;
+      }
+      if (local_min) selected.push_back(e);
+    }
+    // Degenerate tie round (vanishing probability): retry priorities.
+    if (selected.empty()) {
+      ledger.charge(2);
+      continue;
+    }
+    // Resample the selected events' variables (disjoint scopes by
+    // independence of the selection).
+    std::unordered_set<int> touched;
+    for (int e : selected) {
+      ++out.resampled_events;
+      for (int v : instance.scopes[static_cast<std::size_t>(e)]) {
+        CKP_CHECK_MSG(touched.insert(v).second,
+                      "selected events share variable " << v);
+        out.assignment[static_cast<std::size_t>(v)] =
+            instance.sample(v, var_rng[static_cast<std::size_t>(v)]);
+      }
+    }
+    ledger.charge(2);  // violation/priority exchange + resample exchange
+  }
+  out.iterations = it;
+  out.completed = (it < max_iterations);
+  out.rounds = ledger.rounds() - start_rounds;
+  return out;
+}
+
+LllInstance sinkless_orientation_lll(const Graph& g) {
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    CKP_CHECK_MSG(g.degree(v) >= 2, "sinkless LLL needs min degree >= 2");
+  }
+  LllInstance inst;
+  inst.num_variables = g.num_edges();
+  inst.scopes.resize(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto edges = g.incident_edges(v);
+    inst.scopes[static_cast<std::size_t>(v)].assign(edges.begin(), edges.end());
+  }
+  // Capture g by pointer-like reference semantics: the instance must not
+  // outlive the graph, which all call sites here respect.
+  const Graph* graph = &g;
+  inst.violated = [graph](int event, const std::vector<int>& assignment) {
+    const auto v = static_cast<NodeId>(event);
+    for (EdgeId e : graph->incident_edges(v)) {
+      const auto [a, b] = graph->endpoints(e);
+      const bool points_out = (v == a) == (assignment[static_cast<std::size_t>(e)] == 1);
+      if (points_out) return false;
+    }
+    return true;  // all incident edges point in: v is a sink
+  };
+  inst.sample = [](int, Rng& rng) { return rng.next_bit() ? 1 : 0; };
+  return inst;
+}
+
+Hypergraph make_random_hypergraph(int variables, int edges, int k, Rng& rng) {
+  CKP_CHECK(variables >= k && k >= 2);
+  Hypergraph h;
+  h.variables = variables;
+  h.edges.reserve(static_cast<std::size_t>(edges));
+  for (int e = 0; e < edges; ++e) {
+    std::unordered_set<int> members;
+    while (static_cast<int>(members.size()) < k) {
+      members.insert(static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(variables))));
+    }
+    h.edges.emplace_back(members.begin(), members.end());
+    std::sort(h.edges.back().begin(), h.edges.back().end());
+  }
+  return h;
+}
+
+LllInstance hypergraph_two_coloring_lll(const Hypergraph& h) {
+  LllInstance inst;
+  inst.num_variables = h.variables;
+  inst.scopes = h.edges;
+  const auto edges = h.edges;  // by value: the instance owns its structure
+  inst.violated = [edges](int event, const std::vector<int>& assignment) {
+    const auto& edge = edges[static_cast<std::size_t>(event)];
+    const int first = assignment[static_cast<std::size_t>(edge.front())];
+    for (int v : edge) {
+      if (assignment[static_cast<std::size_t>(v)] != first) return false;
+    }
+    return true;  // monochromatic
+  };
+  inst.sample = [](int, Rng& rng) { return rng.next_bit() ? 1 : 0; };
+  return inst;
+}
+
+}  // namespace ckp

@@ -1,0 +1,74 @@
+// Distributed constructive Lovász Local Lemma (parallel Moser–Tardos).
+//
+// The paper's Section IV bounds are, historically, the first lower bounds
+// for the distributed LLL: sinkless orientation is exactly the LLL instance
+// "orient every edge independently at random; the bad event at v is that v
+// becomes a sink" (probability 2^-deg(v), dependency degree deg·(deg-1)).
+// The constructive upper-bound side cited in the paper ([19] Chung–Pettie–Su,
+// [11] Ghaffari) descends from Moser–Tardos resampling. This module
+// implements the parallel variant:
+//
+//   repeat: find all violated events; select an independent subset in the
+//   event-dependency graph (events sharing a variable conflict) by random
+//   priorities; resample the selected events' variables.
+//
+// Under the usual LLL-type conditions this converges in O(log n) rounds
+// w.h.p.; the benches measure iterations for sinkless orientation (where
+// the polynomial LLL criterion fails for small Δ yet resampling still
+// converges — part of why the problem is interesting) and for random
+// k-uniform hypergraph 2-coloring.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/context.hpp"
+
+namespace ckp {
+
+// An LLL system: variables with a resampling distribution, events with
+// variable scopes and a violation predicate over the full assignment.
+struct LllInstance {
+  int num_variables = 0;
+  std::vector<std::vector<int>> scopes;  // per event: variable indices
+  // violated(event, assignment) — must read only scope variables.
+  std::function<bool(int, const std::vector<int>&)> violated;
+  // sample(variable, rng) — a fresh random value.
+  std::function<int(int, Rng&)> sample;
+
+  int num_events() const { return static_cast<int>(scopes.size()); }
+  void validate() const;
+};
+
+struct LllResult {
+  std::vector<int> assignment;
+  int rounds = 0;
+  int iterations = 0;
+  std::int64_t resampled_events = 0;
+  bool completed = true;
+};
+
+// Parallel Moser–Tardos. Each iteration costs 2 rounds (violation exchange +
+// resample announcement) on the event-dependency graph, which embeds in the
+// communication graph with O(1) overhead for the instances here.
+LllResult moser_tardos_parallel(const LllInstance& instance, std::uint64_t seed,
+                                RoundLedger& ledger, int max_iterations = 1 << 16);
+
+// Sinkless orientation as an LLL system on a min-degree->=2 graph:
+// variable e in {0,1} orients edge e (+1 means endpoints(e).first ->
+// second); the event at v is "v is a sink".
+LllInstance sinkless_orientation_lll(const Graph& g);
+
+// Random k-uniform hypergraph 2-coloring (property B): `edges` hyperedges
+// over `variables` vertices, each a random k-subset; the event is a
+// monochromatic hyperedge (probability 2^{1-k}).
+struct Hypergraph {
+  int variables = 0;
+  std::vector<std::vector<int>> edges;
+};
+Hypergraph make_random_hypergraph(int variables, int edges, int k, Rng& rng);
+LllInstance hypergraph_two_coloring_lll(const Hypergraph& h);
+
+}  // namespace ckp

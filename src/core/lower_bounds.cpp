@@ -1,0 +1,80 @@
+#include "core/lower_bounds.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ckp {
+
+double amplify_failure_log(double log_p, int delta) {
+  CKP_CHECK(delta >= 3);
+  const double d = static_cast<double>(delta);
+  // log of 4(2Δ)^{1/(Δ+1)} · p^{1/(3(Δ+1))}.
+  return std::log(4.0) + std::log(2.0 * d) / (d + 1.0) +
+         log_p / (3.0 * (d + 1.0));
+}
+
+double iterate_amplification_log(double log_p, int delta, int steps) {
+  CKP_CHECK(steps >= 0);
+  double lp = log_p;
+  for (int s = 0; s < steps; ++s) lp = amplify_failure_log(lp, delta);
+  return lp;
+}
+
+int certified_lower_bound(double log_p, int delta, int max_t) {
+  CKP_CHECK(delta >= 3);
+  const double d = static_cast<double>(delta);
+  const double log_floor = -2.0 * std::log(d);  // log(1/Δ²)
+  if (log_p >= log_floor) return 0;
+  // t rounds are ruled out as long as t amplification steps keep the
+  // failure below the floor: a t-round algorithm would imply an impossible
+  // 0-round one. Find the largest such t.
+  double lp = log_p;
+  int t = 0;
+  while (t < max_t) {
+    lp = amplify_failure_log(lp, delta);
+    if (lp >= log_floor) break;
+    ++t;
+  }
+  return t;
+}
+
+double thm4_closed_form(double log_inv_p, int delta, double eps) {
+  CKP_CHECK(delta >= 3);
+  CKP_CHECK(log_inv_p > 1.0);
+  const double d = static_cast<double>(delta);
+  return eps * std::log(log_inv_p) / std::log(3.0 * (d + 1.0)) - 1.0;
+}
+
+double measured_zero_round_failure(const EdgeColoredGraph& instance,
+                                   int trials, std::uint64_t seed) {
+  CKP_CHECK(trials >= 1);
+  const Graph& g = instance.graph;
+  const int delta = instance.num_colors;
+  CKP_CHECK(delta >= 1);
+  std::uint64_t failures = 0;
+  std::uint64_t edge_trials = 0;
+  std::vector<int> color(static_cast<std::size_t>(g.num_nodes()));
+  for (int t = 0; t < trials; ++t) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      // The optimal 0-round strategy on an undifferentiated Δ-regular graph:
+      // one i.i.d. uniform color per vertex.
+      color[static_cast<std::size_t>(v)] = static_cast<int>(
+          node_rng(seed, static_cast<std::uint64_t>(v),
+                   static_cast<std::uint64_t>(t))
+              .next_below(static_cast<std::uint64_t>(delta)));
+    }
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const auto [u, v] = g.endpoints(e);
+      const int ce = instance.edge_color[static_cast<std::size_t>(e)];
+      if (color[static_cast<std::size_t>(u)] == ce &&
+          color[static_cast<std::size_t>(v)] == ce) {
+        ++failures;
+      }
+      ++edge_trials;
+    }
+  }
+  return static_cast<double>(failures) / static_cast<double>(edge_trials);
+}
+
+}  // namespace ckp

@@ -1,0 +1,54 @@
+// Executable lower-bound machinery (Section IV).
+//
+// Lower bounds are statements about all algorithms and cannot be "run", but
+// the paper's proof of Theorem 4 is a concrete computation that can:
+// Lemmas 1 and 2 turn a t-round Δ-sinkless-coloring algorithm with
+// per-edge failure p into a (t-1)-round one with failure
+// 4(2Δ)^{1/(Δ+1)}·p^{1/(3(Δ+1))} < 7·p^{1/(3(Δ+1))}; iterating t times
+// yields a 0-round algorithm, and any 0-round algorithm on an ID-less
+// Δ-regular edge-colored graph fails at some edge with probability >= 1/Δ²
+// (both endpoints of an edge draw colors i.i.d. from the same distribution).
+// The contradiction threshold gives the exact t(Δ, p) this implementation of
+// the recurrence certifies; bench_lower_bounds tabulates it against the
+// paper's closed form t = ε·log_{3(Δ+1)} ln(1/p).
+//
+// The 1/Δ² floor itself is measured, not just asserted: run the best
+// 0-round algorithm (uniform color choice) on sampled edge-colored Δ-regular
+// graphs and count forbidden configurations.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/regular.hpp"
+#include "local/context.hpp"
+
+namespace ckp {
+
+// One Lemma-1 + Lemma-2 amplification step: the failure probability of the
+// derived (t-1)-round algorithm, given failure p at t rounds. Uses the exact
+// 4(2Δ)^{1/(Δ+1)}·p^{1/(3(Δ+1))} constant, computed in log-space so p can be
+// astronomically small.
+double amplify_failure_log(double log_p, int delta);
+
+// log(failure) after `steps` amplification steps starting from log(p).
+double iterate_amplification_log(double log_p, int delta, int steps);
+
+// The certified round lower bound: the largest t such that iterating the
+// amplification t times from per-edge failure p still stays below the
+// 0-round floor 1/Δ² (so a t-round algorithm with failure p would yield an
+// impossible 0-round algorithm). Returns 0 when even p itself is >= 1/Δ².
+int certified_lower_bound(double log_p, int delta, int max_t = 1 << 20);
+
+// The paper's closed form t = eps·log_{3(Δ+1)} ln(1/p) − 1 (Theorem 4,
+// without the log_Δ n girth cap).
+double thm4_closed_form(double log_inv_p, int delta, double eps = 1.0);
+
+// Measured per-edge failure frequency of the uniform 0-round Δ-sinkless
+// coloring algorithm on `instance` over `trials` independent runs. The
+// theory says ~ 1/Δ per edge for the *matching-color* event... precisely:
+// an edge {u,v} with input color c fails when both endpoints draw c, i.e.
+// with probability exactly 1/Δ²; the returned frequency estimates it.
+double measured_zero_round_failure(const EdgeColoredGraph& instance,
+                                   int trials, std::uint64_t seed);
+
+}  // namespace ckp

@@ -1,0 +1,316 @@
+#include "core/roundelim.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <numeric>
+#include <sstream>
+
+namespace ckp {
+namespace {
+
+// Enumerates all sorted multisets of size `size` over [0, universe).
+void enumerate_multisets(int universe, int size,
+                         const std::function<void(const std::vector<int>&)>& f) {
+  std::vector<int> current(static_cast<std::size_t>(size), 0);
+  while (true) {
+    f(current);
+    // Next multiset in colex order: increment rightmost incrementable slot.
+    int i = size - 1;
+    while (i >= 0 && current[static_cast<std::size_t>(i)] == universe - 1) --i;
+    if (i < 0) break;
+    const int next = current[static_cast<std::size_t>(i)] + 1;
+    for (int j = i; j < size; ++j) current[static_cast<std::size_t>(j)] = next;
+  }
+}
+
+// Does every choice (s_1..s_k), s_i ∈ sets[i], form a multiset in `allowed`?
+bool forall_choices_in(const std::vector<std::vector<int>>& sets,
+                       const std::set<std::vector<int>>& allowed) {
+  std::vector<std::size_t> idx(sets.size(), 0);
+  std::vector<int> choice(sets.size());
+  while (true) {
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+      choice[i] = sets[i][idx[i]];
+    }
+    std::vector<int> sorted = choice;
+    std::sort(sorted.begin(), sorted.end());
+    if (!allowed.contains(sorted)) return false;
+    std::size_t carry = 0;
+    while (carry < sets.size() && ++idx[carry] == sets[carry].size()) {
+      idx[carry] = 0;
+      ++carry;
+    }
+    if (carry == sets.size()) return true;
+  }
+}
+
+// Does some choice land in `allowed`?
+bool exists_choice_in(const std::vector<std::vector<int>>& sets,
+                      const std::set<std::vector<int>>& allowed) {
+  std::vector<std::size_t> idx(sets.size(), 0);
+  std::vector<int> choice(sets.size());
+  while (true) {
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+      choice[i] = sets[i][idx[i]];
+    }
+    std::vector<int> sorted = choice;
+    std::sort(sorted.begin(), sorted.end());
+    if (allowed.contains(sorted)) return true;
+    std::size_t carry = 0;
+    while (carry < sets.size() && ++idx[carry] == sets[carry].size()) {
+      idx[carry] = 0;
+      ++carry;
+    }
+    if (carry == sets.size()) return false;
+  }
+}
+
+std::string subset_name(const BipartiteProblem& p, std::uint64_t mask) {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (int l = 0; l < p.num_labels(); ++l) {
+    if (mask & (1ULL << l)) {
+      if (!first) os << ',';
+      os << p.label_names[static_cast<std::size_t>(l)];
+      first = false;
+    }
+  }
+  os << '}';
+  return os.str();
+}
+
+std::vector<int> subset_members(std::uint64_t mask) {
+  std::vector<int> out;
+  for (int l = 0; l < 64; ++l) {
+    if (mask & (1ULL << l)) out.push_back(l);
+  }
+  return out;
+}
+
+}  // namespace
+
+void BipartiteProblem::validate() const {
+  CKP_CHECK(active_degree >= 1 && passive_degree >= 1);
+  CKP_CHECK(!label_names.empty());
+  for (const auto& cfg : active) {
+    CKP_CHECK(cfg.size() == static_cast<std::size_t>(active_degree));
+    CKP_CHECK(std::is_sorted(cfg.begin(), cfg.end()));
+    for (int l : cfg) CKP_CHECK(l >= 0 && l < num_labels());
+  }
+  for (const auto& cfg : passive) {
+    CKP_CHECK(cfg.size() == static_cast<std::size_t>(passive_degree));
+    CKP_CHECK(std::is_sorted(cfg.begin(), cfg.end()));
+    for (int l : cfg) CKP_CHECK(l >= 0 && l < num_labels());
+  }
+}
+
+BipartiteProblem round_eliminate(const BipartiteProblem& p, int max_labels) {
+  p.validate();
+  CKP_CHECK_MSG(p.num_labels() <= 20,
+                "round elimination on >20 labels is intractable here");
+  const std::uint64_t universe = (1ULL << p.num_labels()) - 1;
+
+  // Candidate new-active configurations: multisets of non-empty subsets of
+  // size passive_degree with the ∀ property, then maximality filtering.
+  std::vector<std::uint64_t> subsets;
+  for (std::uint64_t m = 1; m <= universe; ++m) subsets.push_back(m);
+
+  std::set<std::vector<int>> forall_ok;  // over subset indices
+  enumerate_multisets(
+      static_cast<int>(subsets.size()), p.passive_degree,
+      [&](const std::vector<int>& cfg) {
+        std::vector<std::vector<int>> sets;
+        sets.reserve(cfg.size());
+        for (int si : cfg) {
+          sets.push_back(subset_members(subsets[static_cast<std::size_t>(si)]));
+        }
+        if (forall_choices_in(sets, p.passive)) {
+          forall_ok.insert(cfg);
+        }
+      });
+
+  // Maximality: drop cfg if replacing one slot's subset by a strict superset
+  // keeps the ∀ property.
+  std::set<std::vector<int>> maximal;
+  for (const auto& cfg : forall_ok) {
+    bool is_maximal = true;
+    for (std::size_t slot = 0; slot < cfg.size() && is_maximal; ++slot) {
+      const std::uint64_t cur = subsets[static_cast<std::size_t>(cfg[slot])];
+      for (std::size_t bigger = 0; bigger < subsets.size(); ++bigger) {
+        const std::uint64_t candidate = subsets[bigger];
+        if (candidate == cur || (candidate & cur) != cur) continue;
+        std::vector<int> enlarged = cfg;
+        enlarged[slot] = static_cast<int>(bigger);
+        std::sort(enlarged.begin(), enlarged.end());
+        if (forall_ok.contains(enlarged)) {
+          is_maximal = false;
+          break;
+        }
+      }
+    }
+    if (is_maximal) maximal.insert(cfg);
+  }
+
+  // Labels that actually appear.
+  std::set<int> used;
+  for (const auto& cfg : maximal) {
+    for (int si : cfg) used.insert(si);
+  }
+  CKP_CHECK_MSG(!used.empty(), "round elimination produced the empty problem");
+  CKP_CHECK_MSG(static_cast<int>(used.size()) <= max_labels,
+                "round elimination exceeded " << max_labels << " labels");
+
+  std::map<int, int> rename;
+  BipartiteProblem out;
+  out.active_degree = p.passive_degree;  // roles swap
+  out.passive_degree = p.active_degree;
+  for (int si : used) {
+    rename[si] = static_cast<int>(out.label_names.size());
+    out.label_names.push_back(
+        subset_name(p, subsets[static_cast<std::size_t>(si)]));
+  }
+  for (const auto& cfg : maximal) {
+    std::vector<int> renamed;
+    renamed.reserve(cfg.size());
+    for (int si : cfg) renamed.push_back(rename.at(si));
+    std::sort(renamed.begin(), renamed.end());
+    out.active.insert(renamed);
+  }
+
+  // New passive side: ∃ over the old active constraint, over used labels.
+  std::vector<int> used_list(used.begin(), used.end());
+  enumerate_multisets(
+      static_cast<int>(used_list.size()), p.active_degree,
+      [&](const std::vector<int>& cfg) {
+        std::vector<std::vector<int>> sets;
+        sets.reserve(cfg.size());
+        for (int i : cfg) {
+          sets.push_back(subset_members(
+              subsets[static_cast<std::size_t>(used_list[static_cast<std::size_t>(i)])]));
+        }
+        if (exists_choice_in(sets, p.active)) {
+          std::vector<int> renamed;
+          renamed.reserve(cfg.size());
+          for (int i : cfg) {
+            renamed.push_back(
+                rename.at(used_list[static_cast<std::size_t>(i)]));
+          }
+          std::sort(renamed.begin(), renamed.end());
+          out.passive.insert(renamed);
+        }
+      });
+
+  out.validate();
+  return out;
+}
+
+bool problems_isomorphic(const BipartiteProblem& a, const BipartiteProblem& b) {
+  if (a.active_degree != b.active_degree ||
+      a.passive_degree != b.passive_degree ||
+      a.num_labels() != b.num_labels() || a.active.size() != b.active.size() ||
+      a.passive.size() != b.passive.size()) {
+    return false;
+  }
+  const int k = a.num_labels();
+  CKP_CHECK_MSG(k <= 8, "isomorphism search limited to 8 labels");
+  std::vector<int> perm(static_cast<std::size_t>(k));
+  std::iota(perm.begin(), perm.end(), 0);
+  auto apply = [&](const std::set<std::vector<int>>& cfgs) {
+    std::set<std::vector<int>> out;
+    for (const auto& cfg : cfgs) {
+      std::vector<int> mapped;
+      mapped.reserve(cfg.size());
+      for (int l : cfg) mapped.push_back(perm[static_cast<std::size_t>(l)]);
+      std::sort(mapped.begin(), mapped.end());
+      out.insert(mapped);
+    }
+    return out;
+  };
+  do {
+    if (apply(a.active) == b.active && apply(a.passive) == b.passive) {
+      return true;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return false;
+}
+
+bool zero_round_solvable(const BipartiteProblem& p) {
+  for (const auto& cfg : p.active) {
+    std::set<int> support(cfg.begin(), cfg.end());
+    const std::vector<int> labels(support.begin(), support.end());
+    bool all_passive_ok = true;
+    enumerate_multisets(
+        static_cast<int>(labels.size()), p.passive_degree,
+        [&](const std::vector<int>& idx_cfg) {
+          std::vector<int> real;
+          real.reserve(idx_cfg.size());
+          for (int i : idx_cfg) real.push_back(labels[static_cast<std::size_t>(i)]);
+          std::sort(real.begin(), real.end());
+          if (!p.passive.contains(real)) all_passive_ok = false;
+        });
+    if (all_passive_ok) return true;
+  }
+  return false;
+}
+
+BipartiteProblem sinkless_orientation_problem(int delta) {
+  CKP_CHECK(delta >= 2);
+  BipartiteProblem p;
+  p.active_degree = delta;  // vertices
+  p.passive_degree = 2;     // edges
+  p.label_names = {"O", "I"};
+  // Vertex: at least one outgoing half-edge — multisets with >= 1 "O" (0).
+  for (int outs = 1; outs <= delta; ++outs) {
+    std::vector<int> cfg;
+    for (int i = 0; i < outs; ++i) cfg.push_back(0);
+    for (int i = outs; i < delta; ++i) cfg.push_back(1);
+    std::sort(cfg.begin(), cfg.end());
+    p.active.insert(cfg);
+  }
+  // Edge: exactly one outgoing and one incoming end.
+  p.passive.insert({0, 1});
+  p.validate();
+  return p;
+}
+
+BipartiteProblem sinkless_orientation_canonical(int delta) {
+  CKP_CHECK(delta >= 2);
+  BipartiteProblem p;
+  p.active_degree = delta;
+  p.passive_degree = 2;
+  p.label_names = {"M", "U"};
+  // Vertex: exactly one designated outgoing half-edge.
+  std::vector<int> cfg(static_cast<std::size_t>(delta), 1);
+  cfg[0] = 0;
+  std::sort(cfg.begin(), cfg.end());
+  p.active.insert(cfg);
+  // Edge: at most one designated end.
+  p.passive.insert({0, 1});
+  p.passive.insert({1, 1});
+  p.validate();
+  return p;
+}
+
+BipartiteProblem free_problem(int active_degree, int passive_degree,
+                              int labels) {
+  CKP_CHECK(labels >= 1 && labels <= 6);
+  BipartiteProblem p;
+  p.active_degree = active_degree;
+  p.passive_degree = passive_degree;
+  for (int l = 0; l < labels; ++l) {
+    p.label_names.push_back(std::string(1, static_cast<char>('a' + l)));
+  }
+  enumerate_multisets(labels, active_degree, [&](const std::vector<int>& cfg) {
+    p.active.insert(cfg);
+  });
+  enumerate_multisets(labels, passive_degree, [&](const std::vector<int>& cfg) {
+    p.passive.insert(cfg);
+  });
+  p.validate();
+  return p;
+}
+
+}  // namespace ckp

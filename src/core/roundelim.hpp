@@ -1,0 +1,80 @@
+// Automatic round elimination over LCL problem descriptions.
+//
+// The Ω(log log n) / Ω(log n) lower bounds the paper builds on (Brandt et
+// al. [1]) come from a syntactic operator on problem descriptions: on
+// (d_A, d_P)-biregular trees a problem Π is given by half-edge labels Σ, a
+// multiset constraint A on active nodes (degree d_A) and P on passive nodes
+// (degree d_P). One elimination step R(Π) swaps the roles:
+//
+//   * new labels: non-empty subsets of Σ;
+//   * new active configurations (the old passive side): tuples of subsets
+//     (S_1,…,S_{d_P}) such that EVERY choice s_i ∈ S_i satisfies P,
+//     restricted to maximal tuples (no S_i can grow);
+//   * new passive configurations: tuples (S_1,…,S_{d_A}) over the surviving
+//     labels such that SOME choice s_i ∈ S_i satisfies A.
+//
+// If a problem needs t rounds, R(Π) needs t-1; a problem isomorphic to its
+// own second elimination R(R(Π)) and not 0-round solvable therefore has no
+// o(log* n)-type upper bound from this method alone — sinkless orientation
+// is the canonical fixed point, which bench_roundelim certifies
+// mechanically, exactly the engine behind the paper's Theorem 4 lemmas.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ckp {
+
+// A problem on (active_degree, passive_degree)-biregular trees.
+// Configurations are sorted label-index multisets.
+struct BipartiteProblem {
+  int active_degree = 0;
+  int passive_degree = 0;
+  std::vector<std::string> label_names;
+  std::set<std::vector<int>> active;
+  std::set<std::vector<int>> passive;
+
+  int num_labels() const { return static_cast<int>(label_names.size()); }
+
+  // Structural sanity: degrees positive, configuration sizes match, label
+  // indices in range.
+  void validate() const;
+};
+
+// One elimination step R(Π) (roles swap: the result's active degree is Π's
+// passive degree). Throws CheckFailure if the label universe would exceed
+// `max_labels` (round elimination can blow up doubly exponentially).
+BipartiteProblem round_eliminate(const BipartiteProblem& p, int max_labels = 64);
+
+// True iff a and b are identical up to a bijective relabeling (labels
+// matched by brute force; intended for the small problems of this module).
+bool problems_isomorphic(const BipartiteProblem& a, const BipartiteProblem& b);
+
+// The 0-round criterion on port-numbered biregular trees: some active
+// configuration C exists such that EVERY d_P-multiset over the labels of C
+// is passive-allowed (all active nodes output C; a passive node can then see
+// any combination of C's labels).
+bool zero_round_solvable(const BipartiteProblem& p);
+
+// Sinkless orientation on Δ-regular trees in the natural encoding:
+// vertices active (degree Δ, at least one outgoing half-edge "O"), edges
+// passive (degree 2, exactly one "O" and one incoming "I" end). One double
+// elimination step rewrites this into the canonical form below.
+BipartiteProblem sinkless_orientation_problem(int delta);
+
+// The canonical round-elimination presentation of sinkless orientation
+// ("M U…U" in the round-eliminator literature): vertices commit exactly one
+// designated out-edge M, edges forbid two M ends. Semantically equivalent to
+// sinkless_orientation_problem and an exact fixed point of the double
+// elimination step R∘R — the certificate behind the Ω-bounds of Section IV.
+BipartiteProblem sinkless_orientation_canonical(int delta);
+
+// A trivially solvable toy problem (every configuration allowed) used as
+// the collapsing control in tests and benches.
+BipartiteProblem free_problem(int active_degree, int passive_degree,
+                              int labels);
+
+}  // namespace ckp

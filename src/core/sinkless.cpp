@@ -1,0 +1,302 @@
+#include "core/sinkless.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/components.hpp"
+#include "util/check.hpp"
+
+namespace ckp {
+namespace {
+
+void check_min_degree_two(const Graph& g) {
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    CKP_CHECK_MSG(g.degree(v) >= 2,
+                  "sinkless orientation needs min degree >= 2; node "
+                      << v << " has degree " << g.degree(v));
+  }
+}
+
+// Orients edge e out of v.
+void orient_out_of(const Graph& g, Orientation& orient, EdgeId e, NodeId v) {
+  const auto [a, b] = g.endpoints(e);
+  orient[static_cast<std::size_t>(e)] = (v == a) ? +1 : -1;
+}
+
+}  // namespace
+
+SinklessResult sinkless_orientation_randomized(const Graph& g,
+                                               std::uint64_t seed,
+                                               RoundLedger& ledger,
+                                               int max_repair_rounds) {
+  check_min_degree_two(g);
+  const NodeId n = g.num_nodes();
+  const EdgeId m = g.num_edges();
+  SinklessResult out;
+  out.orient.assign(static_cast<std::size_t>(m), 0);
+
+  std::vector<Rng> rngs;
+  rngs.reserve(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    rngs.push_back(node_rng(seed, static_cast<std::uint64_t>(v), 0x51));
+  }
+
+  // Round 1: claims. Each vertex claims one uniform incident edge; ties on
+  // an edge are broken toward the endpoint with the larger private draw
+  // (equal draws fall back to the smaller endpoint — measure-zero).
+  std::vector<EdgeId> claim(static_cast<std::size_t>(n));
+  std::vector<std::uint64_t> draw(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    const auto edges = g.incident_edges(v);
+    claim[static_cast<std::size_t>(v)] =
+        edges[rngs[static_cast<std::size_t>(v)].next_below(edges.size())];
+    draw[static_cast<std::size_t>(v)] = rngs[static_cast<std::size_t>(v)]();
+  }
+  for (EdgeId e = 0; e < m; ++e) {
+    const auto [a, b] = g.endpoints(e);
+    const bool a_claims = claim[static_cast<std::size_t>(a)] == e;
+    const bool b_claims = claim[static_cast<std::size_t>(b)] == e;
+    if (a_claims && b_claims) {
+      const bool a_wins = draw[static_cast<std::size_t>(a)] >
+                          draw[static_cast<std::size_t>(b)];
+      orient_out_of(g, out.orient, e, a_wins ? a : b);
+    } else if (a_claims) {
+      orient_out_of(g, out.orient, e, a);
+    } else if (b_claims) {
+      orient_out_of(g, out.orient, e, b);
+    } else {
+      out.orient[static_cast<std::size_t>(e)] = +1;  // unclaimed: default
+    }
+  }
+  ledger.charge(2);  // claim exchange + conflict resolution
+  out.sinks_after_claims =
+      static_cast<NodeId>(find_sinks(g, out.orient).size());
+
+  // Repair: sinks steal an incoming edge, preferring donors that stay
+  // sink-free; each donor grants at most out_degree-1 steals per round.
+  std::vector<int> outdeg(static_cast<std::size_t>(n), 0);
+  for (NodeId v = 0; v < n; ++v) outdeg[static_cast<std::size_t>(v)] = out_degree(g, out.orient, v);
+  std::vector<NodeId> sinks;
+  for (NodeId v = 0; v < n; ++v) {
+    if (outdeg[static_cast<std::size_t>(v)] == 0) sinks.push_back(v);
+  }
+  int repair = 0;
+  for (; !sinks.empty() && repair < max_repair_rounds; ++repair) {
+    std::vector<int> grants_left(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) {
+      grants_left[static_cast<std::size_t>(v)] =
+          std::max(0, outdeg[static_cast<std::size_t>(v)] - 1);
+    }
+    std::vector<NodeId> next_sinks;
+    for (NodeId v : sinks) {
+      if (outdeg[static_cast<std::size_t>(v)] > 0) continue;  // already fixed
+      // Prefer a rich donor (keeps everyone sink-free).
+      EdgeId steal = kInvalidEdge;
+      NodeId donor = kInvalidNode;
+      const auto edges = g.incident_edges(v);
+      for (EdgeId e : edges) {
+        const NodeId u = g.other_endpoint(e, v);
+        if (grants_left[static_cast<std::size_t>(u)] > 0) {
+          steal = e;
+          donor = u;
+          break;
+        }
+      }
+      if (steal == kInvalidEdge) {
+        // Displacement: steal from a random in-neighbor; it becomes the sink.
+        const EdgeId e = edges[rngs[static_cast<std::size_t>(v)].next_below(
+            edges.size())];
+        steal = e;
+        donor = g.other_endpoint(e, v);
+      } else {
+        --grants_left[static_cast<std::size_t>(donor)];
+      }
+      orient_out_of(g, out.orient, steal, v);
+      ++outdeg[static_cast<std::size_t>(v)];
+      // Donor loses this edge only if it previously pointed donor->v.
+      // Recompute its out-degree exactly.
+      outdeg[static_cast<std::size_t>(donor)] =
+          out_degree(g, out.orient, donor);
+      if (outdeg[static_cast<std::size_t>(donor)] == 0) {
+        next_sinks.push_back(donor);
+      }
+    }
+    for (NodeId v : sinks) {
+      if (outdeg[static_cast<std::size_t>(v)] == 0) next_sinks.push_back(v);
+    }
+    sinks = std::move(next_sinks);
+    ledger.charge(2);  // steal requests + grants
+  }
+  out.repair_rounds = repair * 2;
+  out.rounds = 2 + out.repair_rounds;
+  out.completed = sinks.empty();
+  CKP_DCHECK(!out.completed || verify_sinkless_orientation(g, out.orient).ok);
+  return out;
+}
+
+SinklessResult sinkless_orientation_deterministic(
+    const Graph& g, const std::vector<std::uint64_t>& ids,
+    RoundLedger& ledger) {
+  check_min_degree_two(g);
+  const NodeId n = g.num_nodes();
+  const EdgeId m = g.num_edges();
+  CKP_CHECK(ids.size() == static_cast<std::size_t>(n));
+  SinklessResult out;
+  out.orient.assign(static_cast<std::size_t>(m), 0);
+  if (n == 0) {
+    ledger.charge(0);
+    return out;
+  }
+
+  const auto comps = connected_components(g);
+  // Leader (min ID) per component.
+  std::vector<NodeId> leader(static_cast<std::size_t>(comps.count),
+                             kInvalidNode);
+  for (NodeId v = 0; v < n; ++v) {
+    auto& l = leader[static_cast<std::size_t>(
+        comps.label[static_cast<std::size_t>(v)])];
+    if (l == kInvalidNode ||
+        ids[static_cast<std::size_t>(v)] < ids[static_cast<std::size_t>(l)]) {
+      l = v;
+    }
+  }
+
+  // BFS from all leaders at once (components are independent); parent =
+  // minimum-ID neighbor one level closer to the leader.
+  std::vector<int> dist(static_cast<std::size_t>(n), -1);
+  {
+    std::queue<NodeId> q;
+    for (NodeId l : leader) {
+      dist[static_cast<std::size_t>(l)] = 0;
+      q.push(l);
+    }
+    while (!q.empty()) {
+      const NodeId v = q.front();
+      q.pop();
+      for (NodeId u : g.neighbors(v)) {
+        if (dist[static_cast<std::size_t>(u)] < 0) {
+          dist[static_cast<std::size_t>(u)] =
+              dist[static_cast<std::size_t>(v)] + 1;
+          q.push(u);
+        }
+      }
+    }
+  }
+  std::vector<NodeId> parent(static_cast<std::size_t>(n), kInvalidNode);
+  std::vector<EdgeId> parent_edge(static_cast<std::size_t>(n), kInvalidEdge);
+  for (NodeId v = 0; v < n; ++v) {
+    if (dist[static_cast<std::size_t>(v)] == 0) continue;
+    const auto nbrs = g.neighbors(v);
+    const auto edges = g.incident_edges(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId u = nbrs[i];
+      if (dist[static_cast<std::size_t>(u)] !=
+          dist[static_cast<std::size_t>(v)] - 1) {
+        continue;
+      }
+      if (parent[static_cast<std::size_t>(v)] == kInvalidNode ||
+          ids[static_cast<std::size_t>(u)] <
+              ids[static_cast<std::size_t>(parent[static_cast<std::size_t>(v)])]) {
+        parent[static_cast<std::size_t>(v)] = u;
+        parent_edge[static_cast<std::size_t>(v)] = edges[i];
+      }
+    }
+  }
+
+  // Default orientations: tree edges child -> parent; non-tree edges from
+  // the smaller-ID endpoint.
+  std::vector<char> is_tree_edge(static_cast<std::size_t>(m), 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (parent_edge[static_cast<std::size_t>(v)] != kInvalidEdge) {
+      is_tree_edge[static_cast<std::size_t>(
+          parent_edge[static_cast<std::size_t>(v)])] = 1;
+      orient_out_of(g, out.orient, parent_edge[static_cast<std::size_t>(v)], v);
+    }
+  }
+  for (EdgeId e = 0; e < m; ++e) {
+    if (is_tree_edge[static_cast<std::size_t>(e)]) continue;
+    const auto [a, b] = g.endpoints(e);
+    orient_out_of(
+        g, out.orient, e,
+        ids[static_cast<std::size_t>(a)] < ids[static_cast<std::size_t>(b)] ? a
+                                                                            : b);
+  }
+
+  // Per component: pick the lexicographically smallest (by sorted endpoint
+  // IDs) non-tree edge {a, b}; orient it out of a; flip the tree path from a
+  // up to the leader so every path vertex keeps an out-edge.
+  std::vector<EdgeId> chosen(static_cast<std::size_t>(comps.count),
+                             kInvalidEdge);
+  auto edge_key = [&](EdgeId e) {
+    const auto [a, b] = g.endpoints(e);
+    const std::uint64_t x = ids[static_cast<std::size_t>(a)];
+    const std::uint64_t y = ids[static_cast<std::size_t>(b)];
+    return std::pair<std::uint64_t, std::uint64_t>(std::min(x, y),
+                                                   std::max(x, y));
+  };
+  for (EdgeId e = 0; e < m; ++e) {
+    if (is_tree_edge[static_cast<std::size_t>(e)]) continue;
+    const auto [a, b] = g.endpoints(e);
+    const int c = comps.label[static_cast<std::size_t>(a)];
+    auto& slot = chosen[static_cast<std::size_t>(c)];
+    if (slot == kInvalidEdge || edge_key(e) < edge_key(slot)) slot = e;
+  }
+  for (int c = 0; c < comps.count; ++c) {
+    const EdgeId e = chosen[static_cast<std::size_t>(c)];
+    CKP_CHECK_MSG(e != kInvalidEdge,
+                  "component " << c << " has no cycle (is a tree)");
+    const auto [x, y] = g.endpoints(e);
+    // a = endpoint with the smaller ID exits through the non-tree edge.
+    const NodeId a =
+        ids[static_cast<std::size_t>(x)] < ids[static_cast<std::size_t>(y)] ? x
+                                                                            : y;
+    orient_out_of(g, out.orient, e, a);
+    // Flip the path a -> leader: each tree edge on it now points downward.
+    for (NodeId v = a; parent[static_cast<std::size_t>(v)] != kInvalidNode;
+         v = parent[static_cast<std::size_t>(v)]) {
+      orient_out_of(g, out.orient, parent_edge[static_cast<std::size_t>(v)],
+                    parent[static_cast<std::size_t>(v)]);
+    }
+  }
+
+  // Round cost: every vertex must see its entire component to agree on the
+  // leader, the BFS tree, and the flip path. Diameter via double sweep.
+  int rounds = 0;
+  {
+    std::vector<int> d2(static_cast<std::size_t>(n), -1);
+    // Second sweep from the farthest vertex of the first sweep per component.
+    std::vector<NodeId> far(static_cast<std::size_t>(comps.count));
+    for (int c = 0; c < comps.count; ++c) {
+      far[static_cast<std::size_t>(c)] = leader[static_cast<std::size_t>(c)];
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      const int c = comps.label[static_cast<std::size_t>(v)];
+      if (dist[static_cast<std::size_t>(v)] >
+          dist[static_cast<std::size_t>(far[static_cast<std::size_t>(c)])]) {
+        far[static_cast<std::size_t>(c)] = v;
+      }
+    }
+    std::queue<NodeId> q;
+    for (NodeId f : far) {
+      d2[static_cast<std::size_t>(f)] = 0;
+      q.push(f);
+    }
+    while (!q.empty()) {
+      const NodeId v = q.front();
+      q.pop();
+      rounds = std::max(rounds, d2[static_cast<std::size_t>(v)]);
+      for (NodeId u : g.neighbors(v)) {
+        if (d2[static_cast<std::size_t>(u)] < 0) {
+          d2[static_cast<std::size_t>(u)] = d2[static_cast<std::size_t>(v)] + 1;
+          q.push(u);
+        }
+      }
+    }
+  }
+  ledger.charge(rounds);
+  out.rounds = rounds;
+  CKP_DCHECK(verify_sinkless_orientation(g, out.orient).ok);
+  return out;
+}
+
+}  // namespace ckp

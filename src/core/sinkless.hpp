@@ -1,0 +1,56 @@
+// Sinkless orientation (Brandt et al., Section IV of the paper): orient
+// every edge so that each vertex has out-degree >= 1. Defined on graphs with
+// minimum degree >= 2 in which every connected component contains a cycle
+// (Δ-regular graphs, the paper's setting, qualify).
+//
+// Randomized (RandLOCAL): every vertex claims one uniformly random incident
+// edge as outgoing; conflicting claims are resolved by comparing private
+// coin draws; losers that became sinks then repair by stealing an incoming
+// edge from a neighbor with out-degree >= 2 (a stolen neighbor with
+// out-degree 1 displaces the sink — a short random walk that terminates at
+// the plentiful vertices of out-degree >= 2). Empirically O(1)–O(log log n)
+// repair rounds; the paper's Ω(log_Δ log n) bound says no algorithm can be
+// *much* faster.
+//
+// Deterministic (DetLOCAL): diameter-scale leader orientation. Each
+// component's minimum-ID vertex m roots a BFS tree (parent = minimum-ID
+// neighbor one level up); tree edges orient child→parent, making m the only
+// potential sink; the lexicographically smallest non-tree edge {a,b} closes
+// a cycle, and flipping the tree path from a up to m hands every path vertex
+// a downward out-edge while a exits through {a,b}. Every vertex must see its
+// whole component to agree on m and the flip path, so the round cost is the
+// component diameter — Θ(log_Δ n) on Δ-regular graphs, matching the paper's
+// DetLOCAL Ω(log_Δ n) bound (Theorem 5) up to constants.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "lcl/verify_orientation.hpp"
+#include "local/context.hpp"
+
+namespace ckp {
+
+struct SinklessResult {
+  Orientation orient;
+  int rounds = 0;
+  bool completed = true;
+  NodeId sinks_after_claims = 0;  // randomized only: sinks before repair
+  int repair_rounds = 0;          // randomized only
+};
+
+// RandLOCAL claim + repair. Requires min degree >= 2.
+SinklessResult sinkless_orientation_randomized(const Graph& g,
+                                               std::uint64_t seed,
+                                               RoundLedger& ledger,
+                                               int max_repair_rounds = 1 << 16);
+
+// DetLOCAL leader orientation. Requires min degree >= 2 and a cycle in every
+// component. Rounds are charged as the largest component diameter (estimated
+// by double BFS, exact on the regular high-girth instances used in benches
+// up to the usual double-sweep caveat, documented in EXPERIMENTS.md).
+SinklessResult sinkless_orientation_deterministic(
+    const Graph& g, const std::vector<std::uint64_t>& ids, RoundLedger& ledger);
+
+}  // namespace ckp

@@ -1,0 +1,75 @@
+#include "core/speedup.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "algo/linial.hpp"
+#include "graph/power.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace ckp {
+
+int thm6_horizon(int f_delta, int r, int delta) {
+  CKP_CHECK(f_delta >= 0 && r >= 1 && delta >= 1);
+  const std::uint64_t fixed = linial_fixed_point_palette(delta);
+  const double beta = static_cast<double>(fixed) /
+                      (static_cast<double>(delta) * static_cast<double>(delta));
+  const int tau = 1 + static_cast<int>(std::ceil(std::log2(std::max(2.0, beta))));
+  return 4 * f_delta + 2 * tau + 2 * r;
+}
+
+int thm8_horizon(double eps, int k, int delta, int r) {
+  CKP_CHECK(eps > 0 && k >= 1 && delta >= 2 && r >= 1);
+  const double logd = std::log2(static_cast<double>(delta));
+  const int tau = std::max(
+      1, static_cast<int>(std::ceil(eps * std::pow(logd, static_cast<double>(k)))));
+  return 2 * tau + 2 * r;
+}
+
+SpeedupResult speedup_transform(const Graph& g,
+                                const std::vector<std::uint64_t>& ids,
+                                int delta, int horizon, int budget,
+                                const InnerAlgorithm& inner,
+                                RoundLedger& ledger) {
+  const NodeId n = g.num_nodes();
+  CKP_CHECK(ids.size() == static_cast<std::size_t>(n));
+  CKP_CHECK(horizon >= 1);
+  CKP_CHECK(delta >= g.max_degree());
+  const int start_rounds = ledger.rounds();
+
+  SpeedupResult out;
+  out.budget = budget;
+
+  // Step 1: short IDs — Theorem 2 on G^h, simulated at a factor-h round
+  // cost. Each node collects its radius-h ball once (h rounds) and then
+  // every power-graph round costs h real rounds.
+  const Graph power = power_graph(g, horizon);
+  RoundLedger power_ledger;
+  const auto short_coloring =
+      linial_coloring(power, ids, power.max_degree(), power_ledger);
+  out.shortening_rounds = power_ledger.rounds() * horizon + horizon;
+  ledger.charge(out.shortening_rounds);
+
+  out.short_id_bits = ceil_log2(
+      std::max<std::uint64_t>(2, static_cast<std::uint64_t>(short_coloring.palette)));
+  out.declared_n = 1ULL << out.short_id_bits;
+
+  std::vector<std::uint64_t> short_ids(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    short_ids[static_cast<std::size_t>(v)] = static_cast<std::uint64_t>(
+        short_coloring.colors[static_cast<std::size_t>(v)]);
+  }
+
+  // Step 2: run A with the short IDs and the pretend size 2^ℓ'.
+  RoundLedger inner_ledger;
+  out.labels = inner(g, short_ids, out.declared_n, delta, inner_ledger);
+  out.inner_rounds = inner_ledger.rounds();
+  ledger.charge(out.inner_rounds);
+
+  out.within_budget = (budget <= 0) || (out.inner_rounds <= budget);
+  out.total_rounds = ledger.rounds() - start_rounds;
+  return out;
+}
+
+}  // namespace ckp

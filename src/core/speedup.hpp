@@ -1,0 +1,67 @@
+// The black-box speedup transformation (Theorems 6 and 8).
+//
+// Given a DetLOCAL algorithm A for an LCL P whose running time, as a
+// function of the ID length ℓ, is T(Δ, ℓ) <= f(Δ) + ε·ℓ/log Δ, algorithm A'
+// (1) shortens IDs: runs Theorem 2 on the power graph G^h (h = the horizon
+//     4f(Δ)+2τ+2r of Theorem 6, or 2τ+2r of Theorem 8), producing IDs of
+//     ℓ' = O(h·log Δ) bits that are distinct inside every radius-h/2 ball;
+// (2) runs A pretending the graph has 2^ℓ' vertices with the short IDs.
+// Because A with the fake parameters finishes within h/2 <= its view never
+// contains two equal IDs, and the hereditary property makes the ball a legal
+// instance, the output is correct — in O((1+f(Δ))(log* n − log* Δ + 1))
+// rounds total.
+//
+// The paper uses the theorem in the contrapositive: if A *cannot* be run
+// within the budget the theorem allots (Δ-coloring's Ω(log_Δ n) bound, for
+// instance), then no algorithm of the assumed form exists. The transform
+// here makes that check executable: it reports whether the inner run stayed
+// within budget. bench_speedup shows a valid premise (O(Δ²)+O(log* ℓ) MIS)
+// staying flat in n, and an invalid premise (Θ(log_Δ n) tree Δ-coloring)
+// blowing the budget — the empirical face of "Result 2".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/context.hpp"
+
+namespace ckp {
+
+// The algorithm being transformed: labels = A(graph, ids, declared_n, Δ).
+// It must treat `ids` as opaque comparable identifiers (the transform hands
+// it identifiers that are only locally unique) and must honour declared_n as
+// its size estimate. It charges its own rounds on the given ledger.
+using InnerAlgorithm = std::function<std::vector<int>(
+    const Graph&, const std::vector<std::uint64_t>& ids,
+    std::uint64_t declared_n, int delta, RoundLedger&)>;
+
+struct SpeedupResult {
+  std::vector<int> labels;
+  int total_rounds = 0;
+  int shortening_rounds = 0;  // power-graph Theorem 2, in G-rounds
+  int inner_rounds = 0;       // the transformed A run
+  int short_id_bits = 0;      // ℓ'
+  std::uint64_t declared_n = 0;
+  int budget = 0;             // allowed inner rounds; <= 0 disables the check
+  bool within_budget = true;
+};
+
+// Horizon of Theorem 6: 4f(Δ) + 2τ + 2r with τ = 1 + ceil(log2 β(Δ)) where
+// β(Δ)·Δ² is this implementation's Theorem 2 fixed-point palette.
+int thm6_horizon(int f_delta, int r, int delta);
+
+// Horizon of Theorem 8: 2τ + 2r with τ = ceil(eps·log2^k Δ).
+int thm8_horizon(double eps, int k, int delta, int r);
+
+// Runs the transform. `delta` >= Δ(G); `horizon` = h; `budget` = the round
+// budget the premise allows the inner run (pass <= 0 to skip the check —
+// the labels are still produced and verifiable).
+SpeedupResult speedup_transform(const Graph& g,
+                                const std::vector<std::uint64_t>& ids,
+                                int delta, int horizon, int budget,
+                                const InnerAlgorithm& inner,
+                                RoundLedger& ledger);
+
+}  // namespace ckp

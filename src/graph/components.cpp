@@ -1,0 +1,53 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace ckp {
+
+NodeId Components::largest() const {
+  if (size.empty()) return 0;
+  return *std::max_element(size.begin(), size.end());
+}
+
+Components components_of_subset(const Graph& g,
+                                const std::vector<char>& include) {
+  const NodeId n = g.num_nodes();
+  CKP_CHECK(include.size() == static_cast<std::size_t>(n));
+  Components out;
+  out.label.assign(static_cast<std::size_t>(n), -1);
+  for (NodeId start = 0; start < n; ++start) {
+    if (!include[static_cast<std::size_t>(start)] ||
+        out.label[static_cast<std::size_t>(start)] != -1) {
+      continue;
+    }
+    const int comp = out.count++;
+    NodeId members = 0;
+    std::queue<NodeId> q;
+    q.push(start);
+    out.label[static_cast<std::size_t>(start)] = comp;
+    while (!q.empty()) {
+      const NodeId v = q.front();
+      q.pop();
+      ++members;
+      for (NodeId u : g.neighbors(v)) {
+        if (include[static_cast<std::size_t>(u)] &&
+            out.label[static_cast<std::size_t>(u)] == -1) {
+          out.label[static_cast<std::size_t>(u)] = comp;
+          q.push(u);
+        }
+      }
+    }
+    out.size.push_back(members);
+  }
+  return out;
+}
+
+Components connected_components(const Graph& g) {
+  return components_of_subset(
+      g, std::vector<char>(static_cast<std::size_t>(g.num_nodes()), 1));
+}
+
+}  // namespace ckp

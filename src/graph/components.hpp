@@ -1,0 +1,28 @@
+// Connected components, including components of induced subsets.
+//
+// Graph shattering analyses (Theorems 10/11) bound the size of connected
+// components induced by "bad" vertices; the harness measures exactly that.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ckp {
+
+struct Components {
+  std::vector<int> label;      // per node: component index, or -1 if excluded
+  std::vector<NodeId> size;    // per component
+  int count = 0;
+
+  NodeId largest() const;
+};
+
+// Components of the whole graph.
+Components connected_components(const Graph& g);
+
+// Components of the subgraph induced by {v : include[v]}. Excluded nodes get
+// label -1.
+Components components_of_subset(const Graph& g, const std::vector<char>& include);
+
+}  // namespace ckp

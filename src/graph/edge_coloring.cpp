@@ -1,0 +1,86 @@
+#include "graph/edge_coloring.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/trees.hpp"
+#include "util/check.hpp"
+
+namespace ckp {
+
+std::vector<int> tree_edge_coloring(const Graph& g) {
+  CKP_CHECK(is_tree(g));
+  const NodeId n = g.num_nodes();
+  const int delta = std::max(g.max_degree(), 1);
+  std::vector<int> color(static_cast<std::size_t>(g.num_edges()), -1);
+  // BFS from the root; each node colors its child edges with the smallest
+  // colors distinct from its parent-edge color.
+  std::vector<NodeId> parent = root_tree(g, 0);
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  {
+    std::queue<NodeId> q;
+    q.push(0);
+    std::vector<char> seen(static_cast<std::size_t>(n), 0);
+    seen[0] = 1;
+    while (!q.empty()) {
+      const NodeId v = q.front();
+      q.pop();
+      order.push_back(v);
+      for (NodeId u : g.neighbors(v)) {
+        if (!seen[static_cast<std::size_t>(u)]) {
+          seen[static_cast<std::size_t>(u)] = 1;
+          q.push(u);
+        }
+      }
+    }
+  }
+  for (NodeId v : order) {
+    int parent_color = -1;
+    const NodeId p = parent[static_cast<std::size_t>(v)];
+    if (p != kInvalidNode) {
+      const EdgeId pe = g.edge_between(v, p);
+      parent_color = color[static_cast<std::size_t>(pe)];
+    }
+    int next = 0;
+    const auto nbrs = g.neighbors(v);
+    const auto edges = g.incident_edges(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] == p) continue;
+      if (next == parent_color) ++next;
+      CKP_DCHECK(color[static_cast<std::size_t>(edges[i])] == -1);
+      color[static_cast<std::size_t>(edges[i])] = next++;
+    }
+    CKP_CHECK(next <= delta);
+  }
+  return color;
+}
+
+std::vector<int> greedy_edge_coloring(const Graph& g) {
+  const int palette = std::max(2 * g.max_degree() - 1, 1);
+  std::vector<int> color(static_cast<std::size_t>(g.num_edges()), -1);
+  std::vector<char> used(static_cast<std::size_t>(palette), 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    std::fill(used.begin(), used.end(), 0);
+    const auto [u, v] = g.endpoints(e);
+    for (NodeId endpoint : {u, v}) {
+      for (EdgeId f : g.incident_edges(endpoint)) {
+        const int c = color[static_cast<std::size_t>(f)];
+        if (c >= 0) used[static_cast<std::size_t>(c)] = 1;
+      }
+    }
+    int c = 0;
+    while (used[static_cast<std::size_t>(c)]) ++c;
+    CKP_CHECK(c < palette);
+    color[static_cast<std::size_t>(e)] = c;
+  }
+  return color;
+}
+
+int count_edge_colors(const std::vector<int>& edge_color) {
+  int mx = -1;
+  for (int c : edge_color) mx = std::max(mx, c);
+  return mx + 1;
+}
+
+}  // namespace ckp

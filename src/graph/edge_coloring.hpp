@@ -1,0 +1,26 @@
+// Centralized edge colorings used as *inputs* to LCL problems.
+//
+// Δ-sinkless coloring/orientation take a proper Δ-edge coloring as part of
+// the problem instance, so constructing it centrally (outside the LOCAL
+// model) is legitimate. The greedy (2Δ-1)-edge coloring is also the
+// substrate for the deterministic maximal-matching baseline.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ckp {
+
+// Proper Δ(G)-edge coloring of a tree (always exists): root at node 0 and
+// hand out colors top-down, skipping each node's parent-edge color.
+// Requires is_tree(g). Returns per-edge colors in [0, max(Δ,1)).
+std::vector<int> tree_edge_coloring(const Graph& g);
+
+// Greedy proper edge coloring with at most 2Δ-1 colors (first-fit over edges).
+std::vector<int> greedy_edge_coloring(const Graph& g);
+
+// Number of distinct colors used (max + 1, assuming colors are [0, k)).
+int count_edge_colors(const std::vector<int>& edge_color);
+
+}  // namespace ckp

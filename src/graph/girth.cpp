@@ -1,0 +1,73 @@
+#include "graph/girth.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ckp {
+
+int shortest_cycle_through(const Graph& g, NodeId v) {
+  // BFS from v tracking the parent edge. The first time two BFS branches
+  // touch (an edge between visited nodes that is not a tree edge), the cycle
+  // through v has length dist(a) + dist(b) + 1. This finds the shortest
+  // cycle *through v* exactly; minimizing over all v gives the girth.
+  const NodeId n = g.num_nodes();
+  std::vector<int> dist(static_cast<std::size_t>(n), -1);
+  std::vector<EdgeId> parent_edge(static_cast<std::size_t>(n), kInvalidEdge);
+  std::queue<NodeId> q;
+  dist[static_cast<std::size_t>(v)] = 0;
+  q.push(v);
+  int best = kInfiniteGirth;
+  while (!q.empty()) {
+    const NodeId a = q.front();
+    q.pop();
+    if (2 * dist[static_cast<std::size_t>(a)] >= best) break;
+    const auto nbrs = g.neighbors(a);
+    const auto edges = g.incident_edges(a);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId b = nbrs[i];
+      const EdgeId e = edges[i];
+      if (e == parent_edge[static_cast<std::size_t>(a)]) continue;
+      if (dist[static_cast<std::size_t>(b)] < 0) {
+        dist[static_cast<std::size_t>(b)] =
+            dist[static_cast<std::size_t>(a)] + 1;
+        parent_edge[static_cast<std::size_t>(b)] = e;
+        q.push(b);
+      } else {
+        // Non-tree edge: cycle through v of this length (may overcount if
+        // the meeting point is not on two shortest branches from v, but
+        // never undercounts; the global minimum over all v is exact).
+        best = std::min(best, dist[static_cast<std::size_t>(a)] +
+                                  dist[static_cast<std::size_t>(b)] + 1);
+      }
+    }
+  }
+  return best;
+}
+
+int girth(const Graph& g) {
+  int best = kInfiniteGirth;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    best = std::min(best, shortest_cycle_through(g, v));
+    if (best == 3) break;  // cannot do better
+  }
+  return best;
+}
+
+int girth_upper_bound_sampled(const Graph& g, int samples, Rng& rng) {
+  CKP_CHECK(samples >= 1);
+  const NodeId n = g.num_nodes();
+  if (n == 0) return kInfiniteGirth;
+  int best = kInfiniteGirth;
+  for (int s = 0; s < samples; ++s) {
+    const auto v =
+        static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    best = std::min(best, shortest_cycle_through(g, v));
+    if (best == 3) break;
+  }
+  return best;
+}
+
+}  // namespace ckp

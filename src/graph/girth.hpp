@@ -1,0 +1,29 @@
+// Girth computation.
+//
+// The lower-bound constructions of Section IV rely on graphs whose girth is
+// Ω(log_Δ n); the benchmark harness measures the girth of each sampled
+// instance instead of assuming it (see DESIGN.md substitution table).
+#pragma once
+
+#include <limits>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ckp {
+
+inline constexpr int kInfiniteGirth = std::numeric_limits<int>::max();
+
+// Exact girth via a BFS from every vertex: O(n * m). Returns kInfiniteGirth
+// for forests.
+int girth(const Graph& g);
+
+// Upper bound on the girth obtained by BFS from `samples` random start
+// vertices — an estimate that is exact with probability growing in
+// samples/n. Cheap on large instances.
+int girth_upper_bound_sampled(const Graph& g, int samples, Rng& rng);
+
+// Length of the shortest cycle through `v` (kInfiniteGirth if none).
+int shortest_cycle_through(const Graph& g, NodeId v);
+
+}  // namespace ckp

@@ -1,0 +1,98 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace ckp {
+
+Graph Graph::from_edges(NodeId n,
+                        const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  CKP_CHECK(n >= 0);
+  Graph g;
+  g.endpoints_.reserve(edges.size());
+  for (auto [u, v] : edges) {
+    CKP_CHECK_MSG(u >= 0 && u < n && v >= 0 && v < n,
+                  "edge endpoint out of range: {" << u << "," << v << "}");
+    CKP_CHECK_MSG(u != v, "self-loop at node " << u);
+    if (u > v) std::swap(u, v);
+    g.endpoints_.emplace_back(u, v);
+  }
+  // Reject duplicate edges.
+  {
+    auto sorted = g.endpoints_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto dup = std::adjacent_find(sorted.begin(), sorted.end());
+    CKP_CHECK_MSG(dup == sorted.end(),
+                  "duplicate edge {" << dup->first << "," << dup->second
+                                     << "}");
+  }
+
+  std::vector<std::size_t> deg(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [u, v] : g.endpoints_) {
+    ++deg[static_cast<std::size_t>(u)];
+    ++deg[static_cast<std::size_t>(v)];
+  }
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  std::partial_sum(deg.begin(), deg.end() - 1, g.offsets_.begin() + 1);
+
+  g.adjacency_.resize(2 * g.endpoints_.size());
+  g.incident_.resize(2 * g.endpoints_.size());
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (EdgeId e = 0; e < static_cast<EdgeId>(g.endpoints_.size()); ++e) {
+    const auto [u, v] = g.endpoints_[static_cast<std::size_t>(e)];
+    g.adjacency_[cursor[static_cast<std::size_t>(u)]] = v;
+    g.incident_[cursor[static_cast<std::size_t>(u)]++] = e;
+    g.adjacency_[cursor[static_cast<std::size_t>(v)]] = u;
+    g.incident_[cursor[static_cast<std::size_t>(v)]++] = e;
+  }
+
+  // Sort each adjacency segment (and the aligned edge ids) by neighbor id.
+  for (NodeId v = 0; v < n; ++v) {
+    const std::size_t lo = g.offsets_[static_cast<std::size_t>(v)];
+    const std::size_t hi = g.offsets_[static_cast<std::size_t>(v) + 1];
+    std::vector<std::pair<NodeId, EdgeId>> seg;
+    seg.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) {
+      seg.emplace_back(g.adjacency_[i], g.incident_[i]);
+    }
+    std::sort(seg.begin(), seg.end());
+    for (std::size_t i = lo; i < hi; ++i) {
+      g.adjacency_[i] = seg[i - lo].first;
+      g.incident_[i] = seg[i - lo].second;
+    }
+    g.max_degree_ = std::max(g.max_degree_, static_cast<int>(hi - lo));
+  }
+  return g;
+}
+
+NodeId Graph::other_endpoint(EdgeId e, NodeId v) const {
+  const auto [a, b] = endpoints(e);
+  CKP_CHECK_MSG(v == a || v == b, "node " << v << " not on edge " << e);
+  return v == a ? b : a;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  return edge_between(u, v) != kInvalidEdge;
+}
+
+EdgeId Graph::edge_between(NodeId u, NodeId v) const {
+  if (u == v) return kInvalidEdge;
+  // Search in the shorter adjacency list.
+  if (degree(u) > degree(v)) std::swap(u, v);
+  const auto nbrs = neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return kInvalidEdge;
+  const auto idx = static_cast<std::size_t>(it - nbrs.begin());
+  return incident_edges(u)[idx];
+}
+
+bool Graph::is_regular(int d) const {
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (degree(v) != d) return false;
+  }
+  return true;
+}
+
+}  // namespace ckp

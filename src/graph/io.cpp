@@ -1,0 +1,45 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ckp {
+
+void write_edge_list(const Graph& g, std::ostream& os) {
+  os << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    os << u << ' ' << v << '\n';
+  }
+}
+
+Graph read_edge_list(std::istream& is) {
+  NodeId n = 0;
+  EdgeId m = 0;
+  CKP_CHECK_MSG(static_cast<bool>(is >> n >> m), "malformed edge-list header");
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  for (EdgeId e = 0; e < m; ++e) {
+    NodeId u = 0;
+    NodeId v = 0;
+    CKP_CHECK_MSG(static_cast<bool>(is >> u >> v), "truncated edge list");
+    edges.emplace_back(u, v);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+void write_edge_list_file(const Graph& g, const std::string& path) {
+  std::ofstream os(path);
+  CKP_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  write_edge_list(g, os);
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  std::ifstream is(path);
+  CKP_CHECK_MSG(is.good(), "cannot open " << path);
+  return read_edge_list(is);
+}
+
+}  // namespace ckp

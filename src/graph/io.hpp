@@ -1,0 +1,17 @@
+// Plain edge-list serialization ("n m" header, one "u v" pair per line).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace ckp {
+
+void write_edge_list(const Graph& g, std::ostream& os);
+Graph read_edge_list(std::istream& is);
+
+void write_edge_list_file(const Graph& g, const std::string& path);
+Graph read_edge_list_file(const std::string& path);
+
+}  // namespace ckp

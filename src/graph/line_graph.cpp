@@ -1,0 +1,20 @@
+#include "graph/line_graph.hpp"
+
+#include "graph/builder.hpp"
+
+namespace ckp {
+
+Graph line_graph(const Graph& g) {
+  GraphBuilder b(g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto edges = g.incident_edges(v);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      for (std::size_t j = i + 1; j < edges.size(); ++j) {
+        b.add_edge(edges[i], edges[j]);
+      }
+    }
+  }
+  return b.build();
+}
+
+}  // namespace ckp

@@ -1,0 +1,13 @@
+// The line graph L(G): one node per edge of G, adjacent when the edges share
+// an endpoint. Maximal matching in G is exactly MIS in L(G), which is how
+// the deterministic matching baseline is built.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace ckp {
+
+// L(G). Node i of the result corresponds to EdgeId i of g.
+Graph line_graph(const Graph& g);
+
+}  // namespace ckp

@@ -1,0 +1,52 @@
+#include "graph/power.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/builder.hpp"
+#include "util/check.hpp"
+
+namespace ckp {
+
+std::vector<int> bfs_distances(const Graph& g, NodeId v, int k) {
+  CKP_CHECK(k >= 0);
+  std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()), -1);
+  std::queue<NodeId> q;
+  dist[static_cast<std::size_t>(v)] = 0;
+  q.push(v);
+  while (!q.empty()) {
+    const NodeId a = q.front();
+    q.pop();
+    if (dist[static_cast<std::size_t>(a)] == k) continue;
+    for (NodeId b : g.neighbors(a)) {
+      if (dist[static_cast<std::size_t>(b)] < 0) {
+        dist[static_cast<std::size_t>(b)] =
+            dist[static_cast<std::size_t>(a)] + 1;
+        q.push(b);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<NodeId> ball(const Graph& g, NodeId v, int k) {
+  const auto dist = bfs_distances(g, v, k);
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (dist[static_cast<std::size_t>(u)] >= 0) out.push_back(u);
+  }
+  return out;
+}
+
+Graph power_graph(const Graph& g, int k) {
+  CKP_CHECK(k >= 1);
+  GraphBuilder b(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u : ball(g, v, k)) {
+      if (u > v) b.add_edge(v, u);
+    }
+  }
+  return b.build();
+}
+
+}  // namespace ckp

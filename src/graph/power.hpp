@@ -1,0 +1,24 @@
+// Graph powers and distance-bounded neighborhoods.
+//
+// The speedup transformation (Theorems 6 and 8) simulates Linial's coloring
+// on the power graph G' whose edges join nodes within a given distance;
+// each round on G' costs that distance in rounds on G.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ckp {
+
+// The graph on the same node set with an edge {u, v} whenever
+// 1 <= dist_G(u, v) <= k. Cost O(n * |ball(k)|); intended for moderate n.
+Graph power_graph(const Graph& g, int k);
+
+// All nodes at distance <= k from v (including v), sorted ascending.
+std::vector<NodeId> ball(const Graph& g, NodeId v, int k);
+
+// BFS distances from v, capped at `k` (nodes farther than k get -1).
+std::vector<int> bfs_distances(const Graph& g, NodeId v, int k);
+
+}  // namespace ckp

@@ -1,0 +1,168 @@
+#include "graph/ramanujan.hpp"
+
+#include <array>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+#include "util/primes.hpp"
+
+namespace ckp {
+namespace {
+
+using Mat = std::array<int, 4>;  // row-major 2x2 over F_q
+
+int mod_pow(long long base, long long exp, int q) {
+  long long result = 1 % q;
+  base %= q;
+  if (base < 0) base += q;
+  while (exp > 0) {
+    if (exp & 1) result = result * base % q;
+    base = base * base % q;
+    exp >>= 1;
+  }
+  return static_cast<int>(result);
+}
+
+int mod_inv(int x, int q) {
+  CKP_CHECK(x % q != 0);
+  return mod_pow(x, q - 2, q);
+}
+
+bool is_quadratic_residue(int a, int q) {
+  return mod_pow(a, (q - 1) / 2, q) == 1;
+}
+
+// A square root of -1 mod q (exists since q ≡ 1 mod 4).
+int sqrt_minus_one(int q) {
+  for (int x = 2; x < q; ++x) {
+    if (static_cast<long long>(x) * x % q == q - 1) return x;
+  }
+  CKP_CHECK_MSG(false, "no sqrt(-1) mod " << q);
+  return 0;
+}
+
+Mat mat_mul(const Mat& a, const Mat& b, int q) {
+  auto m = [&](long long x) {
+    x %= q;
+    if (x < 0) x += q;
+    return static_cast<int>(x);
+  };
+  return {m(static_cast<long long>(a[0]) * b[0] + static_cast<long long>(a[1]) * b[2]),
+          m(static_cast<long long>(a[0]) * b[1] + static_cast<long long>(a[1]) * b[3]),
+          m(static_cast<long long>(a[2]) * b[0] + static_cast<long long>(a[3]) * b[2]),
+          m(static_cast<long long>(a[2]) * b[1] + static_cast<long long>(a[3]) * b[3])};
+}
+
+// Projective canonical form: scale so the first nonzero entry equals 1.
+Mat canonicalize(Mat m, int q) {
+  int pivot = 0;
+  while (pivot < 4 && m[static_cast<std::size_t>(pivot)] % q == 0) ++pivot;
+  CKP_CHECK(pivot < 4);
+  const int inv = mod_inv(m[static_cast<std::size_t>(pivot)], q);
+  for (auto& x : m) x = static_cast<int>(static_cast<long long>(x) * inv % q);
+  return m;
+}
+
+std::uint64_t mat_key(const Mat& m) {
+  std::uint64_t key = 0;
+  for (int x : m) key = key * 100003ULL + static_cast<std::uint64_t>(x);
+  return key;
+}
+
+// All integer quaternions (a0,a1,a2,a3) with a0²+a1²+a2²+a3² = p,
+// a0 > 0 odd, a1,a2,a3 even. For p ≡ 1 mod 4 there are exactly p+1.
+std::vector<std::array<int, 4>> norm_p_quaternions(int p) {
+  std::vector<std::array<int, 4>> out;
+  const int r = static_cast<int>(isqrt(static_cast<std::uint64_t>(p)));
+  const int even_r = r - (r & 1);  // loops over even values need even ends
+  for (int a0 = 1; a0 <= r; a0 += 2) {
+    for (int a1 = -even_r; a1 <= even_r; a1 += 2) {
+      for (int a2 = -even_r; a2 <= even_r; a2 += 2) {
+        for (int a3 = -even_r; a3 <= even_r; a3 += 2) {
+          if (a0 * a0 + a1 * a1 + a2 * a2 + a3 * a3 == p) {
+            out.push_back({a0, a1, a2, a3});
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+LpsGraph make_lps_ramanujan(int p, int q) {
+  CKP_CHECK_MSG(is_prime(static_cast<std::uint64_t>(p)) && p % 4 == 1,
+                "p must be a prime ≡ 1 mod 4");
+  CKP_CHECK_MSG(is_prime(static_cast<std::uint64_t>(q)) && q % 4 == 1,
+                "q must be a prime ≡ 1 mod 4");
+  CKP_CHECK(p != q);
+  CKP_CHECK_MSG(static_cast<long long>(q) * q > 4LL * p,
+                "need q > 2·sqrt(p) for a simple graph");
+
+  const auto quaternions = norm_p_quaternions(p);
+  CKP_CHECK_MSG(static_cast<int>(quaternions.size()) == p + 1,
+                "expected p+1 norm-p quaternions, got " << quaternions.size());
+  const int i = sqrt_minus_one(q);
+
+  std::vector<Mat> generators;
+  generators.reserve(quaternions.size());
+  for (const auto& [a0, a1, a2, a3] : quaternions) {
+    auto m = [&](long long x) {
+      x %= q;
+      if (x < 0) x += q;
+      return static_cast<int>(x);
+    };
+    generators.push_back(canonicalize(
+        {m(a0 + static_cast<long long>(i) * a1),
+         m(a2 + static_cast<long long>(i) * a3),
+         m(-a2 + static_cast<long long>(i) * a3),
+         m(a0 - static_cast<long long>(i) * a1)},
+        q));
+  }
+
+  // Cayley-graph BFS closure from the identity.
+  std::unordered_map<std::uint64_t, NodeId> index;
+  std::vector<Mat> elements;
+  const Mat identity{1, 0, 0, 1};
+  index[mat_key(identity)] = 0;
+  elements.push_back(identity);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (std::size_t head = 0; head < elements.size(); ++head) {
+    const Mat current = elements[head];
+    for (const Mat& gen : generators) {
+      const Mat next = canonicalize(mat_mul(current, gen, q), q);
+      const auto key = mat_key(next);
+      auto it = index.find(key);
+      if (it == index.end()) {
+        it = index.emplace(key, static_cast<NodeId>(elements.size())).first;
+        elements.push_back(next);
+      }
+      const auto u = static_cast<NodeId>(head);
+      const NodeId v = it->second;
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  GraphBuilder builder(static_cast<NodeId>(elements.size()));
+  for (const auto& [u, v] : edges) builder.add_edge(u, v);
+
+  LpsGraph out;
+  out.graph = builder.build();
+  out.p = p;
+  out.q = q;
+  out.bipartite = !is_quadratic_residue(p, q);
+  CKP_CHECK_MSG(out.graph.is_regular(p + 1),
+                "LPS construction is not (p+1)-regular — invalid (p,q)?");
+  const double logp_q = std::log(static_cast<double>(q)) /
+                        std::log(static_cast<double>(p));
+  out.girth_lower_bound =
+      out.bipartite ? 4.0 * logp_q - std::log(4.0) / std::log(static_cast<double>(p))
+                    : 2.0 * logp_q;
+  return out;
+}
+
+}  // namespace ckp

@@ -1,0 +1,35 @@
+// Explicit high-girth regular graphs: the Lubotzky–Phillips–Sarnak (LPS)
+// Ramanujan graphs X^{p,q}.
+//
+// The paper's Section IV needs Δ-regular graphs with girth Ω(log_Δ n) and
+// cites explicit constructions (Dahan '14, Bollobás). The benches default to
+// random regular instances with *measured* girth (DESIGN.md substitution);
+// this module additionally provides the classical explicit construction so
+// the substitution can be cross-checked against certified girth bounds:
+//
+// For primes p, q ≡ 1 (mod 4), p ≠ q, X^{p,q} is the Cayley graph of
+// PSL(2,q) (when p is a quadratic residue mod q) or PGL(2,q) (otherwise)
+// with the p+1 generators arising from the integer quaternions of norm p.
+// It is (p+1)-regular with n = q(q²−1)/2 resp. q(q²−1) vertices and girth
+// >= 2·log_p q (non-bipartite case) resp. >= 4·log_p q − log_p 4
+// (bipartite case).
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace ckp {
+
+struct LpsGraph {
+  Graph graph;
+  int p = 0;       // degree = p+1
+  int q = 0;
+  bool bipartite = false;  // PGL case (p a non-residue mod q)
+  double girth_lower_bound = 0.0;  // the certified LPS bound
+};
+
+// Builds X^{p,q}. Requires p, q distinct primes ≡ 1 (mod 4) and q > 2·√p
+// (which guarantees a simple graph). Practical sizes: p ∈ {5, 13, 17},
+// q ∈ {13, 17, 29, 37}.
+LpsGraph make_lps_ramanujan(int p, int q);
+
+}  // namespace ckp

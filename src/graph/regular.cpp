@@ -1,0 +1,172 @@
+#include "graph/regular.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "graph/builder.hpp"
+#include "util/check.hpp"
+
+namespace ckp {
+
+Graph make_random_regular(NodeId n, int d, Rng& rng) {
+  CKP_CHECK(n >= 2);
+  CKP_CHECK(d >= 1 && d < n);
+  CKP_CHECK_MSG((static_cast<std::int64_t>(n) * d) % 2 == 0,
+                "n*d must be even");
+  // Pairing (configuration) model followed by double-edge-swap repair: a
+  // whole-graph restart would succeed only with probability
+  // ~exp(-(d²-1)/4), hopeless beyond d≈6, whereas repairing the few
+  // self-loops/duplicates by degree-preserving swaps converges fast and
+  // stays close to the uniform distribution (the standard practical
+  // generator).
+  const std::size_t stubs =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(d);
+  std::vector<NodeId> stub(stubs);
+  for (std::size_t i = 0; i < stubs; ++i) {
+    stub[i] = static_cast<NodeId>(i / static_cast<std::size_t>(d));
+  }
+  for (std::size_t i = stubs - 1; i > 0; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.next_below(i + 1));
+    std::swap(stub[i], stub[j]);
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges(stubs / 2);
+  auto key = [](NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+           static_cast<std::uint32_t>(b);
+  };
+  std::unordered_multiset<std::uint64_t> seen;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    edges[i] = {stub[2 * i], stub[2 * i + 1]};
+    seen.insert(key(edges[i].first, edges[i].second));
+  }
+  auto is_bad = [&](const std::pair<NodeId, NodeId>& e) {
+    return e.first == e.second || seen.count(key(e.first, e.second)) > 1;
+  };
+  const std::size_t max_swaps = 1000 * stubs + 100000;
+  std::size_t swaps = 0;
+  for (bool any_bad = true; any_bad;) {
+    any_bad = false;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (!is_bad(edges[i])) continue;
+      any_bad = true;
+      // Swap with a uniformly random partner edge; accept only if both
+      // replacement edges are simple.
+      CKP_CHECK_MSG(++swaps < max_swaps, "edge-swap repair did not converge");
+      const std::size_t j =
+          static_cast<std::size_t>(rng.next_below(edges.size()));
+      if (j == i) continue;
+      auto [a, b] = edges[i];
+      auto [c, e2] = edges[j];
+      // Two ways to recombine; pick one at random.
+      if (rng.next_bit()) std::swap(c, e2);
+      const std::pair<NodeId, NodeId> n1{a, c};
+      const std::pair<NodeId, NodeId> n2{b, e2};
+      if (n1.first == n1.second || n2.first == n2.second) continue;
+      const std::uint64_t k1 = key(n1.first, n1.second);
+      const std::uint64_t k2 = key(n2.first, n2.second);
+      if (seen.count(k1) > 0 || seen.count(k2) > 0 || k1 == k2) continue;
+      seen.erase(seen.find(key(edges[i].first, edges[i].second)));
+      seen.erase(seen.find(key(edges[j].first, edges[j].second)));
+      edges[i] = n1;
+      edges[j] = n2;
+      seen.insert(k1);
+      seen.insert(k2);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+EdgeColoredGraph make_random_bipartite_regular(NodeId side, int d, Rng& rng) {
+  CKP_CHECK(side >= 1);
+  CKP_CHECK(d >= 1 && d <= side);
+  // Left nodes are [0, side), right nodes [side, 2*side). Color c pairs
+  // left node i with right node perm_c[i]. A fresh random permutation
+  // collides with the earlier matchings ~c times in expectation, so instead
+  // of restarting we repair each matching by transpositions: swapping
+  // perm[i] with a random partner is degree-preserving and quickly clears
+  // the few collisions.
+  GraphBuilder b(2 * side);
+  std::vector<std::pair<NodeId, NodeId>> colored_edges;
+  std::vector<int> colors;
+  std::vector<NodeId> perm(static_cast<std::size_t>(side));
+  for (int c = 0; c < d; ++c) {
+    std::iota(perm.begin(), perm.end(), 0);
+    for (std::size_t i = perm.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(rng.next_below(i + 1));
+      std::swap(perm[i], perm[j]);
+    }
+    auto taken = [&](NodeId i) {
+      return b.has_edge(i, side + perm[static_cast<std::size_t>(i)]);
+    };
+    std::size_t guard = 0;
+    const std::size_t max_guard =
+        1000 * static_cast<std::size_t>(side) + 100000;
+    for (bool any = true; any;) {
+      any = false;
+      for (NodeId i = 0; i < side; ++i) {
+        if (!taken(i)) continue;
+        any = true;
+        CKP_CHECK_MSG(++guard < max_guard,
+                      "matching repair did not converge");
+        const auto j = static_cast<NodeId>(
+            rng.next_below(static_cast<std::uint64_t>(side)));
+        if (j == i) continue;
+        // Accept the transposition only if it creates no new collision.
+        std::swap(perm[static_cast<std::size_t>(i)],
+                  perm[static_cast<std::size_t>(j)]);
+        if (taken(i) || taken(j)) {
+          std::swap(perm[static_cast<std::size_t>(i)],
+                    perm[static_cast<std::size_t>(j)]);
+        }
+      }
+    }
+    for (NodeId i = 0; i < side; ++i) {
+      const NodeId v = side + perm[static_cast<std::size_t>(i)];
+      CKP_CHECK(b.add_edge(i, v));
+      colored_edges.emplace_back(i, v);
+      colors.push_back(c);
+    }
+  }
+  EdgeColoredGraph out;
+  out.graph = b.build();
+  out.num_colors = d;
+  out.edge_color.assign(static_cast<std::size_t>(out.graph.num_edges()), -1);
+  for (std::size_t i = 0; i < colored_edges.size(); ++i) {
+    const EdgeId e =
+        out.graph.edge_between(colored_edges[i].first, colored_edges[i].second);
+    CKP_CHECK(e != kInvalidEdge);
+    out.edge_color[static_cast<std::size_t>(e)] = colors[i];
+  }
+  CKP_CHECK(is_proper_edge_coloring(out.graph, out.edge_color, d));
+  return out;
+}
+
+Graph make_moebius_ladder(NodeId k) {
+  CKP_CHECK(k >= 3);
+  const NodeId n = 2 * k;
+  GraphBuilder b(n);
+  for (NodeId v = 0; v < n; ++v) b.add_edge(v, (v + 1) % n);
+  for (NodeId v = 0; v < k; ++v) b.add_edge(v, v + k);
+  return b.build();
+}
+
+bool is_proper_edge_coloring(const Graph& g, const std::vector<int>& edge_color,
+                             int num_colors) {
+  if (edge_color.size() != static_cast<std::size_t>(g.num_edges())) return false;
+  for (int c : edge_color) {
+    if (c < 0 || c >= num_colors) return false;
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::vector<char> used(static_cast<std::size_t>(num_colors), 0);
+    for (EdgeId e : g.incident_edges(v)) {
+      const int c = edge_color[static_cast<std::size_t>(e)];
+      if (used[static_cast<std::size_t>(c)]) return false;
+      used[static_cast<std::size_t>(c)] = 1;
+    }
+  }
+  return true;
+}
+
+}  // namespace ckp

@@ -1,0 +1,46 @@
+// Random regular graphs, including the edge-colored high-girth instances
+// that drive the lower-bound experiments (Section IV of the paper).
+//
+// Substitution note (documented in DESIGN.md): the paper cites explicit
+// constructions (Dahan '14, Bollobás) of Δ-regular bipartite graphs with
+// girth Ω(log_Δ n). We use random Δ-regular bipartite graphs built as the
+// union of Δ disjoint random perfect matchings. These have girth Θ(log_Δ n)
+// with high probability; the benchmark harness *measures* the girth of every
+// instance rather than assuming it. The matching decomposition doubles as a
+// proper Δ-edge coloring, which the Δ-sinkless problems take as input.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ckp {
+
+// A graph together with a proper edge coloring using colors [0, num_colors).
+struct EdgeColoredGraph {
+  Graph graph;
+  std::vector<int> edge_color;  // indexed by EdgeId
+  int num_colors = 0;
+};
+
+// Random d-regular simple graph on n nodes via the pairing (configuration)
+// model with whole-graph restarts on collisions. Requires n*d even, d < n.
+Graph make_random_regular(NodeId n, int d, Rng& rng);
+
+// Random d-regular bipartite simple graph on 2*side nodes (left: [0, side)),
+// as the union of d random perfect matchings; matching index = edge color.
+// Requires d <= side.
+EdgeColoredGraph make_random_bipartite_regular(NodeId side, int d, Rng& rng);
+
+// Deterministic 3-regular high-girth-ish test fixture: the prism/Moebius
+// ladder on 2k nodes (cycle of length 2k plus diagonals). Girth is small
+// (3 or 4); used only as a structured 3-regular fixture in tests.
+Graph make_moebius_ladder(NodeId k);
+
+// Verifies that `edge_color` is a proper edge coloring of g (no two edges
+// sharing an endpoint have the same color, all colors within range).
+bool is_proper_edge_coloring(const Graph& g, const std::vector<int>& edge_color,
+                             int num_colors);
+
+}  // namespace ckp

@@ -1,0 +1,31 @@
+#include "graph/subgraph.hpp"
+
+#include "util/check.hpp"
+
+namespace ckp {
+
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 const std::vector<char>& include) {
+  const NodeId n = g.num_nodes();
+  CKP_CHECK(include.size() == static_cast<std::size_t>(n));
+  InducedSubgraph out;
+  out.from_original.assign(static_cast<std::size_t>(n), kInvalidNode);
+  for (NodeId v = 0; v < n; ++v) {
+    if (include[static_cast<std::size_t>(v)]) {
+      out.from_original[static_cast<std::size_t>(v)] =
+          static_cast<NodeId>(out.to_original.size());
+      out.to_original.push_back(v);
+    }
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    const NodeId su = out.from_original[static_cast<std::size_t>(u)];
+    const NodeId sv = out.from_original[static_cast<std::size_t>(v)];
+    if (su != kInvalidNode && sv != kInvalidNode) edges.emplace_back(su, sv);
+  }
+  out.graph = Graph::from_edges(static_cast<NodeId>(out.to_original.size()), edges);
+  return out;
+}
+
+}  // namespace ckp

@@ -1,0 +1,19 @@
+// Induced subgraphs with node-id mappings.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ckp {
+
+struct InducedSubgraph {
+  Graph graph;
+  std::vector<NodeId> to_original;    // subgraph id -> original id
+  std::vector<NodeId> from_original;  // original id -> subgraph id or kInvalidNode
+};
+
+// The subgraph induced by {v : include[v]}.
+InducedSubgraph induced_subgraph(const Graph& g, const std::vector<char>& include);
+
+}  // namespace ckp

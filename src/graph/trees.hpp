@@ -1,0 +1,48 @@
+// Tree generators and tree utilities.
+//
+// Δ-coloring trees is the paper's headline problem. The benchmark harness
+// uses complete degree-Δ trees (worst case for deterministic algorithms:
+// diameter Θ(log_Δ n)), uniform random labeled trees (Prüfer), degree-capped
+// random attachment trees, and structured families (caterpillars, spiders)
+// as stress cases.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ckp {
+
+// Complete degree-delta tree filled level by level until exactly n nodes:
+// node 0 is the root with up to delta children; every other internal node
+// has up to delta-1 children, so all internal degrees are <= delta.
+// Requires n >= 1, delta >= 2.
+Graph make_complete_tree(NodeId n, int delta);
+
+// Random recursive tree with degree cap: node i attaches to a uniformly
+// random earlier node whose degree is still below delta. n >= 1, delta >= 2.
+Graph make_random_tree(NodeId n, int delta, Rng& rng);
+
+// Uniformly random labeled tree on n >= 1 nodes via Prüfer sequences.
+// Maximum degree is unbounded (typically Θ(log n / log log n)).
+Graph make_prufer_tree(NodeId n, Rng& rng);
+
+// Caterpillar: a spine path of `spine` nodes, each with `legs` pendant
+// leaves. spine >= 1, legs >= 0.
+Graph make_caterpillar(NodeId spine, int legs);
+
+// Spider: `legs` paths of length `leg_len` glued at a center node.
+Graph make_spider(int legs, NodeId leg_len);
+
+// True iff g is connected and has exactly n-1 edges.
+bool is_tree(const Graph& g);
+
+// Parent array of a BFS rooting at `root` (parent[root] == kInvalidNode).
+// Requires g connected.
+std::vector<NodeId> root_tree(const Graph& g, NodeId root);
+
+// Eccentricity-based diameter of a tree via double BFS. Requires is_tree(g).
+int tree_diameter(const Graph& g);
+
+}  // namespace ckp

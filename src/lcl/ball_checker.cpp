@@ -1,0 +1,45 @@
+#include "lcl/ball_checker.hpp"
+
+#include <vector>
+
+#include "graph/power.hpp"
+#include "util/check.hpp"
+
+namespace ckp {
+
+VerifyResult check_all_balls(
+    const Graph& g, int radius, std::span<const int> labels,
+    const std::function<bool(const LabeledBall&)>& accept) {
+  CKP_CHECK(radius >= 0);
+  CKP_CHECK(static_cast<bool>(accept));
+  if (labels.size() != static_cast<std::size_t>(g.num_nodes())) {
+    return VerifyResult::fail_at_node(kInvalidNode, "label count != node count");
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto dist = bfs_distances(g, v, radius);
+    std::vector<char> include(static_cast<std::size_t>(g.num_nodes()), 0);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (dist[static_cast<std::size_t>(u)] >= 0) {
+        include[static_cast<std::size_t>(u)] = 1;
+      }
+    }
+    const auto sub = induced_subgraph(g, include);
+    std::vector<int> ball_labels(sub.to_original.size());
+    std::vector<int> ball_dist(sub.to_original.size());
+    for (std::size_t i = 0; i < sub.to_original.size(); ++i) {
+      ball_labels[i] = labels[static_cast<std::size_t>(sub.to_original[i])];
+      ball_dist[i] = dist[static_cast<std::size_t>(sub.to_original[i])];
+    }
+    LabeledBall ball;
+    ball.sub = &sub;
+    ball.center = sub.from_original[static_cast<std::size_t>(v)];
+    ball.labels = ball_labels;
+    ball.distance = ball_dist;
+    if (!accept(ball)) {
+      return VerifyResult::fail_at_node(v, "ball predicate rejected");
+    }
+  }
+  return VerifyResult::pass();
+}
+
+}  // namespace ckp

@@ -1,0 +1,32 @@
+// The generic LCL ball checker: verify a labeling by enumerating every
+// radius-r ball, exactly as the Naor–Stockmeyer definition prescribes.
+//
+// The specialized verifiers (coloring, MIS, …) are fast paths; this checker
+// is the ground truth they are tested against (meta-verification), and the
+// way user-defined LCLs plug into the library without writing a bespoke
+// verifier.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "graph/subgraph.hpp"
+#include "lcl/problem.hpp"
+
+namespace ckp {
+
+// The labeled radius-r ball handed to the predicate.
+struct LabeledBall {
+  const InducedSubgraph* sub = nullptr;  // ball topology (subgraph ids)
+  NodeId center = kInvalidNode;          // in subgraph coordinates
+  std::span<const int> labels;           // per subgraph node
+  std::span<const int> distance;         // per subgraph node, from center
+};
+
+// Checks `accept` on the radius-r ball of every vertex; returns the first
+// failure (fail_at_node = the center) or pass.
+VerifyResult check_all_balls(const Graph& g, int radius,
+                             std::span<const int> labels,
+                             const std::function<bool(const LabeledBall&)>& accept);
+
+}  // namespace ckp

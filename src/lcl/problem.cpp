@@ -1,0 +1,65 @@
+#include "lcl/problem.hpp"
+
+#include <vector>
+
+#include "lcl/verify_coloring.hpp"
+#include "lcl/verify_mis.hpp"
+#include "util/check.hpp"
+
+namespace ckp {
+namespace {
+
+class ColoringProblem final : public LabelingProblem {
+ public:
+  explicit ColoringProblem(int k) : k_(k) { CKP_CHECK(k >= 1); }
+
+  std::string name() const override {
+    return std::to_string(k_) + "-coloring";
+  }
+  int radius() const override { return 1; }
+  int label_count() const override { return k_; }
+
+  VerifyResult verify(const Graph& g,
+                      std::span<const int> labels) const override {
+    return verify_coloring(g, labels, k_);
+  }
+
+ private:
+  int k_;
+};
+
+class MisProblem final : public LabelingProblem {
+ public:
+  std::string name() const override { return "MIS"; }
+  int radius() const override { return 1; }
+  int label_count() const override { return 2; }
+
+  VerifyResult verify(const Graph& g,
+                      std::span<const int> labels) const override {
+    if (labels.size() != static_cast<std::size_t>(g.num_nodes())) {
+      return VerifyResult::fail_at_node(kInvalidNode,
+                                        "label count != node count");
+    }
+    std::vector<char> in_set(labels.size());
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (labels[i] != 0 && labels[i] != 1) {
+        return VerifyResult::fail_at_node(static_cast<NodeId>(i),
+                                          "MIS label not in {0,1}");
+      }
+      in_set[i] = static_cast<char>(labels[i]);
+    }
+    return verify_mis(g, in_set);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<LabelingProblem> make_coloring_problem(int k) {
+  return std::make_unique<ColoringProblem>(k);
+}
+
+std::unique_ptr<LabelingProblem> make_mis_problem() {
+  return std::make_unique<MisProblem>();
+}
+
+}  // namespace ckp

@@ -1,0 +1,62 @@
+// Locally Checkable Labeling (LCL) problems.
+//
+// An LCL (Naor–Stockmeyer) is given by a radius r, a finite label set Σ and
+// a set of acceptable labeled r-balls; a labeling is a solution iff every
+// ball is acceptable. This header provides (a) per-problem verification
+// results that pinpoint the offending node/edge, and (b) a small polymorphic
+// interface used by generic machinery (the Theorem 3 derandomizer verifies
+// candidate outputs for *any* problem through it).
+//
+// Labels are ints; problems with per-edge outputs (orientations, matchings)
+// encode them via the per-node port convention documented at each verifier.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace ckp {
+
+struct VerifyResult {
+  bool ok = false;
+  std::string reason;
+  NodeId node = kInvalidNode;
+  EdgeId edge = kInvalidEdge;
+
+  static VerifyResult pass() { return {true, "", kInvalidNode, kInvalidEdge}; }
+  static VerifyResult fail_at_node(NodeId v, std::string why) {
+    return {false, std::move(why), v, kInvalidEdge};
+  }
+  static VerifyResult fail_at_edge(EdgeId e, std::string why) {
+    return {false, std::move(why), kInvalidNode, e};
+  }
+
+  explicit operator bool() const { return ok; }
+};
+
+// Polymorphic wrapper over a vertex-labeled LCL.
+class LabelingProblem {
+ public:
+  virtual ~LabelingProblem() = default;
+
+  virtual std::string name() const = 0;
+
+  // Checking radius r of the LCL definition.
+  virtual int radius() const = 0;
+
+  // Number of possible labels |Σ|.
+  virtual int label_count() const = 0;
+
+  virtual VerifyResult verify(const Graph& g,
+                              std::span<const int> labels) const = 0;
+};
+
+// k-coloring as a LabelingProblem (labels 0..k-1, no monochromatic edge).
+std::unique_ptr<LabelingProblem> make_coloring_problem(int k);
+
+// MIS as a LabelingProblem (labels {0,1}; independence + domination).
+std::unique_ptr<LabelingProblem> make_mis_problem();
+
+}  // namespace ckp

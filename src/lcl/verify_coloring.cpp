@@ -1,0 +1,84 @@
+#include "lcl/verify_coloring.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ckp {
+
+VerifyResult verify_coloring(const Graph& g, std::span<const int> colors, int k) {
+  if (colors.size() != static_cast<std::size_t>(g.num_nodes())) {
+    return VerifyResult::fail_at_node(kInvalidNode, "label count != node count");
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const int c = colors[static_cast<std::size_t>(v)];
+    if (c < 0 || c >= k) {
+      std::ostringstream os;
+      os << "color " << c << " outside palette [0," << k << ")";
+      return VerifyResult::fail_at_node(v, os.str());
+    }
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    if (colors[static_cast<std::size_t>(u)] == colors[static_cast<std::size_t>(v)]) {
+      std::ostringstream os;
+      os << "monochromatic edge {" << u << "," << v << "} color "
+         << colors[static_cast<std::size_t>(u)];
+      return VerifyResult::fail_at_edge(e, os.str());
+    }
+  }
+  return VerifyResult::pass();
+}
+
+VerifyResult verify_partial_coloring(const Graph& g, std::span<const int> colors,
+                                     int k) {
+  if (colors.size() != static_cast<std::size_t>(g.num_nodes())) {
+    return VerifyResult::fail_at_node(kInvalidNode, "label count != node count");
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const int c = colors[static_cast<std::size_t>(v)];
+    if (c != -1 && (c < 0 || c >= k)) {
+      return VerifyResult::fail_at_node(v, "color outside palette");
+    }
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    const int cu = colors[static_cast<std::size_t>(u)];
+    const int cv = colors[static_cast<std::size_t>(v)];
+    if (cu != -1 && cu == cv) {
+      return VerifyResult::fail_at_edge(e, "monochromatic edge");
+    }
+  }
+  return VerifyResult::pass();
+}
+
+VerifyResult verify_sinkless_coloring(const Graph& g,
+                                      std::span<const int> vertex_colors,
+                                      std::span<const int> edge_colors,
+                                      int delta) {
+  if (vertex_colors.size() != static_cast<std::size_t>(g.num_nodes())) {
+    return VerifyResult::fail_at_node(kInvalidNode, "label count != node count");
+  }
+  CKP_CHECK(edge_colors.size() == static_cast<std::size_t>(g.num_edges()));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const int c = vertex_colors[static_cast<std::size_t>(v)];
+    if (c < 0 || c >= delta) {
+      return VerifyResult::fail_at_node(v, "vertex color outside [0,Δ)");
+    }
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    const int cu = vertex_colors[static_cast<std::size_t>(u)];
+    const int cv = vertex_colors[static_cast<std::size_t>(v)];
+    const int ce = edge_colors[static_cast<std::size_t>(e)];
+    if (cu == cv && cv == ce) {
+      std::ostringstream os;
+      os << "forbidden monochromatic configuration at edge {" << u << "," << v
+         << "} with color " << ce;
+      return VerifyResult::fail_at_edge(e, os.str());
+    }
+  }
+  return VerifyResult::pass();
+}
+
+}  // namespace ckp

@@ -1,0 +1,27 @@
+// Proper vertex-coloring verification.
+#pragma once
+
+#include <span>
+
+#include "lcl/problem.hpp"
+
+namespace ckp {
+
+// Checks that `colors` is a proper k-coloring: every label in [0, k), no
+// monochromatic edge.
+VerifyResult verify_coloring(const Graph& g, std::span<const int> colors, int k);
+
+// Checks a *partial* coloring: label -1 means uncolored; colored nodes obey
+// the proper-coloring constraints.
+VerifyResult verify_partial_coloring(const Graph& g, std::span<const int> colors,
+                                     int k);
+
+// Checks the Δ-sinkless coloring condition (Brandt et al.): vertex colors
+// and the input proper edge coloring share the palette [0, delta); an edge e
+// = {u,v} is forbidden iff color(u) == color(v) == edge_color(e).
+VerifyResult verify_sinkless_coloring(const Graph& g,
+                                      std::span<const int> vertex_colors,
+                                      std::span<const int> edge_colors,
+                                      int delta);
+
+}  // namespace ckp

@@ -1,0 +1,34 @@
+#include "lcl/verify_edge_coloring.hpp"
+
+#include <sstream>
+#include <vector>
+
+namespace ckp {
+
+VerifyResult verify_edge_coloring(const Graph& g, std::span<const int> colors,
+                                  int k) {
+  if (colors.size() != static_cast<std::size_t>(g.num_edges())) {
+    return VerifyResult::fail_at_edge(kInvalidEdge, "label count != edge count");
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const int c = colors[static_cast<std::size_t>(e)];
+    if (c < 0 || c >= k) {
+      return VerifyResult::fail_at_edge(e, "edge color outside palette");
+    }
+  }
+  std::vector<int> last_seen(static_cast<std::size_t>(k), -1);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (EdgeId e : g.incident_edges(v)) {
+      const int c = colors[static_cast<std::size_t>(e)];
+      if (last_seen[static_cast<std::size_t>(c)] == v) {
+        std::ostringstream os;
+        os << "two edges of color " << c << " meet at node " << v;
+        return VerifyResult::fail_at_node(v, os.str());
+      }
+      last_seen[static_cast<std::size_t>(c)] = v;
+    }
+  }
+  return VerifyResult::pass();
+}
+
+}  // namespace ckp

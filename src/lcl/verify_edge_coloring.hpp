@@ -1,0 +1,15 @@
+// Proper edge-coloring verification with diagnostics.
+#pragma once
+
+#include <span>
+
+#include "lcl/problem.hpp"
+
+namespace ckp {
+
+// Every edge label in [0, k) and no two edges sharing an endpoint share a
+// color.
+VerifyResult verify_edge_coloring(const Graph& g, std::span<const int> colors,
+                                  int k);
+
+}  // namespace ckp

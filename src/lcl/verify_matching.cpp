@@ -1,0 +1,49 @@
+#include "lcl/verify_matching.hpp"
+
+#include <vector>
+
+namespace ckp {
+
+VerifyResult verify_matching(const Graph& g, std::span<const char> in_matching) {
+  if (in_matching.size() != static_cast<std::size_t>(g.num_edges())) {
+    return VerifyResult::fail_at_edge(kInvalidEdge, "label count != edge count");
+  }
+  std::vector<char> matched(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!in_matching[static_cast<std::size_t>(e)]) continue;
+    const auto [u, v] = g.endpoints(e);
+    if (matched[static_cast<std::size_t>(u)]) {
+      return VerifyResult::fail_at_node(u, "node matched by two edges");
+    }
+    if (matched[static_cast<std::size_t>(v)]) {
+      return VerifyResult::fail_at_node(v, "node matched by two edges");
+    }
+    matched[static_cast<std::size_t>(u)] = 1;
+    matched[static_cast<std::size_t>(v)] = 1;
+  }
+  return VerifyResult::pass();
+}
+
+VerifyResult verify_maximal_matching(const Graph& g,
+                                     std::span<const char> in_matching) {
+  auto disjoint = verify_matching(g, in_matching);
+  if (!disjoint) return disjoint;
+  std::vector<char> matched(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!in_matching[static_cast<std::size_t>(e)]) continue;
+    const auto [u, v] = g.endpoints(e);
+    matched[static_cast<std::size_t>(u)] = 1;
+    matched[static_cast<std::size_t>(v)] = 1;
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    if (!matched[static_cast<std::size_t>(u)] &&
+        !matched[static_cast<std::size_t>(v)]) {
+      return VerifyResult::fail_at_edge(
+          e, "edge with both endpoints unmatched (not maximal)");
+    }
+  }
+  return VerifyResult::pass();
+}
+
+}  // namespace ckp

@@ -1,0 +1,18 @@
+// Maximal matching verification.
+#pragma once
+
+#include <span>
+
+#include "lcl/problem.hpp"
+
+namespace ckp {
+
+// in_matching[e] != 0 iff edge e is matched. Checks that matched edges are
+// disjoint and that no edge has both endpoints unmatched (maximality).
+VerifyResult verify_maximal_matching(const Graph& g,
+                                     std::span<const char> in_matching);
+
+// Disjointness only.
+VerifyResult verify_matching(const Graph& g, std::span<const char> in_matching);
+
+}  // namespace ckp

@@ -1,0 +1,42 @@
+#include "lcl/verify_mis.hpp"
+
+#include <sstream>
+
+namespace ckp {
+
+VerifyResult verify_independent(const Graph& g, std::span<const char> in_set) {
+  if (in_set.size() != static_cast<std::size_t>(g.num_nodes())) {
+    return VerifyResult::fail_at_node(kInvalidNode, "label count != node count");
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    if (in_set[static_cast<std::size_t>(u)] && in_set[static_cast<std::size_t>(v)]) {
+      std::ostringstream os;
+      os << "both endpoints of {" << u << "," << v << "} in the set";
+      return VerifyResult::fail_at_edge(e, os.str());
+    }
+  }
+  return VerifyResult::pass();
+}
+
+VerifyResult verify_mis(const Graph& g, std::span<const char> in_set) {
+  auto independent = verify_independent(g, in_set);
+  if (!independent) return independent;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (in_set[static_cast<std::size_t>(v)]) continue;
+    bool dominated = false;
+    for (NodeId u : g.neighbors(v)) {
+      if (in_set[static_cast<std::size_t>(u)]) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) {
+      return VerifyResult::fail_at_node(
+          v, "node outside the set with no neighbor inside (not maximal)");
+    }
+  }
+  return VerifyResult::pass();
+}
+
+}  // namespace ckp

@@ -1,0 +1,17 @@
+// Maximal independent set verification.
+#pragma once
+
+#include <span>
+
+#include "lcl/problem.hpp"
+
+namespace ckp {
+
+// in_set[v] != 0 iff v is in the set. Checks independence (no edge inside
+// the set) and maximality (every node outside has a neighbor inside).
+VerifyResult verify_mis(const Graph& g, std::span<const char> in_set);
+
+// Independence only (no maximality requirement).
+VerifyResult verify_independent(const Graph& g, std::span<const char> in_set);
+
+}  // namespace ckp

@@ -1,0 +1,55 @@
+#include "lcl/verify_orientation.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ckp {
+
+bool points_out_of(const Graph& g, std::span<const std::int8_t> orient,
+                   EdgeId e, NodeId v) {
+  const auto [a, b] = g.endpoints(e);
+  CKP_DCHECK(v == a || v == b);
+  const std::int8_t dir = orient[static_cast<std::size_t>(e)];
+  return (v == a && dir == +1) || (v == b && dir == -1);
+}
+
+int out_degree(const Graph& g, std::span<const std::int8_t> orient, NodeId v) {
+  int out = 0;
+  for (EdgeId e : g.incident_edges(v)) {
+    if (points_out_of(g, orient, e, v)) ++out;
+  }
+  return out;
+}
+
+VerifyResult verify_sinkless_orientation(const Graph& g,
+                                         std::span<const std::int8_t> orient) {
+  if (orient.size() != static_cast<std::size_t>(g.num_edges())) {
+    return VerifyResult::fail_at_edge(kInvalidEdge, "label count != edge count");
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const std::int8_t dir = orient[static_cast<std::size_t>(e)];
+    if (dir != +1 && dir != -1) {
+      return VerifyResult::fail_at_edge(e, "edge left unoriented");
+    }
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (out_degree(g, orient, v) == 0) {
+      std::ostringstream os;
+      os << "node " << v << " is a sink";
+      return VerifyResult::fail_at_node(v, os.str());
+    }
+  }
+  return VerifyResult::pass();
+}
+
+std::vector<NodeId> find_sinks(const Graph& g,
+                               std::span<const std::int8_t> orient) {
+  std::vector<NodeId> sinks;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (out_degree(g, orient, v) == 0) sinks.push_back(v);
+  }
+  return sinks;
+}
+
+}  // namespace ckp

@@ -1,0 +1,33 @@
+// Edge orientations and sinkless-orientation verification.
+//
+// An orientation assigns each edge a direction: +1 means the edge points
+// from endpoints(e).first to endpoints(e).second, -1 the reverse. Sinkless
+// orientation (Brandt et al.) requires every vertex to have out-degree >= 1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lcl/problem.hpp"
+
+namespace ckp {
+
+using Orientation = std::vector<std::int8_t>;
+
+// Out-degree of v under `orient`.
+int out_degree(const Graph& g, std::span<const std::int8_t> orient, NodeId v);
+
+// True iff edge e points out of v.
+bool points_out_of(const Graph& g, std::span<const std::int8_t> orient,
+                   EdgeId e, NodeId v);
+
+// Every entry is +1 or -1 and every vertex has out-degree >= 1.
+VerifyResult verify_sinkless_orientation(const Graph& g,
+                                         std::span<const std::int8_t> orient);
+
+// The vertices that are sinks (out-degree 0) under `orient`.
+std::vector<NodeId> find_sinks(const Graph& g,
+                               std::span<const std::int8_t> orient);
+
+}  // namespace ckp

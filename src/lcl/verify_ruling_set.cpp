@@ -1,0 +1,69 @@
+#include "lcl/verify_ruling_set.hpp"
+
+#include <queue>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ckp {
+
+VerifyResult verify_ruling_set(const Graph& g, std::span<const char> in_set,
+                               int alpha, int beta) {
+  CKP_CHECK(alpha >= 1 && beta >= 0);
+  if (in_set.size() != static_cast<std::size_t>(g.num_nodes())) {
+    return VerifyResult::fail_at_node(kInvalidNode, "label count != node count");
+  }
+  const NodeId n = g.num_nodes();
+  // Multi-source BFS from S gives each node's distance to the nearest member.
+  std::vector<int> dist(static_cast<std::size_t>(n), -1);
+  std::vector<NodeId> source(static_cast<std::size_t>(n), kInvalidNode);
+  std::queue<NodeId> q;
+  for (NodeId v = 0; v < n; ++v) {
+    if (in_set[static_cast<std::size_t>(v)]) {
+      dist[static_cast<std::size_t>(v)] = 0;
+      source[static_cast<std::size_t>(v)] = v;
+      q.push(v);
+    }
+  }
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (NodeId u : g.neighbors(v)) {
+      if (dist[static_cast<std::size_t>(u)] < 0) {
+        dist[static_cast<std::size_t>(u)] = dist[static_cast<std::size_t>(v)] + 1;
+        source[static_cast<std::size_t>(u)] = source[static_cast<std::size_t>(v)];
+        q.push(u);
+      }
+    }
+  }
+  // Domination.
+  for (NodeId v = 0; v < n; ++v) {
+    if (dist[static_cast<std::size_t>(v)] < 0 ||
+        dist[static_cast<std::size_t>(v)] > beta) {
+      std::ostringstream os;
+      os << "node " << v << " farther than β=" << beta << " from the set";
+      return VerifyResult::fail_at_node(v, os.str());
+    }
+  }
+  // Separation: two members within distance < alpha would produce adjacent
+  // BFS regions with combined distance < alpha across some edge.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    const NodeId su = source[static_cast<std::size_t>(u)];
+    const NodeId sv = source[static_cast<std::size_t>(v)];
+    if (su != sv && su != kInvalidNode && sv != kInvalidNode) {
+      const int through = dist[static_cast<std::size_t>(u)] +
+                          dist[static_cast<std::size_t>(v)] + 1;
+      if (through < alpha) {
+        std::ostringstream os;
+        os << "members " << su << " and " << sv << " at distance " << through
+           << " < α=" << alpha;
+        return VerifyResult::fail_at_edge(e, os.str());
+      }
+    }
+  }
+  return VerifyResult::pass();
+}
+
+}  // namespace ckp

@@ -1,0 +1,18 @@
+// (α, β)-ruling set verification.
+//
+// An (α, β)-ruling set S requires every two distinct members of S to be at
+// distance >= α and every node to be within distance β of S. MIS is the
+// (2, 1) case; ruling sets appear throughout the shattering literature cited
+// in the paper's introduction.
+#pragma once
+
+#include <span>
+
+#include "lcl/problem.hpp"
+
+namespace ckp {
+
+VerifyResult verify_ruling_set(const Graph& g, std::span<const char> in_set,
+                               int alpha, int beta);
+
+}  // namespace ckp

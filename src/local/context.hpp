@@ -1,0 +1,93 @@
+// Shared context types for LOCAL-model simulations.
+//
+// The paper bifurcates Linial's LOCAL model into DetLOCAL (unique Θ(log n)-bit
+// IDs, deterministic nodes) and RandLOCAL (no IDs, private randomness). A
+// LocalInput captures one problem instance: the topology, the global
+// parameters every node is told (which may deliberately differ from the true
+// values — the speedup transformation of Theorem 6 runs algorithms with a
+// *fake* small n), the ID assignment (absent in RandLOCAL), optional per-edge
+// input labels (the proper edge colorings taken as input by the Δ-sinkless
+// problems), and the master seed from which per-node private random streams
+// are derived.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ckp {
+
+inline constexpr std::uint64_t kNoId = ~std::uint64_t{0};
+
+struct LocalInput {
+  const Graph* graph = nullptr;
+
+  // What the nodes are told. Defaults of 0 mean "use the true value".
+  std::uint64_t declared_n = 0;
+  int declared_delta = 0;
+
+  // DetLOCAL: one unique ID per node. Empty in RandLOCAL.
+  std::vector<std::uint64_t> ids;
+
+  // Optional per-edge input labels (e.g. a proper Δ-edge coloring).
+  std::vector<int> edge_labels;
+
+  // Master seed for RandLOCAL private randomness.
+  std::uint64_t seed = 1;
+
+  std::uint64_t effective_n() const {
+    CKP_CHECK(graph != nullptr);
+    return declared_n != 0 ? declared_n
+                           : static_cast<std::uint64_t>(graph->num_nodes());
+  }
+
+  int effective_delta() const {
+    CKP_CHECK(graph != nullptr);
+    return declared_delta != 0 ? declared_delta : graph->max_degree();
+  }
+
+  bool has_ids() const { return !ids.empty(); }
+
+  std::uint64_t id_of(NodeId v) const {
+    CKP_CHECK(has_ids());
+    return ids[static_cast<std::size_t>(v)];
+  }
+
+  // Validates internal consistency against the graph.
+  void validate() const;
+};
+
+// Round accounting for phase-composed algorithms. Each synchronous sweep
+// over the node set charges one round; sequential phases add, parallel
+// (independent-component) phases take the max.
+class RoundLedger {
+ public:
+  void charge(int r = 1) {
+    CKP_CHECK(r >= 0);
+    rounds_ += r;
+  }
+
+  // Parallel composition: components running concurrently cost the max.
+  void merge_max(int other_rounds) {
+    CKP_CHECK(other_rounds >= 0);
+    if (other_rounds > parallel_high_water_) parallel_high_water_ = other_rounds;
+  }
+
+  // Folds the parallel high-water mark accumulated via merge_max into the
+  // sequential total and resets it.
+  void commit_parallel() {
+    rounds_ += parallel_high_water_;
+    parallel_high_water_ = 0;
+  }
+
+  int rounds() const { return rounds_ + parallel_high_water_; }
+
+ private:
+  int rounds_ = 0;
+  int parallel_high_water_ = 0;
+};
+
+}  // namespace ckp

@@ -1,0 +1,28 @@
+#include "local/engine.hpp"
+
+#include "local/ids.hpp"
+
+namespace ckp {
+
+void LocalInput::validate() const {
+  CKP_CHECK_MSG(graph != nullptr, "LocalInput has no graph");
+  if (!ids.empty()) {
+    CKP_CHECK_MSG(ids.size() == static_cast<std::size_t>(graph->num_nodes()),
+                  "ID count does not match node count");
+    CKP_CHECK_MSG(ids_unique(ids), "DetLOCAL IDs must be unique");
+  }
+  if (!edge_labels.empty()) {
+    CKP_CHECK_MSG(
+        edge_labels.size() == static_cast<std::size_t>(graph->num_edges()),
+        "edge label count does not match edge count");
+  }
+  if (declared_n != 0) {
+    CKP_CHECK_MSG(declared_n >= 1, "declared n must be positive");
+  }
+  if (declared_delta != 0) {
+    CKP_CHECK_MSG(declared_delta >= graph->max_degree(),
+                  "declared Δ below the true maximum degree");
+  }
+}
+
+}  // namespace ckp

@@ -1,0 +1,149 @@
+// The synchronous LOCAL-model execution engine.
+//
+// In the LOCAL model a round consists of (send to all neighbors, receive,
+// compute); message size is unbounded, so without loss of generality every
+// node sends its entire state. The engine enforces locality *structurally*:
+// a node's transition function receives only its own state, its static local
+// environment (degree, declared global parameters, its ID if DetLOCAL, its
+// private random stream if RandLOCAL, its incident edge labels) and
+// port-ordered read-only views of its neighbors' previous-round states.
+// There is no way for a well-typed algorithm to read remote state.
+//
+// An algorithm models one node's program:
+//
+//   struct MyAlgo {
+//     struct State { ... };                   // regular, copyable
+//     State init(const NodeEnv& env);         // before round 1
+//     // One synchronous round. Return true to halt. `nbrs[i]` is the
+//     // previous-round state of the i-th neighbor (port order = sorted
+//     // neighbor order of the Graph).
+//     bool step(State& self, const NodeEnv& env,
+//               std::span<const State* const> nbrs);
+//   };
+//
+// Halted nodes stop executing but their final state remains visible to
+// neighbors, matching the standard definition of local termination.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/context.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ckp {
+
+// Per-node static environment handed to init/step.
+struct NodeEnv {
+  NodeId index = kInvalidNode;  // the node's position in the graph arrays;
+                                // NOT an ID — RandLOCAL algorithms must not
+                                // use it to break symmetry (reviewed per
+                                // algorithm; the engine cannot hide it
+                                // because outputs are indexed by it)
+  int degree = 0;
+  std::uint64_t declared_n = 0;
+  int declared_delta = 0;
+  std::uint64_t id = kNoId;  // kNoId in RandLOCAL
+  Rng* rng = nullptr;        // private stream; nullptr in DetLOCAL
+  std::span<const int> incident_edge_labels;  // aligned with ports
+
+  bool has_id() const { return id != kNoId; }
+
+  Rng& random() const {
+    CKP_CHECK_MSG(rng != nullptr, "deterministic node asked for randomness");
+    return *rng;
+  }
+};
+
+template <typename A>
+struct EngineResult {
+  std::vector<typename A::State> states;
+  int rounds = 0;
+  bool all_halted = false;
+};
+
+// Runs `algo` on `input` for at most `max_rounds` synchronous rounds.
+template <typename A>
+EngineResult<A> run_local(const LocalInput& input, A& algo, int max_rounds) {
+  using State = typename A::State;
+  input.validate();
+  const Graph& g = *input.graph;
+  const NodeId n = g.num_nodes();
+
+  // Per-node private randomness (RandLOCAL only).
+  std::vector<Rng> rngs;
+  const bool randomized = !input.has_ids() || input.seed != 0;
+  if (randomized) {
+    rngs.reserve(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) {
+      rngs.push_back(node_rng(input.seed, static_cast<std::uint64_t>(v)));
+    }
+  }
+
+  // Per-node incident edge labels in port order.
+  std::vector<std::vector<int>> edge_labels;
+  if (!input.edge_labels.empty()) {
+    edge_labels.resize(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) {
+      for (EdgeId e : g.incident_edges(v)) {
+        edge_labels[static_cast<std::size_t>(v)].push_back(
+            input.edge_labels[static_cast<std::size_t>(e)]);
+      }
+    }
+  }
+
+  auto env_of = [&](NodeId v) {
+    NodeEnv env;
+    env.index = v;
+    env.degree = g.degree(v);
+    env.declared_n = input.effective_n();
+    env.declared_delta = input.effective_delta();
+    env.id = input.has_ids() ? input.id_of(v) : kNoId;
+    env.rng = randomized ? &rngs[static_cast<std::size_t>(v)] : nullptr;
+    if (!edge_labels.empty()) {
+      env.incident_edge_labels = edge_labels[static_cast<std::size_t>(v)];
+    }
+    return env;
+  };
+
+  EngineResult<A> result;
+  result.states.reserve(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    result.states.push_back(algo.init(env_of(v)));
+  }
+  std::vector<char> halted(static_cast<std::size_t>(n), 0);
+  std::vector<State> next = result.states;
+  std::vector<const State*> nbr_ptrs;
+
+  NodeId num_halted = 0;
+  while (num_halted < n && result.rounds < max_rounds) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (halted[static_cast<std::size_t>(v)]) continue;
+      nbr_ptrs.clear();
+      for (NodeId u : g.neighbors(v)) {
+        nbr_ptrs.push_back(&result.states[static_cast<std::size_t>(u)]);
+      }
+      State& mine = next[static_cast<std::size_t>(v)];
+      mine = result.states[static_cast<std::size_t>(v)];
+      const bool done = algo.step(mine, env_of(v),
+                                  std::span<const State* const>(nbr_ptrs));
+      if (done) {
+        halted[static_cast<std::size_t>(v)] = 1;
+        ++num_halted;
+      }
+    }
+    std::swap(result.states, next);
+    // Halted nodes may have stale entries in `next` after the swap; refresh
+    // them from the authoritative states so future swaps stay consistent.
+    ++result.rounds;
+    for (NodeId v = 0; v < n; ++v) {
+      next[static_cast<std::size_t>(v)] = result.states[static_cast<std::size_t>(v)];
+    }
+  }
+  result.all_halted = (num_halted == n);
+  return result;
+}
+
+}  // namespace ckp

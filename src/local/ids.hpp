@@ -1,0 +1,36 @@
+// ID assignments for DetLOCAL simulations.
+//
+// DetLOCAL endows nodes with unique Θ(log n)-bit identifiers. How those IDs
+// are laid out matters for adversarial analysis: deterministic algorithms
+// must work for *every* assignment, so the test suite exercises sequential,
+// random-sparse, and adversarially ordered assignments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ckp {
+
+// IDs 0..n-1 in node order.
+std::vector<std::uint64_t> sequential_ids(NodeId n);
+
+// n distinct uniform IDs from [0, 2^bits); bits must allow n distinct values.
+std::vector<std::uint64_t> random_ids(NodeId n, int bits, Rng& rng);
+
+// IDs assigned in BFS order from `root` — adversarial for algorithms that
+// break ties toward smaller IDs, since the order correlates with topology.
+std::vector<std::uint64_t> bfs_order_ids(const Graph& g, NodeId root);
+
+// IDs assigned in *reverse* BFS order from `root`.
+std::vector<std::uint64_t> reverse_bfs_order_ids(const Graph& g, NodeId root);
+
+// The number of bits needed to write the largest ID.
+int id_bit_length(const std::vector<std::uint64_t>& ids);
+
+// True iff all IDs are pairwise distinct.
+bool ids_unique(const std::vector<std::uint64_t>& ids);
+
+}  // namespace ckp

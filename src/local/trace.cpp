@@ -1,0 +1,26 @@
+#include "local/trace.hpp"
+
+#include <ostream>
+
+namespace ckp {
+
+void Trace::record(std::string name, int rounds, std::int64_t detail) {
+  phases_.push_back({std::move(name), rounds, detail});
+}
+
+int Trace::total_rounds() const {
+  int total = 0;
+  for (const auto& p : phases_) total += p.rounds;
+  return total;
+}
+
+void Trace::print(std::ostream& os) const {
+  for (const auto& p : phases_) {
+    os << "  phase " << p.name << ": rounds=" << p.rounds;
+    if (p.detail != 0) os << " detail=" << p.detail;
+    os << '\n';
+  }
+  os << "  total rounds: " << total_rounds() << '\n';
+}
+
+}  // namespace ckp

@@ -1,0 +1,36 @@
+// Per-phase execution telemetry.
+//
+// Composite algorithms (Theorems 10 and 11 have three phases each) record
+// one entry per phase: name, rounds charged, and a free-form detail counter
+// (e.g. vertices colored). Benches print traces so the per-phase structure
+// of measured round counts is visible.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ckp {
+
+struct PhaseRecord {
+  std::string name;
+  int rounds = 0;
+  std::int64_t detail = 0;
+};
+
+class Trace {
+ public:
+  void record(std::string name, int rounds, std::int64_t detail = 0);
+
+  const std::vector<PhaseRecord>& phases() const { return phases_; }
+
+  int total_rounds() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<PhaseRecord> phases_;
+};
+
+}  // namespace ckp

@@ -1,0 +1,53 @@
+#include "local/view_engine.hpp"
+
+#include <algorithm>
+
+#include "graph/power.hpp"
+#include "util/check.hpp"
+
+namespace ckp {
+
+ViewEngine::ViewEngine(const LocalInput& input) : input_(&input) {
+  input.validate();
+  per_node_.assign(static_cast<std::size_t>(input.graph->num_nodes()), 0);
+}
+
+BallView ViewEngine::view(NodeId v, int r) {
+  CKP_CHECK(r >= 0);
+  charge(v, r);
+  const Graph& g = *input_->graph;
+  const auto dist = bfs_distances(g, v, r);
+  std::vector<char> include(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (dist[static_cast<std::size_t>(u)] >= 0) include[static_cast<std::size_t>(u)] = 1;
+  }
+  BallView out;
+  out.sub = induced_subgraph(g, include);
+  out.center = out.sub.from_original[static_cast<std::size_t>(v)];
+  out.radius = r;
+  out.distance.resize(out.sub.to_original.size());
+  for (std::size_t i = 0; i < out.sub.to_original.size(); ++i) {
+    out.distance[i] = dist[static_cast<std::size_t>(out.sub.to_original[i])];
+  }
+  return out;
+}
+
+void ViewEngine::charge(NodeId v, int r) {
+  CKP_CHECK(v >= 0 && v < input_->graph->num_nodes());
+  CKP_CHECK(r >= 0);
+  auto& cur = per_node_[static_cast<std::size_t>(v)];
+  cur = std::max(cur, r);
+}
+
+void ViewEngine::charge_all(int r) {
+  CKP_CHECK(r >= 0);
+  global_ += r;
+}
+
+int ViewEngine::rounds() const {
+  int mx = 0;
+  for (int r : per_node_) mx = std::max(mx, r);
+  return global_ + mx;
+}
+
+}  // namespace ckp

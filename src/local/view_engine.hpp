@@ -1,0 +1,56 @@
+// The view-based LOCAL execution engine.
+//
+// A t-round LOCAL algorithm is equivalently a function of each node's
+// radius-t view (topology + inputs within distance t). Algorithms that are
+// natural to express that way — the deterministic sinkless orientation of
+// Section IV, the ID-shortening step of the speedup transformation — query
+// balls through this engine, which *charges* the queried radius as rounds.
+// The engine reports rounds = max over nodes of the largest radius queried
+// for that node, exactly the round complexity of the corresponding
+// message-passing execution.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/subgraph.hpp"
+#include "local/context.hpp"
+
+namespace ckp {
+
+// A node's radius-r view: the induced subgraph on its ball, the center in
+// subgraph coordinates, and per-subgraph-node distances from the center.
+struct BallView {
+  InducedSubgraph sub;
+  NodeId center = kInvalidNode;   // in subgraph coordinates
+  std::vector<int> distance;      // in subgraph coordinates
+  int radius = 0;
+};
+
+class ViewEngine {
+ public:
+  explicit ViewEngine(const LocalInput& input);
+
+  const Graph& graph() const { return *input_->graph; }
+  const LocalInput& input() const { return *input_; }
+
+  // The radius-r view of v; charges max(r, previous charge for v).
+  BallView view(NodeId v, int r);
+
+  // Marks that node v's output depends on information at distance r (for
+  // algorithms that compute views by other means).
+  void charge(NodeId v, int r);
+
+  // Adds `r` rounds of global cost (e.g. a flood phase all nodes run).
+  void charge_all(int r);
+
+  // The round complexity so far: global cost + max per-node charge.
+  int rounds() const;
+
+ private:
+  const LocalInput* input_;
+  std::vector<int> per_node_;
+  int global_ = 0;
+};
+
+}  // namespace ckp

@@ -1,0 +1,72 @@
+#include "util/flags.hpp"
+
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace ckp {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    CKP_CHECK_MSG(arg.rfind("--", 0) == 0, "expected --flag, got " << arg);
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+std::optional<std::string> Flags::raw(const std::string& name) {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t def) {
+  const auto v = raw(name);
+  if (!v) return def;
+  char* end = nullptr;
+  const std::int64_t out = std::strtoll(v->c_str(), &end, 10);
+  CKP_CHECK_MSG(end != nullptr && *end == '\0',
+                "flag --" << name << " is not an integer: " << *v);
+  return out;
+}
+
+double Flags::get_double(const std::string& name, double def) {
+  const auto v = raw(name);
+  if (!v) return def;
+  char* end = nullptr;
+  const double out = std::strtod(v->c_str(), &end);
+  CKP_CHECK_MSG(end != nullptr && *end == '\0',
+                "flag --" << name << " is not a number: " << *v);
+  return out;
+}
+
+std::string Flags::get_string(const std::string& name, const std::string& def) {
+  const auto v = raw(name);
+  return v ? *v : def;
+}
+
+bool Flags::get_bool(const std::string& name, bool def) {
+  const auto v = raw(name);
+  if (!v) return def;
+  if (*v == "true" || *v == "1") return true;
+  if (*v == "false" || *v == "0") return false;
+  CKP_CHECK_MSG(false, "flag --" << name << " is not a boolean: " << *v);
+  return def;
+}
+
+void Flags::check_unknown() const {
+  for (const auto& [name, value] : values_) {
+    CKP_CHECK_MSG(consumed_.contains(name), "unknown flag --" << name);
+  }
+}
+
+}  // namespace ckp

@@ -1,0 +1,37 @@
+// Minimal command-line flag parsing for bench and example binaries.
+//
+// Supports --name=value and --name value forms plus boolean --name. Unknown
+// flags are an error so typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ckp {
+
+class Flags {
+ public:
+  // Parses argv; throws CheckFailure on malformed input.
+  Flags(int argc, const char* const* argv);
+
+  // Typed getters with defaults. Each getter records the flag as known.
+  std::int64_t get_int(const std::string& name, std::int64_t def);
+  double get_double(const std::string& name, double def);
+  std::string get_string(const std::string& name, const std::string& def);
+  bool get_bool(const std::string& name, bool def);
+
+  // Call after all getters: throws if the command line contained flags
+  // that no getter asked about.
+  void check_unknown() const;
+
+ private:
+  std::optional<std::string> raw(const std::string& name);
+
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> consumed_;
+};
+
+}  // namespace ckp

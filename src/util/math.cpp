@@ -1,0 +1,70 @@
+#include "util/math.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ckp {
+
+int ilog2(std::uint64_t x) {
+  CKP_CHECK(x >= 1);
+  return 63 - std::countl_zero(x);
+}
+
+int ceil_log2(std::uint64_t x) {
+  CKP_CHECK(x >= 1);
+  if (x == 1) return 0;
+  return ilog2(x - 1) + 1;
+}
+
+int log_star(double x) {
+  CKP_CHECK_MSG(std::isfinite(x), "log_star requires a finite argument");
+  int k = 0;
+  while (x > 1.0) {
+    x = std::log2(x);
+    ++k;
+  }
+  return k;
+}
+
+int ilog_base(std::uint64_t b, std::uint64_t x) {
+  CKP_CHECK(b >= 2);
+  CKP_CHECK(x >= 1);
+  int k = 0;
+  while (x >= b) {
+    x /= b;
+    ++k;
+  }
+  return k;
+}
+
+int ceil_log_base(std::uint64_t b, std::uint64_t x) {
+  CKP_CHECK(b >= 2);
+  CKP_CHECK(x >= 1);
+  int k = 0;
+  std::uint64_t p = 1;
+  while (p < x) {
+    p = ipow_sat(b, static_cast<unsigned>(++k));
+  }
+  return k;
+}
+
+std::uint64_t ipow_sat(std::uint64_t base, unsigned exp) {
+  std::uint64_t result = 1;
+  for (unsigned i = 0; i < exp; ++i) {
+    if (base != 0 && result > UINT64_MAX / base) return UINT64_MAX;
+    result *= base;
+  }
+  return result;
+}
+
+std::uint64_t isqrt(std::uint64_t x) {
+  if (x == 0) return 0;
+  auto s = static_cast<std::uint64_t>(std::sqrt(static_cast<double>(x)));
+  while (s > 0 && s * s > x) --s;
+  while ((s + 1) * (s + 1) <= x) ++s;
+  return s;
+}
+
+}  // namespace ckp

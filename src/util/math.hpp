@@ -1,0 +1,41 @@
+// Integer and complexity-theoretic math helpers used across the library.
+//
+// The LOCAL-model literature measures running times in terms of log* n,
+// log_Δ n and friends; these helpers compute those quantities exactly on
+// integers so that theoretical bounds can be checked against measured round
+// counts in tests and benchmarks.
+#pragma once
+
+#include <cstdint>
+
+namespace ckp {
+
+// Floor of log2(x); requires x >= 1.
+int ilog2(std::uint64_t x);
+
+// Ceiling of log2(x); requires x >= 1. ceil_log2(1) == 0.
+int ceil_log2(std::uint64_t x);
+
+// The iterated logarithm: the number of times log2 must be applied to x
+// before the result is <= 1. log_star(1) == 0, log_star(2) == 1,
+// log_star(16) == 3, log_star(65536) == 4.
+int log_star(double x);
+
+// Floor of log base `b` of x; requires b >= 2, x >= 1.
+int ilog_base(std::uint64_t b, std::uint64_t x);
+
+// Ceiling of log base `b` of x; requires b >= 2, x >= 1.
+int ceil_log_base(std::uint64_t b, std::uint64_t x);
+
+// base^exp with saturation at uint64 max (no overflow UB).
+std::uint64_t ipow_sat(std::uint64_t base, unsigned exp);
+
+// Ceiling of a/b for positive integers.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+// Integer square root: the largest s with s*s <= x.
+std::uint64_t isqrt(std::uint64_t x);
+
+}  // namespace ckp

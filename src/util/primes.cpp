@@ -1,0 +1,70 @@
+#include "util/primes.hpp"
+
+#include "util/check.hpp"
+
+namespace ckp {
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+u64 mulmod(u64 a, u64 b, u64 m) {
+  return static_cast<u64>(static_cast<u128>(a) * b % m);
+}
+
+u64 powmod(u64 a, u64 e, u64 m) {
+  u64 r = 1;
+  a %= m;
+  while (e > 0) {
+    if (e & 1) r = mulmod(r, a, m);
+    a = mulmod(a, a, m);
+    e >>= 1;
+  }
+  return r;
+}
+
+// One Miller-Rabin round with witness a; n odd, n > 2, n-1 = d * 2^s.
+bool miller_rabin_round(u64 n, u64 a, u64 d, int s) {
+  a %= n;
+  if (a == 0) return true;
+  u64 x = powmod(a, d, n);
+  if (x == 1 || x == n - 1) return true;
+  for (int i = 1; i < s; ++i) {
+    x = mulmod(x, x, n);
+    if (x == n - 1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  for (u64 p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL,
+                29ULL, 31ULL, 37ULL}) {
+    if (n == p) return true;
+    if (n % p == 0) return false;
+  }
+  u64 d = n - 1;
+  int s = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++s;
+  }
+  // This witness set is deterministic for all n < 2^64 (Sinclair et al.).
+  for (u64 a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL,
+                29ULL, 31ULL, 37ULL}) {
+    if (!miller_rabin_round(n, a, d, s)) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime(std::uint64_t n) {
+  CKP_CHECK(n <= (1ULL << 63));
+  if (n <= 2) return 2;
+  u64 c = n | 1;  // first odd candidate >= n
+  while (!is_prime(c)) c += 2;
+  return c;
+}
+
+}  // namespace ckp

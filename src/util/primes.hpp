@@ -1,0 +1,20 @@
+// Primality and next-prime helpers.
+//
+// Linial's one-round color reduction (Theorem 1) encodes colors as low-degree
+// polynomials over a prime field F_q; the simulator needs the smallest prime
+// above a given bound. Deterministic Miller–Rabin is exact for all 64-bit
+// inputs with the standard witness set.
+#pragma once
+
+#include <cstdint>
+
+namespace ckp {
+
+// Exact primality test for any 64-bit integer.
+bool is_prime(std::uint64_t n);
+
+// The smallest prime p with p >= n. Requires n <= 2^63 (Bertrand guarantees
+// existence well below the overflow point for all practical inputs).
+std::uint64_t next_prime(std::uint64_t n);
+
+}  // namespace ckp

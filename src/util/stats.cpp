@@ -1,0 +1,64 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ckp {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::mean() const {
+  CKP_CHECK(n_ > 0);
+  return mean_;
+}
+
+double Accumulator::variance() const {
+  CKP_CHECK(n_ > 0);
+  if (n_ == 1) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const {
+  CKP_CHECK(n_ > 0);
+  return min_;
+}
+
+double Accumulator::max() const {
+  CKP_CHECK(n_ > 0);
+  return max_;
+}
+
+double percentile(std::vector<double> values, double q) {
+  CKP_CHECK(!values.empty());
+  CKP_CHECK(q >= 0.0 && q <= 100.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  const double pos = q / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= values.size()) return values.back();
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+double max_of(const std::vector<double>& values) {
+  CKP_CHECK(!values.empty());
+  return *std::max_element(values.begin(), values.end());
+}
+
+}  // namespace ckp

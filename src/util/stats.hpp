@@ -1,0 +1,40 @@
+// Streaming and batch statistics used by the benchmark harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ckp {
+
+// Welford-style streaming accumulator: numerically stable mean/variance,
+// plus min/max and count. Suitable for accumulating per-seed round counts.
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double variance() const;  // sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// The q-th percentile (q in [0,100]) of `values` via linear interpolation.
+// Sorts a copy; empty input is an error.
+double percentile(std::vector<double> values, double q);
+
+// Maximum element; empty input is an error.
+double max_of(const std::vector<double>& values);
+
+}  // namespace ckp

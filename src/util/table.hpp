@@ -1,0 +1,40 @@
+// Column-aligned plain-text tables for the benchmark harness.
+//
+// The paper's "evaluation" consists of complexity claims; each bench binary
+// regenerates one claim as a table of measured round counts. This printer
+// produces aligned, machine-greppable rows plus optional CSV output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ckp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Appends one row; the cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats arithmetic values with sensible precision.
+  static std::string cell(double v, int precision = 2);
+  static std::string cell(std::uint64_t v);
+  static std::string cell(std::int64_t v);
+  static std::string cell(int v);
+
+  // Writes the aligned table to `os`.
+  void print(std::ostream& os) const;
+
+  // Writes comma-separated values (headers + rows) to `os`.
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ckp

@@ -1,0 +1,26 @@
+// Wall-clock timing for the benchmark harness (rounds are the scientific
+// metric; wall time is reported as secondary context only).
+#pragma once
+
+#include <chrono>
+
+namespace ckp {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace ckp

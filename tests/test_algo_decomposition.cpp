@@ -1,0 +1,111 @@
+#include "algo/network_decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/regular.hpp"
+#include "graph/trees.hpp"
+#include "lcl/verify_mis.hpp"
+#include "test_helpers.hpp"
+#include "util/math.hpp"
+
+namespace ckp {
+namespace {
+
+class LinialSaksZoo : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LinialSaksZoo, ValidOnAllFixtures) {
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    RoundLedger ledger;
+    const auto d = linial_saks_decomposition(g, GetParam(), ledger);
+    ASSERT_TRUE(d.completed) << name;
+    EXPECT_TRUE(decomposition_valid(g, d, /*diameter_bound=*/0)) << name;
+    EXPECT_EQ(d.rounds, ledger.rounds());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinialSaksZoo, ::testing::Values(1u, 2u, 3u));
+
+TEST(LinialSaks, LogManyColorsAndLogDiameter) {
+  Rng rng(1801);
+  const Graph g = make_random_regular(4096, 6, rng);
+  RoundLedger ledger;
+  const auto d = linial_saks_decomposition(g, 7, ledger);
+  ASSERT_TRUE(d.completed);
+  const int logn = ilog2(4096);
+  EXPECT_LE(d.num_colors, 6 * logn);
+  EXPECT_LE(d.max_weak_diameter, 6 * logn);
+  // Exact weak-diameter validation at a generous bound.
+  EXPECT_TRUE(decomposition_valid(g, d, 6 * logn));
+}
+
+TEST(LinialSaks, DeterministicGivenSeed) {
+  Rng rng(1803);
+  const Graph g = make_prufer_tree(300, rng);
+  RoundLedger l1, l2;
+  const auto a = linial_saks_decomposition(g, 5, l1);
+  const auto b = linial_saks_decomposition(g, 5, l2);
+  EXPECT_EQ(a.color, b.color);
+  EXPECT_EQ(a.center, b.center);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(LinialSaks, SingleNodeAndEdge) {
+  RoundLedger l1;
+  const auto single =
+      linial_saks_decomposition(Graph::from_edges(1, {}), 1, l1);
+  EXPECT_TRUE(single.completed);
+  EXPECT_TRUE(decomposition_valid(Graph::from_edges(1, {}), single, 1));
+  RoundLedger l2;
+  const Graph k2 = Graph::from_edges(2, {{0, 1}});
+  const auto pair = linial_saks_decomposition(k2, 1, l2);
+  EXPECT_TRUE(pair.completed);
+  EXPECT_TRUE(decomposition_valid(k2, pair, 2));
+}
+
+class MisViaDecomposition : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MisViaDecomposition, ValidMisOnAllFixtures) {
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    RoundLedger ledger;
+    const auto d = linial_saks_decomposition(g, GetParam(), ledger);
+    ASSERT_TRUE(d.completed) << name;
+    const auto mis = mis_via_decomposition(g, d, ledger);
+    EXPECT_TRUE(verify_mis(g, mis.in_set).ok) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MisViaDecomposition, ::testing::Values(4u, 9u));
+
+TEST(MisViaDecomposition, RoundsPolylog) {
+  // The decomposition pipeline: O(colors · diameter) = polylog rounds —
+  // the 2^{O(√log n)}-style route of Result 3, in its randomized form.
+  Rng rng(1807);
+  const Graph g = make_random_regular(8192, 4, rng);
+  RoundLedger ledger;
+  const auto d = linial_saks_decomposition(g, 3, ledger);
+  ASSERT_TRUE(d.completed);
+  const auto mis = mis_via_decomposition(g, d, ledger);
+  EXPECT_TRUE(verify_mis(g, mis.in_set).ok);
+  const int logn = ilog2(8192);
+  EXPECT_LE(ledger.rounds(), 40 * logn * logn);
+}
+
+TEST(DecompositionValid, CatchesBrokenDecompositions) {
+  const Graph g = make_path(4);
+  RoundLedger ledger;
+  auto d = linial_saks_decomposition(g, 1, ledger);
+  ASSERT_TRUE(d.completed);
+  ASSERT_TRUE(decomposition_valid(g, d, 0));
+  // Corrupt: give adjacent same-color nodes different clusters.
+  auto broken = d;
+  broken.color.assign(4, 0);
+  broken.center = {0, 1, 2, 3};
+  EXPECT_FALSE(decomposition_valid(g, broken, 0));
+  // Corrupt: out-of-range color.
+  auto bad_color = d;
+  bad_color.color[0] = bad_color.num_colors + 5;
+  EXPECT_FALSE(decomposition_valid(g, bad_color, 0));
+}
+
+}  // namespace
+}  // namespace ckp

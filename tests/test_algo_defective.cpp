@@ -1,0 +1,109 @@
+#include "algo/defective_coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algo/edge_coloring_distributed.hpp"
+#include "algo/linial.hpp"
+#include "graph/regular.hpp"
+#include "lcl/verify_edge_coloring.hpp"
+#include "local/ids.hpp"
+#include "test_helpers.hpp"
+
+namespace ckp {
+namespace {
+
+TEST(DefectiveGreedy, MeasuredDefectSmallOnZoo) {
+  Rng rng(1901);
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    const int delta = std::max(1, g.max_degree());
+    const auto ids = random_ids(g.num_nodes(), 32, rng);
+    for (int palette : {2, 3, 5}) {
+      RoundLedger ledger;
+      const auto r = defective_coloring_greedy(g, ids, delta, palette, ledger);
+      // No worst-case pointwise guarantee, but the measured defect should be
+      // near Δ/palette on these benign instances; verify with slack.
+      EXPECT_TRUE(verify_defective_coloring(g, r.colors, palette,
+                                            2 * (delta / palette) + 2)
+                      .ok)
+          << name << " palette=" << palette;
+      EXPECT_EQ(r.rounds, ledger.rounds());
+    }
+  }
+}
+
+struct KuhnCase {
+  int delta;
+  int target;
+};
+
+class KuhnSweep : public ::testing::TestWithParam<KuhnCase> {};
+
+TEST_P(KuhnSweep, GuaranteedDefectBound) {
+  const auto [delta, target] = GetParam();
+  Rng rng(mix_seed(1907, static_cast<std::uint64_t>(delta),
+                   static_cast<std::uint64_t>(target)));
+  const Graph g = make_random_regular(512, delta, rng);
+  const auto ids = random_ids(512, 32, rng);
+  RoundLedger ledger;
+  int palette = 0;
+  const auto r =
+      defective_coloring_kuhn(g, ids, delta, target, ledger, &palette);
+  EXPECT_TRUE(verify_defective_coloring(g, r.colors, palette, target).ok)
+      << "delta=" << delta << " target=" << target;
+  EXPECT_LE(r.max_defect, target);
+  // Palette stays polynomial in Δ/target.
+  EXPECT_LE(palette, 64 * (delta / target + 2) * (delta / target + 2) + 64);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KuhnSweep,
+                         ::testing::Values(KuhnCase{8, 2}, KuhnCase{8, 4},
+                                           KuhnCase{16, 2}, KuhnCase{16, 8},
+                                           KuhnCase{32, 4}));
+
+TEST(Kuhn, OneRoundAfterLinial) {
+  Rng rng(1913);
+  const Graph g = make_random_regular(1024, 8, rng);
+  const auto ids = random_ids(1024, 32, rng);
+  RoundLedger base_ledger, full_ledger;
+  linial_coloring(g, ids, 8, base_ledger);
+  defective_coloring_kuhn(g, ids, 8, 2, full_ledger);
+  EXPECT_EQ(full_ledger.rounds(), base_ledger.rounds() + 1);
+}
+
+TEST(VerifyDefective, NegativeCases) {
+  const Graph g = make_path(3);
+  EXPECT_TRUE(verify_defective_coloring(g, std::vector<int>{0, 0, 0}, 1, 2).ok);
+  EXPECT_FALSE(verify_defective_coloring(g, std::vector<int>{0, 0, 0}, 1, 1)
+                   .ok);  // middle node has 2 same-colored neighbors
+  EXPECT_FALSE(verify_defective_coloring(g, std::vector<int>{0, 2, 0}, 2, 2).ok);
+}
+
+class EdgeColoringDistZoo : public ::testing::TestWithParam<int> {};
+
+TEST_P(EdgeColoringDistZoo, ProperWithTwoDeltaMinusOne) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1931);
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    const auto ids = GetParam() == 0 ? sequential_ids(g.num_nodes())
+                                     : random_ids(g.num_nodes(), 30, rng);
+    RoundLedger ledger;
+    const auto r = edge_coloring_distributed(g, ids, ledger);
+    if (g.num_edges() == 0) continue;
+    EXPECT_TRUE(verify_edge_coloring(g, r.colors, r.palette).ok) << name;
+    EXPECT_EQ(r.palette, 2 * g.max_degree() - 1) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(IdSchemes, EdgeColoringDistZoo, ::testing::Values(0, 1));
+
+TEST(EdgeColoringDist, RoundsFlatInN) {
+  Rng rng(1933);
+  const Graph small = make_random_regular(128, 5, rng);
+  const Graph large = make_random_regular(4096, 5, rng);
+  RoundLedger ls, ll;
+  edge_coloring_distributed(small, random_ids(128, 30, rng), ls);
+  edge_coloring_distributed(large, random_ids(4096, 30, rng), ll);
+  EXPECT_LE(ll.rounds(), ls.rounds() + 4);
+}
+
+}  // namespace
+}  // namespace ckp

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "algo/be_tree_coloring.hpp"
+#include "algo/forest_decomposition.hpp"
+#include "graph/generators.hpp"
+#include "graph/trees.hpp"
+#include "lcl/verify_coloring.hpp"
+#include "local/ids.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace ckp {
+namespace {
+
+TEST(ForestDecomposition, InvariantOnTrees) {
+  for (const auto& [name, g] : testing::tree_zoo()) {
+    for (int t : {2, 3, 5}) {
+      RoundLedger ledger;
+      const auto d = decompose_forest(g, t, ledger);
+      EXPECT_TRUE(decomposition_valid(g, d)) << name << " t=" << t;
+      EXPECT_EQ(ledger.rounds(), d.num_layers) << name;
+    }
+  }
+}
+
+TEST(ForestDecomposition, LayerCountLogarithmic) {
+  Rng rng(401);
+  const Graph g = make_random_tree(100000, 3, rng);
+  RoundLedger ledger;
+  const auto d = decompose_forest(g, 2, ledger);
+  // Fewer than half survive each peel: layers <= log2(n) + O(1).
+  EXPECT_LE(d.num_layers, ilog2(100000) + 3);
+}
+
+TEST(ForestDecomposition, HigherThresholdFewerLayers) {
+  Rng rng(403);
+  const Graph g = make_prufer_tree(20000, rng);
+  RoundLedger l2, l8;
+  const auto d2 = decompose_forest(g, 2, l2);
+  const auto d8 = decompose_forest(g, 8, l8);
+  EXPECT_LE(d8.num_layers, d2.num_layers);
+}
+
+TEST(ForestDecomposition, StallsOnDenseGraph) {
+  RoundLedger ledger;
+  EXPECT_THROW(decompose_forest(make_complete(8), 2, ledger), CheckFailure);
+}
+
+TEST(ForestDecomposition, WorksOnBoundedDegreeNonForest) {
+  // A cycle has min degree 2 == threshold: everything peels in round one.
+  RoundLedger ledger;
+  const auto d = decompose_forest(make_cycle(10), 2, ledger);
+  EXPECT_EQ(d.num_layers, 1);
+  EXPECT_TRUE(decomposition_valid(make_cycle(10), d));
+}
+
+struct BeCase {
+  int q;
+  int seed;
+};
+
+class BeTreeColoring : public ::testing::TestWithParam<BeCase> {};
+
+TEST_P(BeTreeColoring, ProperOnAllTreeFixtures) {
+  const auto [q, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 7919);
+  for (const auto& [name, g] : testing::tree_zoo()) {
+    const auto ids = random_ids(g.num_nodes(), 40, rng);
+    RoundLedger ledger;
+    const auto result = be_tree_coloring(g, q, ids, ledger);
+    EXPECT_TRUE(verify_coloring(g, result.colors, q).ok)
+        << name << " q=" << q << " seed=" << seed;
+    EXPECT_EQ(result.rounds, ledger.rounds());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BeTreeColoring,
+                         ::testing::Values(BeCase{3, 1}, BeCase{3, 2},
+                                           BeCase{4, 1}, BeCase{5, 1},
+                                           BeCase{8, 1}, BeCase{16, 1}));
+
+TEST(BeTreeColoring, ForestOfManyComponents) {
+  // Three disjoint paths plus isolated vertices.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId base : {0, 10, 20}) {
+    for (NodeId i = 0; i < 7; ++i) edges.emplace_back(base + i, base + i + 1);
+  }
+  const Graph g = Graph::from_edges(30, edges);
+  Rng rng(409);
+  RoundLedger ledger;
+  const auto result = be_tree_coloring(g, 3, random_ids(30, 20, rng), ledger);
+  EXPECT_TRUE(verify_coloring(g, result.colors, 3).ok);
+}
+
+TEST(BeTreeColoring, ThreeColorsHugeStar) {
+  // Δ = n-1 but q = 3 must still work (arboricity 1).
+  Rng rng(419);
+  const Graph g = make_star(5000);
+  RoundLedger ledger;
+  const auto result = be_tree_coloring(g, 3, random_ids(5000, 30, rng), ledger);
+  EXPECT_TRUE(verify_coloring(g, result.colors, 3).ok);
+  EXPECT_EQ(result.layers, 2);
+}
+
+TEST(BeTreeColoring, RoundsScaleWithLogBaseQ) {
+  // Theorem 9 shape: for fixed n, larger q means fewer layers; for fixed q,
+  // rounds grow roughly linearly in log n.
+  Rng rng(421);
+  RoundLedger l_small, l_large;
+  const Graph small = make_random_tree(1 << 10, 3, rng);
+  const Graph large = make_random_tree(1 << 16, 3, rng);
+  const auto r_small = be_tree_coloring(
+      small, 3, random_ids(small.num_nodes(), 40, rng), l_small);
+  const auto r_large = be_tree_coloring(
+      large, 3, random_ids(large.num_nodes(), 40, rng), l_large);
+  EXPECT_GT(r_large.layers, r_small.layers);
+  EXPECT_LT(r_large.rounds, 40 * ilog2(1 << 16));  // sane constant
+}
+
+TEST(BeTreeColoring, RejectsTooSmallPalette) {
+  Rng rng(431);
+  RoundLedger ledger;
+  EXPECT_THROW(
+      be_tree_coloring(make_path(5), 2, random_ids(5, 10, rng), ledger),
+      CheckFailure);
+}
+
+TEST(BeTreeColoring, EmptyAndTinyInputs) {
+  Rng rng(433);
+  RoundLedger ledger;
+  const auto empty = be_tree_coloring(Graph(), 3, {}, ledger);
+  EXPECT_TRUE(empty.colors.empty());
+  const auto single = be_tree_coloring(Graph::from_edges(1, {}), 3,
+                                       random_ids(1, 10, rng), ledger);
+  EXPECT_EQ(single.colors.size(), 1u);
+  EXPECT_GE(single.colors[0], 0);
+}
+
+}  // namespace
+}  // namespace ckp

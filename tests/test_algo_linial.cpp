@@ -1,0 +1,140 @@
+#include "algo/linial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/regular.hpp"
+#include "graph/trees.hpp"
+#include "lcl/verify_coloring.hpp"
+#include "local/ids.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace ckp {
+namespace {
+
+TEST(LinialStepPalette, ShrinksLargePalettes) {
+  for (int delta : {1, 2, 3, 8, 32}) {
+    const std::uint64_t k = 1ULL << 40;
+    const std::uint64_t next = linial_step_palette(k, delta);
+    EXPECT_LT(next, k) << "delta=" << delta;
+  }
+}
+
+TEST(LinialStepPalette, FixedPointIsQuadraticInDelta) {
+  for (int delta : {2, 3, 4, 8, 16, 64}) {
+    const std::uint64_t fixed = linial_fixed_point_palette(delta);
+    const std::uint64_t d = static_cast<std::uint64_t>(delta);
+    EXPECT_GE(fixed, d * d) << delta;          // can't 2-color a clique
+    EXPECT_LE(fixed, 40 * d * d + 60) << delta;  // β is a small constant
+    // It really is a fixed point.
+    EXPECT_GE(linial_step_palette(fixed, delta), fixed);
+  }
+}
+
+TEST(LinialReduceOnce, ProperAndInNewPalette) {
+  Rng rng(211);
+  const Graph g = make_random_regular(60, 4, rng);
+  const auto ids = random_ids(60, 20, rng);
+  std::vector<std::uint64_t> colors = ids;
+  const std::uint64_t k = 1ULL << 20;
+  const std::uint64_t next = linial_step_palette(k, 4);
+  ASSERT_LT(next, k);
+  RoundLedger ledger;
+  const auto out = linial_reduce_once(g, colors, k, 4, ledger);
+  EXPECT_EQ(ledger.rounds(), 1);
+  std::vector<int> as_int(out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_LT(out[i], next);
+    as_int[i] = static_cast<int>(out[i]);
+  }
+  EXPECT_TRUE(verify_coloring(g, as_int, static_cast<int>(next)).ok);
+}
+
+TEST(LinialReduceOnce, RejectsImproperInput) {
+  const Graph g = make_path(3);
+  RoundLedger ledger;
+  std::vector<std::uint64_t> improper{5, 5, 1};
+  EXPECT_THROW(linial_reduce_once(g, improper, 1 << 20, 2, ledger),
+               CheckFailure);
+}
+
+class LinialColoringZoo : public ::testing::TestWithParam<int> {};
+
+TEST_P(LinialColoringZoo, ProperOnAllFixtures) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    const auto ids = random_ids(g.num_nodes(), 40, rng);
+    RoundLedger ledger;
+    const auto result =
+        linial_coloring(g, ids, std::max(1, g.max_degree()), ledger);
+    EXPECT_TRUE(verify_coloring(g, result.colors, result.palette).ok)
+        << name << " seed=" << seed;
+    EXPECT_EQ(result.rounds, ledger.rounds());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinialColoringZoo, ::testing::Values(1, 2, 3));
+
+TEST(LinialColoring, ReachesFixedPointPalette) {
+  Rng rng(223);
+  const Graph g = make_complete_tree(500, 4);
+  const auto ids = random_ids(500, 40, rng);
+  RoundLedger ledger;
+  const auto result = linial_coloring(g, ids, 4, ledger);
+  EXPECT_EQ(static_cast<std::uint64_t>(result.palette),
+            linial_fixed_point_palette(4));
+}
+
+TEST(LinialColoring, RoundsGrowLikeLogStar) {
+  // Theorem 2: rounds = O(log* n - log* Δ + 1). The iterated-log growth is
+  // extremely slow: going from 2^10 to 2^40 IDs should add at most ~2 rounds.
+  Rng rng(227);
+  const Graph g = make_complete_tree(300, 3);
+  RoundLedger small_ledger;
+  const auto ids_small = random_ids(300, 10, rng);
+  linial_coloring(g, ids_small, 3, small_ledger);
+  RoundLedger big_ledger;
+  const auto ids_big = random_ids(300, 60, rng);
+  linial_coloring(g, ids_big, 3, big_ledger);
+  EXPECT_LE(big_ledger.rounds(), small_ledger.rounds() + 3);
+  EXPECT_LE(big_ledger.rounds(), 10);
+}
+
+TEST(LinialColoring, LargerDeltaBoundStillProper) {
+  // The speedup transform runs Linial with Δ far above the true maximum
+  // degree; the output must stay proper and within the bound's palette.
+  Rng rng(229);
+  const Graph g = make_path(40);
+  const auto ids = random_ids(40, 30, rng);
+  RoundLedger ledger;
+  const auto result = linial_coloring(g, ids, 10, ledger);
+  EXPECT_TRUE(verify_coloring(g, result.colors, result.palette).ok);
+  EXPECT_EQ(static_cast<std::uint64_t>(result.palette),
+            linial_fixed_point_palette(10));
+}
+
+TEST(LinialColoring, EdgelessGraphOneRoundMax) {
+  const Graph g = Graph::from_edges(5, {});
+  Rng rng(233);
+  const auto ids = random_ids(5, 30, rng);
+  RoundLedger ledger;
+  const auto result = linial_coloring(g, ids, 1, ledger);
+  EXPECT_TRUE(verify_coloring(g, result.colors, result.palette).ok);
+}
+
+TEST(LinialColoring, DeterministicGivenIds) {
+  Rng rng(239);
+  const Graph g = make_complete_tree(120, 5);
+  const auto ids = random_ids(120, 35, rng);
+  RoundLedger l1, l2;
+  const auto a = linial_coloring(g, ids, 5, l1);
+  const auto b = linial_coloring(g, ids, 5, l2);
+  EXPECT_EQ(a.colors, b.colors);
+  EXPECT_EQ(l1.rounds(), l2.rounds());
+}
+
+}  // namespace
+}  // namespace ckp

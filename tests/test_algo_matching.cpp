@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "algo/matching_deterministic.hpp"
+#include "algo/matching_randomized.hpp"
+#include "graph/generators.hpp"
+#include "graph/regular.hpp"
+#include "lcl/verify_matching.hpp"
+#include "local/ids.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace ckp {
+namespace {
+
+class RandMatchingZoo : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandMatchingZoo, MaximalOnAllFixtures) {
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    RoundLedger ledger;
+    const auto result = matching_randomized(g, GetParam(), ledger);
+    ASSERT_TRUE(result.completed) << name;
+    EXPECT_TRUE(verify_maximal_matching(g, result.in_matching).ok)
+        << name << " seed=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandMatchingZoo, ::testing::Values(1u, 2u, 9u));
+
+TEST(RandMatching, LogRoundsOnLargeGraph) {
+  Rng rng(601);
+  const Graph g = make_random_regular(3000, 6, rng);
+  RoundLedger ledger;
+  const auto result = matching_randomized(g, 4, ledger);
+  ASSERT_TRUE(result.completed);
+  EXPECT_TRUE(verify_maximal_matching(g, result.in_matching).ok);
+  EXPECT_LE(result.rounds, 8 * ilog2(3000));
+}
+
+TEST(RandMatching, EmptyGraph) {
+  const Graph g = Graph::from_edges(4, {});
+  RoundLedger ledger;
+  const auto result = matching_randomized(g, 1, ledger);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.rounds, 0);
+}
+
+class DetMatchingZoo : public ::testing::TestWithParam<int> {};
+
+TEST_P(DetMatchingZoo, MaximalOnAllFixtures) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 700);
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    const auto ids = GetParam() == 0 ? sequential_ids(g.num_nodes())
+                                     : random_ids(g.num_nodes(), 30, rng);
+    RoundLedger ledger;
+    const auto result = matching_deterministic(g, ids, ledger);
+    EXPECT_TRUE(verify_maximal_matching(g, result.in_matching).ok)
+        << name << " ids=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(IdSchemes, DetMatchingZoo, ::testing::Values(0, 1, 2));
+
+TEST(DetMatching, RejectsWideIds) {
+  const Graph g = make_path(3);
+  std::vector<std::uint64_t> wide{0, 1, 1ULL << 40};
+  RoundLedger ledger;
+  EXPECT_THROW(matching_deterministic(g, wide, ledger), CheckFailure);
+}
+
+TEST(DetMatching, RoundsIndependentOfNForFixedDelta) {
+  Rng rng(607);
+  const Graph small = make_random_regular(100, 3, rng);
+  const Graph large = make_random_regular(3200, 3, rng);
+  RoundLedger ls, ll;
+  matching_deterministic(small, random_ids(100, 30, rng), ls);
+  matching_deterministic(large, random_ids(3200, 30, rng), ll);
+  EXPECT_LE(ll.rounds(), ls.rounds() + 4);
+}
+
+TEST(Matchings, RandomizedBeatsDetInDeltaDependence) {
+  // The intro's message: randomized matching costs O(log n)-ish rounds
+  // independent of Δ, deterministic pays poly(Δ). At Δ = 16 the gap is
+  // already pronounced.
+  Rng rng(613);
+  const Graph g = make_random_regular(600, 16, rng);
+  RoundLedger lr, ld;
+  const auto r = matching_randomized(g, 5, lr);
+  ASSERT_TRUE(r.completed);
+  matching_deterministic(g, random_ids(600, 30, rng), ld);
+  EXPECT_LT(lr.rounds() * 4, ld.rounds());
+}
+
+}  // namespace
+}  // namespace ckp

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "algo/mis_deterministic.hpp"
+#include "algo/mis_ghaffari.hpp"
+#include "algo/mis_luby.hpp"
+#include "graph/generators.hpp"
+#include "graph/regular.hpp"
+#include "lcl/verify_mis.hpp"
+#include "local/ids.hpp"
+#include "test_helpers.hpp"
+#include "util/math.hpp"
+
+namespace ckp {
+namespace {
+
+class LubyZoo : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LubyZoo, ValidMisOnAllFixtures) {
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    LocalInput in;
+    in.graph = &g;
+    in.seed = GetParam();
+    const auto result = mis_luby(in);
+    ASSERT_TRUE(result.completed) << name;
+    EXPECT_TRUE(verify_mis(g, result.in_set).ok)
+        << name << " seed=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LubyZoo, ::testing::Values(1u, 2u, 3u, 42u));
+
+TEST(Luby, RoundsLogarithmicOnRegularGraphs) {
+  Rng rng(501);
+  const Graph g = make_random_regular(2000, 4, rng);
+  LocalInput in;
+  in.graph = &g;
+  in.seed = 99;
+  const auto result = mis_luby(in);
+  ASSERT_TRUE(result.completed);
+  EXPECT_TRUE(verify_mis(g, result.in_set).ok);
+  // 2 engine rounds per Luby iteration; O(log n) iterations w.h.p.
+  EXPECT_LE(result.rounds, 8 * ilog2(2000));
+}
+
+TEST(Luby, DeterministicGivenSeed) {
+  const Graph g = make_grid(10, 10);
+  LocalInput in;
+  in.graph = &g;
+  in.seed = 7;
+  const auto a = mis_luby(in);
+  const auto b = mis_luby(in);
+  EXPECT_EQ(a.in_set, b.in_set);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(Luby, RoundCapReported) {
+  const Graph g = make_complete(40);
+  LocalInput in;
+  in.graph = &g;
+  in.seed = 3;
+  const auto result = mis_luby(in, /*max_rounds=*/1);
+  EXPECT_FALSE(result.completed);
+}
+
+class GhaffariZoo : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GhaffariZoo, ValidMisOnAllFixtures) {
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    RoundLedger ledger;
+    const auto result = mis_ghaffari(g, GetParam(), ledger);
+    EXPECT_TRUE(verify_mis(g, result.in_set).ok)
+        << name << " seed=" << GetParam();
+    EXPECT_EQ(result.rounds, ledger.rounds());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GhaffariZoo, ::testing::Values(1u, 2u, 5u));
+
+TEST(Ghaffari, ShatteringLeavesSmallResidue) {
+  Rng rng(503);
+  const Graph g = make_random_regular(4000, 8, rng);
+  RoundLedger ledger;
+  const auto result = mis_ghaffari(g, 11, ledger);
+  EXPECT_TRUE(verify_mis(g, result.in_set).ok);
+  // After O(log Δ)+O(1) iterations the residue should be a tiny fraction
+  // with only small components — the shattering phenomenon.
+  EXPECT_LT(result.residue_nodes, 4000 / 4);
+  EXPECT_LT(result.largest_residue_component, 200);
+}
+
+TEST(Ghaffari, FewIterationsMeansLargerResidue) {
+  Rng rng(509);
+  const Graph g = make_random_regular(2000, 8, rng);
+  GhaffariMisParams weak;
+  weak.phase1_iterations = 1;
+  GhaffariMisParams strong;
+  strong.phase1_iterations = 40;
+  RoundLedger lw, ls;
+  const auto rw = mis_ghaffari(g, 13, lw, weak);
+  const auto rs = mis_ghaffari(g, 13, ls, strong);
+  EXPECT_TRUE(verify_mis(g, rw.in_set).ok);
+  EXPECT_TRUE(verify_mis(g, rs.in_set).ok);
+  EXPECT_GE(rw.residue_nodes, rs.residue_nodes);
+}
+
+class DetMisZoo : public ::testing::TestWithParam<int> {};
+
+TEST_P(DetMisZoo, ValidMisUnderVariousIdSchemes) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    std::vector<std::uint64_t> ids;
+    switch (GetParam() % 3) {
+      case 0:
+        ids = sequential_ids(g.num_nodes());
+        break;
+      case 1:
+        ids = random_ids(g.num_nodes(), 32, rng);
+        break;
+      default:
+        ids = reverse_bfs_order_ids(g, 0);
+        break;
+    }
+    RoundLedger ledger;
+    const auto result =
+        mis_deterministic(g, ids, std::max(1, g.max_degree()), ledger);
+    EXPECT_TRUE(verify_mis(g, result.in_set).ok)
+        << name << " scheme=" << GetParam() % 3;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(IdSchemes, DetMisZoo, ::testing::Values(0, 1, 2));
+
+TEST(DetMis, RestrictedToSubset) {
+  const Graph g = make_path(10);
+  std::vector<char> restrict_to(10, 0);
+  for (NodeId v = 3; v <= 8; ++v) restrict_to[static_cast<std::size_t>(v)] = 1;
+  RoundLedger ledger;
+  const auto result =
+      mis_deterministic(g, sequential_ids(10), 2, ledger, restrict_to);
+  // No member outside the subset.
+  for (NodeId v = 0; v < 10; ++v) {
+    if (!restrict_to[static_cast<std::size_t>(v)]) {
+      EXPECT_FALSE(result.in_set[static_cast<std::size_t>(v)]);
+    }
+  }
+  // Valid MIS of the induced path 3..8: check independence + domination
+  // within the subset.
+  for (NodeId v = 3; v <= 8; ++v) {
+    if (result.in_set[static_cast<std::size_t>(v)]) continue;
+    bool dominated = false;
+    for (NodeId u : g.neighbors(v)) {
+      if (restrict_to[static_cast<std::size_t>(u)] &&
+          result.in_set[static_cast<std::size_t>(u)]) {
+        dominated = true;
+      }
+    }
+    EXPECT_TRUE(dominated) << v;
+  }
+}
+
+TEST(DetMis, RoundsIndependentOfNForFixedDelta) {
+  // O(Δ² + log* n): doubling n at fixed Δ barely moves the round count.
+  Rng rng(521);
+  const Graph small = make_random_regular(200, 4, rng);
+  const Graph large = make_random_regular(6400, 4, rng);
+  RoundLedger ls, ll;
+  mis_deterministic(small, random_ids(200, 40, rng), 4, ls);
+  mis_deterministic(large, random_ids(6400, 40, rng), 4, ll);
+  EXPECT_LE(ll.rounds(), ls.rounds() + 4);
+}
+
+}  // namespace
+}  // namespace ckp

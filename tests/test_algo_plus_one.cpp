@@ -1,0 +1,113 @@
+#include "algo/plus_one_coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/regular.hpp"
+#include "graph/trees.hpp"
+#include "lcl/verify_coloring.hpp"
+#include "local/ids.hpp"
+#include "test_helpers.hpp"
+#include "util/math.hpp"
+
+namespace ckp {
+namespace {
+
+class PlusOneZoo : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlusOneZoo, RandomizedCompleteRunOnAllFixtures) {
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    const int delta = std::max(1, g.max_degree());
+    RoundLedger ledger;
+    const auto r = plus_one_coloring_randomized(g, delta, GetParam(), ledger);
+    ASSERT_TRUE(r.completed) << name;
+    EXPECT_TRUE(verify_coloring(g, r.colors, delta + 1).ok)
+        << name << " seed=" << GetParam();
+    EXPECT_EQ(r.rounds, ledger.rounds());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlusOneZoo, ::testing::Values(1u, 2u, 7u));
+
+TEST(PlusOne, RandomizedRoundsLogarithmic) {
+  Rng rng(1201);
+  const Graph g = make_random_regular(4096, 8, rng);
+  RoundLedger ledger;
+  const auto r = plus_one_coloring_randomized(g, 8, 5, ledger);
+  ASSERT_TRUE(r.completed);
+  EXPECT_LE(r.randomized_iterations, 4 * ilog2(4096));
+}
+
+TEST(PlusOne, ShatteringHybridAlwaysCompletes) {
+  Rng rng(1203);
+  const Graph g = make_random_regular(2048, 16, rng);
+  for (int iters : {1, 2, 4, 8}) {
+    PlusOneParams params;
+    params.shatter_iterations = iters;
+    RoundLedger ledger;
+    const auto r = plus_one_coloring_randomized(g, 16, 3, ledger, params);
+    ASSERT_TRUE(r.completed) << iters;
+    EXPECT_TRUE(verify_coloring(g, r.colors, 17).ok) << iters;
+  }
+}
+
+TEST(PlusOne, MoreIterationsSmallerResidue) {
+  Rng rng(1207);
+  const Graph g = make_random_regular(4096, 12, rng);
+  PlusOneParams one;
+  one.shatter_iterations = 1;
+  PlusOneParams many;
+  many.shatter_iterations = 10;
+  RoundLedger l1, l2;
+  const auto r1 = plus_one_coloring_randomized(g, 12, 9, l1, one);
+  const auto r2 = plus_one_coloring_randomized(g, 12, 9, l2, many);
+  EXPECT_GT(r1.residue_nodes, r2.residue_nodes);
+  EXPECT_GE(r1.largest_residue_component, r2.largest_residue_component);
+}
+
+TEST(PlusOne, ShatteringLeavesSmallComponents) {
+  // The BEPS phenomenon: after O(log Δ) iterations the residue components
+  // are tiny compared to n.
+  Rng rng(1209);
+  const Graph g = make_random_regular(8192, 8, rng);
+  PlusOneParams params;
+  params.shatter_iterations = 2 * ceil_log2(9) + 2;
+  RoundLedger ledger;
+  const auto r = plus_one_coloring_randomized(g, 8, 21, ledger, params);
+  ASSERT_TRUE(r.completed);
+  EXPECT_LT(r.largest_residue_component, 100);
+}
+
+TEST(PlusOne, DeterministicBaselineOnZoo) {
+  Rng rng(1213);
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    const int delta = std::max(1, g.max_degree());
+    const auto ids = random_ids(g.num_nodes(), 32, rng);
+    RoundLedger ledger;
+    const auto r = plus_one_coloring_deterministic(g, ids, delta, ledger);
+    EXPECT_TRUE(verify_coloring(g, r.colors, delta + 1).ok) << name;
+  }
+}
+
+TEST(PlusOne, DeterministicRoundsFlatInN) {
+  Rng rng(1217);
+  const Graph small = make_random_regular(256, 6, rng);
+  const Graph large = make_random_regular(8192, 6, rng);
+  RoundLedger ls, ll;
+  plus_one_coloring_deterministic(small, random_ids(256, 30, rng), 6, ls);
+  plus_one_coloring_deterministic(large, random_ids(8192, 30, rng), 6, ll);
+  EXPECT_LE(ll.rounds(), ls.rounds() + 4);
+}
+
+TEST(PlusOne, DeterministicGivenSeed) {
+  Rng rng(1219);
+  const Graph g = make_prufer_tree(500, rng);
+  const int delta = g.max_degree();
+  RoundLedger l1, l2;
+  const auto a = plus_one_coloring_randomized(g, delta, 77, l1);
+  const auto b = plus_one_coloring_randomized(g, delta, 77, l2);
+  EXPECT_EQ(a.colors, b.colors);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+}  // namespace
+}  // namespace ckp

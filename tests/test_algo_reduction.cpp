@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "algo/color_reduction.hpp"
+#include "algo/cole_vishkin.hpp"
+#include "algo/greedy_color.hpp"
+#include "algo/linial.hpp"
+#include "graph/generators.hpp"
+#include "graph/trees.hpp"
+#include "lcl/verify_coloring.hpp"
+#include "local/ids.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace ckp {
+namespace {
+
+TEST(ReducePalette, ToDeltaPlusOne) {
+  Rng rng(301);
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    const auto ids = random_ids(g.num_nodes(), 32, rng);
+    RoundLedger ledger;
+    auto coloring = linial_coloring(g, ids, std::max(1, g.max_degree()), ledger);
+    const int target = g.max_degree() + 1;
+    if (target > coloring.palette) continue;
+    const int before = ledger.rounds();
+    reduce_palette(g, coloring.colors, coloring.palette, target, ledger);
+    EXPECT_TRUE(verify_coloring(g, coloring.colors, target).ok) << name;
+    EXPECT_EQ(ledger.rounds() - before, coloring.palette - target) << name;
+  }
+}
+
+TEST(ReducePalette, RejectsTargetBelowDeltaPlusOne) {
+  const Graph g = make_star(5);  // Δ=4
+  std::vector<int> colors{0, 1, 2, 3, 4};
+  RoundLedger ledger;
+  EXPECT_THROW(reduce_palette(g, colors, 5, 4, ledger), CheckFailure);
+}
+
+TEST(ReducePalette, NoopWhenAlreadyAtTarget) {
+  const Graph g = make_path(4);
+  std::vector<int> colors{0, 1, 2, 0};
+  RoundLedger ledger;
+  reduce_palette(g, colors, 3, 3, ledger);
+  EXPECT_EQ(ledger.rounds(), 0);
+  EXPECT_TRUE(verify_coloring(g, colors, 3).ok);
+}
+
+TEST(GreedyBySchedule, FullPalette) {
+  const Graph g = make_cycle(8);
+  // Schedule = proper 3-coloring of C8 used as processing order.
+  std::vector<int> schedule{0, 1, 0, 1, 0, 1, 0, 2};
+  ASSERT_TRUE(verify_coloring(g, schedule, 3).ok);
+  std::vector<int> colors(8, -1);
+  RoundLedger ledger;
+  greedy_color_by_schedule(g, schedule, 3, 3, std::vector<char>(8, 1),
+                           /*respect_inactive=*/false, nullptr, colors, ledger);
+  EXPECT_TRUE(verify_coloring(g, colors, 3).ok);
+  EXPECT_EQ(ledger.rounds(), 3);
+}
+
+TEST(GreedyBySchedule, ListColoringRestriction) {
+  const Graph g = make_path(5);
+  std::vector<int> schedule{0, 1, 0, 1, 0};
+  std::vector<int> colors(5, -1);
+  RoundLedger ledger;
+  // Forbid color 0 everywhere: nodes must 2-color the path with {1,2}.
+  auto allowed = [](NodeId, int c) { return c != 0; };
+  greedy_color_by_schedule(g, schedule, 2, 3, std::vector<char>(5, 1), false,
+                           allowed, colors, ledger);
+  EXPECT_TRUE(verify_coloring(g, colors, 3).ok);
+  for (int c : colors) EXPECT_NE(c, 0);
+}
+
+TEST(GreedyBySchedule, RespectsInactiveColors) {
+  const Graph g = make_path(3);
+  std::vector<int> schedule{0, 1, 0};
+  std::vector<int> colors{-1, 0, -1};  // middle node pre-colored 0, inactive
+  std::vector<char> active{1, 0, 1};
+  RoundLedger ledger;
+  greedy_color_by_schedule(g, schedule, 2, 2, active, true, nullptr, colors,
+                           ledger);
+  EXPECT_EQ(colors[0], 1);
+  EXPECT_EQ(colors[2], 1);
+}
+
+TEST(GreedyBySchedule, ThrowsWhenNoColorFree) {
+  const Graph g = make_star(4);  // Δ=3, palette 2 too small for the hub
+  std::vector<int> schedule{1, 0, 0, 0};
+  std::vector<int> colors(4, -1);
+  RoundLedger ledger;
+  EXPECT_THROW(
+      greedy_color_by_schedule(g, schedule, 2, 1, std::vector<char>(4, 1),
+                               false, nullptr, colors, ledger),
+      CheckFailure);
+}
+
+TEST(ReducePaletteFast, ToDeltaPlusOneOnZoo) {
+  Rng rng(307);
+  for (const auto& [name, g] : testing::small_graph_zoo()) {
+    const auto ids = random_ids(g.num_nodes(), 32, rng);
+    RoundLedger ledger;
+    auto coloring = linial_coloring(g, ids, std::max(1, g.max_degree()), ledger);
+    const int target = g.max_degree() + 1;
+    if (target > coloring.palette) continue;
+    reduce_palette_fast(g, coloring.colors, coloring.palette, target, ledger);
+    EXPECT_TRUE(verify_coloring(g, coloring.colors, target).ok) << name;
+  }
+}
+
+TEST(ReducePaletteFast, LogarithmicallyFewerRoundsThanNaive) {
+  Rng rng(311);
+  const Graph g = make_complete_tree(20000, 24);
+  const auto ids = random_ids(20000, 40, rng);
+  RoundLedger lfast, lnaive;
+  auto c1 = linial_coloring(g, ids, 24, lfast);
+  auto c2 = c1;
+  const int before_fast = lfast.rounds();
+  reduce_palette_fast(g, c1.colors, c1.palette, 25, lfast);
+  const int fast_rounds = lfast.rounds() - before_fast;
+  reduce_palette(g, c2.colors, c2.palette, 25, lnaive);
+  const int naive_rounds = lnaive.rounds();
+  EXPECT_TRUE(verify_coloring(g, c1.colors, 25).ok);
+  EXPECT_TRUE(verify_coloring(g, c2.colors, 25).ok);
+  EXPECT_EQ(naive_rounds, c2.palette - 25);
+  // Blocked halving: ~ target * log2(palette/target) rounds.
+  EXPECT_LT(fast_rounds, naive_rounds / 3);
+}
+
+TEST(ReducePaletteFast, NoopAndErrors) {
+  const Graph g = make_star(5);
+  std::vector<int> colors{0, 1, 2, 3, 4};
+  RoundLedger ledger;
+  reduce_palette_fast(g, colors, 5, 5, ledger);
+  EXPECT_EQ(ledger.rounds(), 0);
+  EXPECT_THROW(reduce_palette_fast(g, colors, 5, 4, ledger), CheckFailure);
+}
+
+class ColeVishkinTrees : public ::testing::TestWithParam<int> {};
+
+TEST_P(ColeVishkinTrees, ThreeColorsAllTreeFixtures) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1000 + 17);
+  for (const auto& [name, g] : testing::tree_zoo()) {
+    const auto ids = random_ids(g.num_nodes(), 40, rng);
+    const auto parent = root_tree(g, 0);
+    RoundLedger ledger;
+    const auto result = cole_vishkin_tree(g, parent, ids, ledger);
+    EXPECT_TRUE(verify_coloring(g, result.colors, 3).ok)
+        << name << " seed=" << GetParam();
+    EXPECT_EQ(result.rounds, ledger.rounds());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColeVishkinTrees, ::testing::Values(1, 2, 3, 4));
+
+TEST(ColeVishkin, RoundsAreLogStarish) {
+  Rng rng(311);
+  const Graph g = make_path(100000);
+  const auto ids = random_ids(100000, 40, rng);
+  const auto parent = root_tree(g, 0);
+  RoundLedger ledger;
+  const auto result = cole_vishkin_tree(g, parent, ids, ledger);
+  EXPECT_TRUE(verify_coloring(g, result.colors, 3).ok);
+  // log*(2^40) phases plus 6 cleanup rounds plus slack.
+  EXPECT_LE(result.rounds, 16);
+}
+
+TEST(ColeVishkin, RejectsNonAdjacentParent) {
+  const Graph g = make_path(4);
+  std::vector<NodeId> bogus{kInvalidNode, 0, 0, 2};  // parent(2)=0 not adjacent
+  RoundLedger ledger;
+  EXPECT_THROW(cole_vishkin_tree(g, bogus, sequential_ids(4), ledger),
+               CheckFailure);
+}
+
+TEST(ColeVishkin, ForestWithManyRoots) {
+  // Two disjoint paths, both rooted at their node of lowest index.
+  const Graph g = Graph::from_edges(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}});
+  std::vector<NodeId> parent{kInvalidNode, 0, 1, kInvalidNode, 3, 4};
+  Rng rng(313);
+  RoundLedger ledger;
+  const auto result = cole_vishkin_tree(g, parent, random_ids(6, 20, rng), ledger);
+  EXPECT_TRUE(verify_coloring(g, result.colors, 3).ok);
+}
+
+}  // namespace
+}  // namespace ckp

@@ -1,0 +1,112 @@
+#include "core/derand.hpp"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "lcl/verify_mis.hpp"
+#include "util/check.hpp"
+
+namespace ckp {
+namespace {
+
+TEST(EnumerateGraphs, CountsForSmallN) {
+  // n=1: only the empty graph. n=2: empty + K2. n=3 unrestricted: 8.
+  EXPECT_EQ(enumerate_graphs(1, 3).size(), 1u);
+  EXPECT_EQ(enumerate_graphs(2, 3).size(), 2u);
+  EXPECT_EQ(enumerate_graphs(3, 2).size(), 8u);
+  // n=3 with Δ<=1: empty + three single edges.
+  EXPECT_EQ(enumerate_graphs(3, 1).size(), 4u);
+}
+
+TEST(EnumerateGraphs, RespectsDegreeCap) {
+  for (const auto& g : enumerate_graphs(4, 2)) {
+    EXPECT_LE(g.max_degree(), 2);
+  }
+  // The star K_{1,3} must appear at Δ=3 but not Δ=2.
+  auto has_star = [](const std::vector<Graph>& graphs) {
+    for (const auto& g : graphs) {
+      if (g.num_edges() == 3 && g.max_degree() == 3) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_star(enumerate_graphs(4, 3)));
+  EXPECT_FALSE(has_star(enumerate_graphs(4, 2)));
+}
+
+TEST(RankGreedyMis, SucceedsWithDistinctRanks) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  std::vector<char> in_set;
+  EXPECT_TRUE(run_rank_greedy_mis(g, {3, 1, 2, 0}, 4, in_set));
+  EXPECT_TRUE(verify_mis(g, in_set).ok);
+}
+
+TEST(RankGreedyMis, DeadlocksOnTies) {
+  const Graph g = Graph::from_edges(2, {{0, 1}});
+  std::vector<char> in_set;
+  EXPECT_FALSE(run_rank_greedy_mis(g, {5, 5}, 2, in_set));
+}
+
+TEST(RankGreedyMis, TieOnNonAdjacentNodesHarmless) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}});
+  std::vector<char> in_set;
+  EXPECT_TRUE(run_rank_greedy_mis(g, {7, 9, 7}, 3, in_set));
+  EXPECT_TRUE(verify_mis(g, in_set).ok);
+}
+
+TEST(Derandomize, FindsGoodPhiTinySetup) {
+  DerandSetup setup;
+  setup.n = 3;
+  setup.delta = 2;
+  setup.id_space = 4;
+  setup.rank_bits = 2;
+  const auto result = derandomize_mis(setup, /*phi_samples=*/50, 99);
+  ASSERT_TRUE(result.found);
+  EXPECT_GT(result.instances, 0u);
+  EXPECT_EQ(result.phi_space, 256u);  // (2^2)^4
+  // The found φ must be injective on the ID space (the only way rank-greedy
+  // never deadlocks when any two IDs can be adjacent).
+  std::set<std::uint64_t> values;
+  for (int id = 0; id < setup.id_space; ++id) {
+    values.insert((result.first_good_phi >> (2 * id)) & 3);
+  }
+  EXPECT_EQ(static_cast<int>(values.size()), setup.id_space);
+  // Union-bound flavor: a decent fraction of φ are good.
+  EXPECT_GT(result.sampled_good_fraction, 0.0);
+}
+
+TEST(Derandomize, GoodFractionMatchesInjectiveDensity) {
+  // For this algorithm goodness == injectivity of φ; with S=4 ids and 2-bit
+  // ranks the injective density is 4!/4⁴ = 24/256.
+  DerandSetup setup;
+  setup.n = 2;
+  setup.delta = 1;
+  setup.id_space = 4;
+  setup.rank_bits = 2;
+  const auto result = derandomize_mis(setup, 400, 123);
+  EXPECT_NEAR(result.sampled_good_fraction, 24.0 / 256.0, 0.05);
+}
+
+TEST(Derandomize, Thm3BoundDominatesClassSize) {
+  DerandSetup setup;
+  setup.n = 4;
+  setup.delta = 3;
+  setup.id_space = 5;
+  setup.rank_bits = 3;
+  const auto result = derandomize_mis(setup, 0, 7);
+  ASSERT_TRUE(result.found);
+  // |G_{n,Δ}| << 2^{n²}: even with ID assignments included, log2 of the
+  // instance count stays below n².
+  EXPECT_LT(std::log2(static_cast<double>(result.instances)),
+            result.log2_thm3_bound);
+}
+
+TEST(Derandomize, RejectsOversizedSetups) {
+  DerandSetup setup;
+  setup.n = 6;  // > 5
+  EXPECT_THROW(derandomize_mis(setup, 0, 1), CheckFailure);
+}
+
+}  // namespace
+}  // namespace ckp

@@ -1,0 +1,82 @@
+#include "core/dichotomy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "lcl/verify_coloring.hpp"
+#include "local/ids.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace ckp {
+namespace {
+
+TEST(IsCycle, Detection) {
+  EXPECT_TRUE(is_cycle(make_cycle(5)));
+  EXPECT_TRUE(is_cycle(make_cycle(100)));
+  EXPECT_FALSE(is_cycle(make_path(5)));
+  EXPECT_FALSE(is_cycle(make_complete(4)));
+  // Two disjoint cycles: 2-regular but disconnected.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId i = 0; i < 4; ++i) edges.emplace_back(i, (i + 1) % 4);
+  for (NodeId i = 0; i < 4; ++i) edges.emplace_back(4 + i, 4 + (i + 1) % 4);
+  EXPECT_FALSE(is_cycle(Graph::from_edges(8, edges)));
+}
+
+class TwoColorEvenCycles : public ::testing::TestWithParam<NodeId> {};
+
+TEST_P(TwoColorEvenCycles, ProperAndLinearRounds) {
+  const NodeId n = GetParam();
+  const Graph g = make_cycle(n);
+  Rng rng(1601);
+  const auto ids = random_ids(n, 32, rng);
+  RoundLedger ledger;
+  const auto r = two_color_cycle(g, ids, ledger);
+  EXPECT_TRUE(verify_coloring(g, r.colors, 2).ok);
+  EXPECT_EQ(r.rounds, static_cast<int>((n + 1) / 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TwoColorEvenCycles,
+                         ::testing::Values(4, 10, 64, 1000));
+
+TEST(TwoColorCycle, RejectsOddAndNonCycle) {
+  Rng rng(1603);
+  RoundLedger ledger;
+  EXPECT_THROW(two_color_cycle(make_cycle(7), random_ids(7, 16, rng), ledger),
+               CheckFailure);
+  EXPECT_THROW(two_color_cycle(make_path(6), random_ids(6, 16, rng), ledger),
+               CheckFailure);
+}
+
+class ThreeColorCycles : public ::testing::TestWithParam<NodeId> {};
+
+TEST_P(ThreeColorCycles, ProperAndLogStarRounds) {
+  const NodeId n = GetParam();
+  const Graph g = make_cycle(n);
+  Rng rng(1607);
+  const auto ids = random_ids(n, 2 * ceil_log2(static_cast<std::uint64_t>(n) + 2), rng);
+  RoundLedger ledger;
+  const auto r = three_color_cycle(g, ids, ledger);
+  EXPECT_TRUE(verify_coloring(g, r.colors, 3).ok);
+  // O(log* n) plus the constant-palette elimination: far below n.
+  EXPECT_LE(r.rounds, 60);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ThreeColorCycles,
+                         ::testing::Values(5, 16, 101, 4096, 100000));
+
+TEST(Dichotomy, GapVisibleOnOneInstance) {
+  // The Theorem 7 gap: on the same cycle, 2-coloring costs Θ(n) while
+  // 3-coloring costs O(log* n).
+  const NodeId n = 2048;
+  const Graph g = make_cycle(n);
+  Rng rng(1609);
+  const auto ids = random_ids(n, 24, rng);
+  RoundLedger l2, l3;
+  two_color_cycle(g, ids, l2);
+  three_color_cycle(g, ids, l3);
+  EXPECT_GT(l2.rounds(), 20 * l3.rounds());
+}
+
+}  // namespace
+}  // namespace ckp

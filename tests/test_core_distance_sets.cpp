@@ -1,0 +1,90 @@
+#include "core/distance_sets.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/trees.hpp"
+#include "util/check.hpp"
+
+namespace ckp {
+namespace {
+
+TEST(IsDistanceKSet, Basics) {
+  const Graph g = make_path(10);
+  // Distance-2 set on a path: members two apart, consecutive links.
+  EXPECT_TRUE(is_distance_k_set(g, {0, 2, 4}, 2));
+  EXPECT_TRUE(is_distance_k_set(g, {3}, 2));
+  // Too close.
+  EXPECT_FALSE(is_distance_k_set(g, {0, 1}, 2));
+  // Far but not connected in G^{=2}: 0 and 5 are at distance 5.
+  EXPECT_FALSE(is_distance_k_set(g, {0, 5}, 2));
+  // Distance exactly 3 links under k=3.
+  EXPECT_TRUE(is_distance_k_set(g, {0, 3, 6, 9}, 3));
+  EXPECT_FALSE(is_distance_k_set(g, {0, 4}, 3));
+}
+
+TEST(IsDistanceKSet, RejectsDuplicates) {
+  const Graph g = make_path(5);
+  EXPECT_THROW(is_distance_k_set(g, {1, 1}, 2), CheckFailure);
+}
+
+TEST(CountDistanceKSets, PathExactValues) {
+  const Graph g = make_path(6);  // vertices 0..5
+  // t=1: every vertex.
+  EXPECT_EQ(count_distance_k_sets(g, 2, 1), 6u);
+  // k=2, t=2: pairs at distance exactly 2: {0,2},{1,3},{2,4},{3,5}.
+  EXPECT_EQ(count_distance_k_sets(g, 2, 2), 4u);
+  // k=2, t=3: {0,2,4},{1,3,5}.
+  EXPECT_EQ(count_distance_k_sets(g, 2, 3), 2u);
+}
+
+TEST(CountDistanceKSets, CycleExactValues) {
+  const Graph g = make_cycle(8);
+  // k=2, t=2: each vertex has two vertices at distance exactly 2 -> 8 pairs.
+  EXPECT_EQ(count_distance_k_sets(g, 2, 2), 8u);
+  // k=4 on C8: antipodal pairs, 4 of them.
+  EXPECT_EQ(count_distance_k_sets(g, 4, 2), 4u);
+}
+
+TEST(CountDistanceKSets, StarHasNoFarPairs) {
+  const Graph g = make_star(8);
+  // Any two leaves are at distance 2; with k=3 no pair qualifies.
+  EXPECT_EQ(count_distance_k_sets(g, 3, 2), 0u);
+  // With k=2 any two leaves work: C(7,2)=21 pairs.
+  EXPECT_EQ(count_distance_k_sets(g, 2, 2), 21u);
+}
+
+TEST(Lemma3, BoundDominatesExactCounts) {
+  // Lemma 3: #distance-k sets of size t <= 4^t · n · Δ^{k(t-1)}. Check it
+  // against exhaustive counts across graphs, k, and t.
+  Rng rng(1501);
+  const std::vector<Graph> graphs = {make_path(30), make_cycle(24),
+                                     make_complete_tree(40, 3),
+                                     make_random_tree(50, 4, rng),
+                                     make_grid(5, 6)};
+  for (const auto& g : graphs) {
+    for (int k : {2, 3}) {
+      for (int t : {1, 2, 3}) {
+        const std::uint64_t exact = count_distance_k_sets(g, k, t);
+        if (exact == 0) continue;
+        const double log2_exact = std::log2(static_cast<double>(exact));
+        const double bound = lemma3_log2_bound(
+            static_cast<std::uint64_t>(g.num_nodes()),
+            std::max(1, g.max_degree()), k, t);
+        EXPECT_LE(log2_exact, bound)
+            << "n=" << g.num_nodes() << " k=" << k << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(Lemma3, BoundFormula) {
+  // 4^t · n · Δ^{k(t-1)} in log2: 2t + log2 n + k(t-1) log2 Δ.
+  EXPECT_DOUBLE_EQ(lemma3_log2_bound(1024, 4, 5, 3), 6.0 + 10.0 + 5 * 2 * 2.0);
+  EXPECT_DOUBLE_EQ(lemma3_log2_bound(2, 1, 1, 1), 2.0 + 1.0 + 0.0);
+}
+
+}  // namespace
+}  // namespace ckp

@@ -1,0 +1,105 @@
+#include "core/lower_bounds.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace ckp {
+namespace {
+
+TEST(Amplify, SingleStepFormula) {
+  const int delta = 3;
+  const double p = 1e-9;
+  const double lp = amplify_failure_log(std::log(p), delta);
+  const double expected =
+      std::log(4.0) + std::log(6.0) / 4.0 + std::log(p) / 12.0;
+  EXPECT_NEAR(lp, expected, 1e-12);
+}
+
+TEST(Amplify, MonotoneInP) {
+  // Larger failure in, larger failure out.
+  const double a = amplify_failure_log(std::log(1e-30), 3);
+  const double b = amplify_failure_log(std::log(1e-10), 3);
+  EXPECT_LT(a, b);
+}
+
+TEST(Amplify, IterationMatchesRepeatedApplication) {
+  double lp = std::log(1e-40);
+  const double direct = iterate_amplification_log(lp, 5, 3);
+  for (int i = 0; i < 3; ++i) lp = amplify_failure_log(lp, 5);
+  EXPECT_NEAR(direct, lp, 1e-12);
+}
+
+TEST(CertifiedBound, ZeroWhenFailureAlreadyLarge) {
+  // p = 1/Δ² or bigger: no rounds certified.
+  EXPECT_EQ(certified_lower_bound(std::log(1.0 / 9.0), 3), 0);
+  EXPECT_EQ(certified_lower_bound(std::log(0.5), 3), 0);
+}
+
+TEST(CertifiedBound, GrowsWithLogLogInverseP) {
+  // Theorem 4 shape: t ~ log_{3(Δ+1)} ln(1/p), so *squaring* ln(1/p)
+  // roughly doubles the certified bound.
+  const int delta = 3;
+  const int t1 = certified_lower_bound(-1e4, delta);   // ln(1/p) = 1e4
+  const int t2 = certified_lower_bound(-1e8, delta);   // squared
+  const int t3 = certified_lower_bound(-1e16, delta);  // squared again
+  EXPECT_GT(t1, 0);
+  EXPECT_GT(t2, t1);
+  EXPECT_GT(t3, t2);
+  EXPECT_NEAR(static_cast<double>(t2), 2.0 * t1, 3.0);
+  EXPECT_NEAR(static_cast<double>(t3), 2.0 * t2, 3.0);
+}
+
+TEST(CertifiedBound, ShrinksWithDelta) {
+  // Larger Δ amplifies more slowly per step *and* has a lower floor: the
+  // certified bound at fixed p decreases in Δ (the log_Δ in Theorem 4).
+  const double lp = -1e9;
+  const int t3 = certified_lower_bound(lp, 3);
+  const int t10 = certified_lower_bound(lp, 10);
+  const int t50 = certified_lower_bound(lp, 50);
+  EXPECT_GT(t3, t10);
+  EXPECT_GT(t10, t50);
+  EXPECT_GT(t50, 0);
+}
+
+TEST(CertifiedBound, TracksClosedForm) {
+  // The mechanical recurrence and the paper's closed form agree up to a
+  // moderate constant factor across a wide sweep.
+  for (int delta : {3, 5, 10, 20}) {
+    for (double log_inv_p : {1e3, 1e6, 1e12}) {
+      const int certified = certified_lower_bound(-log_inv_p, delta);
+      const double closed = thm4_closed_form(log_inv_p, delta);
+      EXPECT_GT(certified + 2, closed / 4.0)
+          << "delta=" << delta << " log1/p=" << log_inv_p;
+      EXPECT_LT(static_cast<double>(certified), 4.0 * closed + 8.0)
+          << "delta=" << delta << " log1/p=" << log_inv_p;
+    }
+  }
+}
+
+TEST(ZeroRoundFailure, MatchesOneOverDeltaSquared) {
+  Rng rng(1103);
+  for (int delta : {3, 4, 6}) {
+    const auto inst = make_random_bipartite_regular(64, delta, rng);
+    const double measured = measured_zero_round_failure(inst, 4000, 31337);
+    const double expected = 1.0 / (static_cast<double>(delta) * delta);
+    EXPECT_NEAR(measured, expected, expected * 0.25) << "delta=" << delta;
+  }
+}
+
+TEST(ZeroRoundFailure, DeterministicGivenSeed) {
+  Rng rng(1109);
+  const auto inst = make_random_bipartite_regular(32, 3, rng);
+  EXPECT_DOUBLE_EQ(measured_zero_round_failure(inst, 100, 7),
+                   measured_zero_round_failure(inst, 100, 7));
+}
+
+TEST(ClosedForm, RejectsBadArguments) {
+  EXPECT_THROW(thm4_closed_form(0.5, 3), CheckFailure);
+  EXPECT_THROW(amplify_failure_log(-1.0, 2), CheckFailure);
+}
+
+}  // namespace
+}  // namespace ckp

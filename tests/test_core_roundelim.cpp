@@ -1,0 +1,151 @@
+#include "core/roundelim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace ckp {
+namespace {
+
+TEST(Problem, ValidationCatchesErrors) {
+  BipartiteProblem p;
+  EXPECT_THROW(p.validate(), CheckFailure);  // degrees unset
+  p.active_degree = 2;
+  p.passive_degree = 2;
+  p.label_names = {"a"};
+  EXPECT_NO_THROW(p.validate());
+  p.active.insert({0});  // wrong arity
+  EXPECT_THROW(p.validate(), CheckFailure);
+  p.active.clear();
+  p.active.insert({0, 1});  // label out of range
+  EXPECT_THROW(p.validate(), CheckFailure);
+}
+
+TEST(SinklessOrientationProblem, Structure) {
+  const auto so = sinkless_orientation_problem(3);
+  EXPECT_EQ(so.active_degree, 3);
+  EXPECT_EQ(so.passive_degree, 2);
+  EXPECT_EQ(so.num_labels(), 2);
+  EXPECT_EQ(so.active.size(), 3u);   // O³, O²I, OI²
+  EXPECT_EQ(so.passive.size(), 1u);  // {O,I}
+  EXPECT_FALSE(zero_round_solvable(so));
+}
+
+TEST(FreeProblem, ZeroRoundSolvable) {
+  const auto p = free_problem(3, 2, 2);
+  EXPECT_TRUE(zero_round_solvable(p));
+}
+
+TEST(RoundElimination, SinklessOrientationStepStructure) {
+  // R(SO) on Δ=3: the new active side (degree 2, the edges) must be exactly
+  // "one {O} end, one {I} end"; the new passive side (degree 3) must be
+  // "not all {I}".
+  const auto so = sinkless_orientation_problem(3);
+  const auto r = round_eliminate(so);
+  EXPECT_EQ(r.active_degree, 2);
+  EXPECT_EQ(r.passive_degree, 3);
+  EXPECT_EQ(r.num_labels(), 2);
+  EXPECT_EQ(r.active.size(), 1u);
+  EXPECT_EQ(r.passive.size(), 3u);
+  EXPECT_FALSE(zero_round_solvable(r));
+}
+
+TEST(RoundElimination, CanonicalSinklessIsFixedPoint) {
+  // The celebrated certificate: R(R(SO)) ≅ SO for the canonical "M U…U"
+  // presentation. This is the mechanical core of the Brandt et al. lower
+  // bound that the paper's Theorem 4 extends.
+  for (int delta : {3, 4, 5}) {
+    const auto so = sinkless_orientation_canonical(delta);
+    const auto rr = round_eliminate(round_eliminate(so));
+    EXPECT_TRUE(problems_isomorphic(so, rr)) << "delta=" << delta;
+    EXPECT_FALSE(zero_round_solvable(rr)) << "delta=" << delta;
+  }
+}
+
+TEST(RoundElimination, NaturalEncodingConvergesToCanonical) {
+  // The O/I encoding is not syntactically a fixed point, but one double
+  // step rewrites it into the canonical presentation, which then repeats
+  // forever — the operator's orbit stabilizes after one step.
+  for (int delta : {3, 4, 5}) {
+    const auto natural = sinkless_orientation_problem(delta);
+    const auto canonical = sinkless_orientation_canonical(delta);
+    const auto rr = round_eliminate(round_eliminate(natural));
+    EXPECT_TRUE(problems_isomorphic(rr, canonical)) << "delta=" << delta;
+    const auto rrrr = round_eliminate(round_eliminate(rr));
+    EXPECT_TRUE(problems_isomorphic(rrrr, canonical)) << "delta=" << delta;
+  }
+}
+
+TEST(RoundElimination, FreeProblemStaysSolvable) {
+  // Control: a trivially solvable problem remains 0-round solvable after
+  // elimination (elimination cannot make an easy problem hard).
+  const auto p = free_problem(3, 2, 2);
+  const auto r = round_eliminate(p);
+  EXPECT_TRUE(zero_round_solvable(r));
+}
+
+TEST(RoundElimination, PreservesDegreeSwap) {
+  const auto so = sinkless_orientation_problem(4);
+  const auto r = round_eliminate(so);
+  EXPECT_EQ(r.active_degree, so.passive_degree);
+  EXPECT_EQ(r.passive_degree, so.active_degree);
+}
+
+TEST(Isomorphism, DetectsRenamings) {
+  auto a = sinkless_orientation_problem(3);
+  // Swap label roles manually: rename O<->I everywhere.
+  BipartiteProblem b = a;
+  b.active.clear();
+  b.passive.clear();
+  for (const auto& cfg : a.active) {
+    std::vector<int> mapped;
+    for (int l : cfg) mapped.push_back(1 - l);
+    std::sort(mapped.begin(), mapped.end());
+    b.active.insert(mapped);
+  }
+  for (const auto& cfg : a.passive) {
+    std::vector<int> mapped;
+    for (int l : cfg) mapped.push_back(1 - l);
+    std::sort(mapped.begin(), mapped.end());
+    b.passive.insert(mapped);
+  }
+  EXPECT_TRUE(problems_isomorphic(a, b));
+}
+
+TEST(Isomorphism, DetectsDifferences) {
+  const auto so3 = sinkless_orientation_problem(3);
+  const auto so4 = sinkless_orientation_problem(4);
+  EXPECT_FALSE(problems_isomorphic(so3, so4));
+  auto mutated = so3;
+  mutated.passive.insert({0, 0});  // allow O-O edges
+  EXPECT_FALSE(problems_isomorphic(so3, mutated));
+}
+
+TEST(RoundElimination, MutatedSinklessCollapses) {
+  // If O-O edges are also allowed, the problem becomes 0-round solvable
+  // (everybody says O) and stays solvable through elimination — elimination
+  // cannot make an easy problem hard.
+  auto easy = sinkless_orientation_problem(3);
+  easy.passive.insert({0, 0});
+  EXPECT_TRUE(zero_round_solvable(easy));
+  const auto r = round_eliminate(easy);
+  EXPECT_TRUE(zero_round_solvable(r));
+}
+
+TEST(ZeroRound, MixedConfigurationCriterion) {
+  // A problem solvable only with a non-monochromatic configuration: active
+  // (a,b), passive must accept every pair over {a,b}.
+  BipartiteProblem p;
+  p.active_degree = 2;
+  p.passive_degree = 2;
+  p.label_names = {"a", "b"};
+  p.active.insert({0, 1});
+  p.passive.insert({0, 0});
+  p.passive.insert({0, 1});
+  EXPECT_FALSE(zero_round_solvable(p));  // (b,b) missing
+  p.passive.insert({1, 1});
+  EXPECT_TRUE(zero_round_solvable(p));
+}
+
+}  // namespace
+}  // namespace ckp

@@ -1,0 +1,148 @@
+// Late-pass seam tests: Theorem 8 transform end-to-end, engine boundary
+// semantics, LPS instances through the Section IV pipeline, and verifier
+// diagnostics.
+#include <gtest/gtest.h>
+
+#include "algo/mis_deterministic.hpp"
+#include "core/sinkless.hpp"
+#include "core/speedup.hpp"
+#include "graph/generators.hpp"
+#include "graph/ramanujan.hpp"
+#include "graph/trees.hpp"
+#include "lcl/verify_mis.hpp"
+#include "lcl/verify_orientation.hpp"
+#include "local/engine.hpp"
+#include "local/ids.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace ckp {
+namespace {
+
+TEST(Thm8Transform, EndToEndValidMis) {
+  const auto inner = [](const Graph& g, const std::vector<std::uint64_t>& ids,
+                        std::uint64_t, int delta, RoundLedger& ledger) {
+    const auto r = mis_deterministic(g, ids, delta, ledger);
+    return std::vector<int>(r.in_set.begin(), r.in_set.end());
+  };
+  Rng rng(2301);
+  const Graph g = make_complete_tree(3000, 4);
+  const auto ids = random_ids(3000, 30, rng);
+  for (int k : {1, 2}) {
+    const int h = thm8_horizon(0.5, k, 4, 1);
+    RoundLedger ledger;
+    const auto r = speedup_transform(g, ids, 4, h, 0, inner, ledger);
+    std::vector<char> in_set(r.labels.begin(), r.labels.end());
+    EXPECT_TRUE(verify_mis(g, in_set).ok) << "k=" << k;
+    EXPECT_GT(r.shortening_rounds, 0);
+  }
+}
+
+TEST(Thm8Horizon, MonotoneInEps) {
+  EXPECT_LE(thm8_horizon(0.25, 2, 16, 1), thm8_horizon(1.0, 2, 16, 1));
+  EXPECT_THROW(thm8_horizon(0.0, 1, 4, 1), CheckFailure);
+}
+
+// Engine: halted nodes stay visible and frozen.
+struct CountDown {
+  struct State {
+    int remaining = 0;
+    std::uint64_t frozen_at = 0;
+  };
+  State init(const NodeEnv& env) {
+    return {static_cast<int>(env.index % 3), 0};
+  }
+  bool step(State& self, const NodeEnv& env,
+            std::span<const State* const> nbrs) {
+    (void)env;
+    (void)nbrs;
+    if (self.remaining == 0) {
+      self.frozen_at = 1;
+      return true;
+    }
+    --self.remaining;
+    return false;
+  }
+};
+
+TEST(Engine, HeterogeneousHaltingTimes) {
+  const Graph g = make_path(9);
+  LocalInput in;
+  in.graph = &g;
+  in.ids = sequential_ids(9);
+  CountDown algo;
+  const auto r = run_local(in, algo, 10);
+  EXPECT_TRUE(r.all_halted);
+  // Nodes halt at index%3 + 1 rounds; the engine runs until the slowest.
+  EXPECT_EQ(r.rounds, 3);
+  for (const auto& s : r.states) {
+    EXPECT_EQ(s.remaining, 0);
+    EXPECT_EQ(s.frozen_at, 1u);
+  }
+}
+
+TEST(Engine, ZeroNodeGraph) {
+  const Graph g;
+  LocalInput in;
+  in.graph = &g;
+  CountDown algo;
+  const auto r = run_local(in, algo, 5);
+  EXPECT_TRUE(r.all_halted);
+  EXPECT_EQ(r.rounds, 0);
+}
+
+TEST(SinklessOnLps, BothAlgorithmsEndToEnd) {
+  // The Section IV pipeline on a certified-girth explicit instance.
+  const auto lps = make_lps_ramanujan(5, 13);
+  const Graph& g = lps.graph;
+  RoundLedger lr;
+  const auto rand_result = sinkless_orientation_randomized(g, 3, lr);
+  ASSERT_TRUE(rand_result.completed);
+  EXPECT_TRUE(verify_sinkless_orientation(g, rand_result.orient).ok);
+  Rng rng(2309);
+  const auto ids = random_ids(
+      g.num_nodes(), 2 * ceil_log2(static_cast<std::uint64_t>(g.num_nodes())),
+      rng);
+  RoundLedger ld;
+  const auto det_result = sinkless_orientation_deterministic(g, ids, ld);
+  EXPECT_TRUE(verify_sinkless_orientation(g, det_result.orient).ok);
+  // Bipartite PGL instance: n = q(q²-1).
+  EXPECT_TRUE(lps.bipartite);
+  EXPECT_EQ(g.num_nodes(), 13 * (13 * 13 - 1));
+}
+
+TEST(VerifierDiagnostics, PinpointOffenders) {
+  const Graph g = make_path(4);
+  const auto bad_mis = verify_mis(g, std::vector<char>{0, 0, 0, 0});
+  EXPECT_FALSE(bad_mis.ok);
+  EXPECT_NE(bad_mis.node, kInvalidNode);
+  EXPECT_FALSE(bad_mis.reason.empty());
+
+  Orientation sinkful{+1, +1, +1};  // path 0->1->2->3: node 3 is a sink
+  const auto bad_orient = verify_sinkless_orientation(g, sinkful);
+  EXPECT_FALSE(bad_orient.ok);
+  EXPECT_EQ(bad_orient.node, 3);
+}
+
+TEST(DeclaredParameters, SpeedupUsesFakeNPlumbing) {
+  // The inner algorithm must observe declared_n, not the true n.
+  std::uint64_t observed = 0;
+  const auto probe = [&observed](const Graph& g,
+                                 const std::vector<std::uint64_t>&,
+                                 std::uint64_t declared_n, int,
+                                 RoundLedger&) {
+    observed = declared_n;
+    return std::vector<int>(static_cast<std::size_t>(g.num_nodes()), 0);
+  };
+  Rng rng(2311);
+  const Graph g = make_complete_tree(2000, 3);
+  const auto ids = random_ids(2000, 30, rng);
+  RoundLedger ledger;
+  const auto r = speedup_transform(g, ids, 3, 4, 0, probe, ledger);
+  EXPECT_EQ(observed, r.declared_n);
+  EXPECT_LT(observed, 2000u * 2000u);  // far below any function of true n²
+  EXPECT_GT(observed, 0u);
+}
+
+}  // namespace
+}  // namespace ckp

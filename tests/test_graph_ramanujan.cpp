@@ -1,0 +1,65 @@
+#include "graph/ramanujan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/components.hpp"
+#include "graph/girth.hpp"
+#include "util/check.hpp"
+
+namespace ckp {
+namespace {
+
+struct LpsCase {
+  int p;
+  int q;
+};
+
+class LpsSweep : public ::testing::TestWithParam<LpsCase> {};
+
+TEST_P(LpsSweep, RegularConnectedRightSize) {
+  const auto [p, q] = GetParam();
+  const auto lps = make_lps_ramanujan(p, q);
+  EXPECT_TRUE(lps.graph.is_regular(p + 1));
+  EXPECT_EQ(connected_components(lps.graph).count, 1);
+  // |PSL(2,q)| = q(q²−1)/2; |PGL(2,q)| = q(q²−1).
+  const NodeId psl = q * (q * q - 1) / 2;
+  const NodeId pgl = q * (q * q - 1);
+  EXPECT_EQ(lps.graph.num_nodes(), lps.bipartite ? pgl : psl);
+}
+
+TEST_P(LpsSweep, GirthMeetsCertifiedBound) {
+  const auto [p, q] = GetParam();
+  const auto lps = make_lps_ramanujan(p, q);
+  const int measured = girth(lps.graph);
+  EXPECT_GE(static_cast<double>(measured), lps.girth_lower_bound)
+      << "p=" << p << " q=" << q;
+  // Girth genuinely grows with log n: far above the bipartite floor.
+  EXPECT_GE(measured, 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, LpsSweep,
+                         ::testing::Values(LpsCase{5, 13}, LpsCase{5, 17},
+                                           LpsCase{13, 17}, LpsCase{5, 29}));
+
+TEST(Lps, BipartitenessMatchesLegendreSymbol) {
+  // p=13, q=17: 13 ≡ 4² mod 17? 4²=16, 5²=25=8, ... check: squares mod 17:
+  // {1,4,9,16,8,2,15,13}: 13 is a residue -> PSL, non-bipartite.
+  const auto a = make_lps_ramanujan(13, 17);
+  EXPECT_FALSE(a.bipartite);
+  // p=5, q=13: squares mod 13: {1,4,9,3,12,10}: 5 is NOT a residue -> PGL,
+  // bipartite.
+  const auto b = make_lps_ramanujan(5, 13);
+  EXPECT_TRUE(b.bipartite);
+  // Bipartite graphs have even girth.
+  EXPECT_EQ(girth(b.graph) % 2, 0);
+}
+
+TEST(Lps, RejectsBadParameters) {
+  EXPECT_THROW(make_lps_ramanujan(7, 13), CheckFailure);   // 7 ≡ 3 mod 4
+  EXPECT_THROW(make_lps_ramanujan(5, 11), CheckFailure);   // 11 ≡ 3 mod 4
+  EXPECT_THROW(make_lps_ramanujan(5, 5), CheckFailure);    // p == q
+  EXPECT_THROW(make_lps_ramanujan(13, 5), CheckFailure);   // q too small
+}
+
+}  // namespace
+}  // namespace ckp

@@ -1,0 +1,105 @@
+#include "graph/regular.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/components.hpp"
+#include "graph/girth.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace ckp {
+namespace {
+
+class RandomRegular : public ::testing::TestWithParam<std::pair<NodeId, int>> {};
+
+TEST_P(RandomRegular, IsSimpleAndRegular) {
+  const auto [n, d] = GetParam();
+  Rng rng(mix_seed(71, static_cast<std::uint64_t>(n), static_cast<std::uint64_t>(d)));
+  const Graph g = make_random_regular(n, d, rng);
+  EXPECT_EQ(g.num_nodes(), n);
+  EXPECT_TRUE(g.is_regular(d));
+  EXPECT_EQ(g.num_edges(), static_cast<EdgeId>(static_cast<std::int64_t>(n) * d / 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RandomRegular,
+    ::testing::Values(std::pair<NodeId, int>{10, 3},
+                      std::pair<NodeId, int>{50, 3},
+                      std::pair<NodeId, int>{64, 4},
+                      std::pair<NodeId, int>{100, 5},
+                      std::pair<NodeId, int>{128, 8},
+                      std::pair<NodeId, int>{41, 6}));
+
+TEST(RandomRegular, RejectsOddProduct) {
+  Rng rng(73);
+  EXPECT_THROW(make_random_regular(7, 3, rng), CheckFailure);
+}
+
+class BipartiteRegular
+    : public ::testing::TestWithParam<std::pair<NodeId, int>> {};
+
+TEST_P(BipartiteRegular, RegularBipartiteProperlyColored) {
+  const auto [side, d] = GetParam();
+  Rng rng(mix_seed(79, static_cast<std::uint64_t>(side), static_cast<std::uint64_t>(d)));
+  const auto inst = make_random_bipartite_regular(side, d, rng);
+  EXPECT_EQ(inst.graph.num_nodes(), 2 * side);
+  EXPECT_TRUE(inst.graph.is_regular(d));
+  EXPECT_EQ(inst.num_colors, d);
+  EXPECT_TRUE(is_proper_edge_coloring(inst.graph, inst.edge_color, d));
+  // Bipartite: no edge within a side.
+  for (EdgeId e = 0; e < inst.graph.num_edges(); ++e) {
+    const auto [u, v] = inst.graph.endpoints(e);
+    EXPECT_NE(u < side, v < side);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, BipartiteRegular,
+    ::testing::Values(std::pair<NodeId, int>{8, 3},
+                      std::pair<NodeId, int>{32, 3},
+                      std::pair<NodeId, int>{64, 4},
+                      std::pair<NodeId, int>{100, 6},
+                      std::pair<NodeId, int>{200, 8}));
+
+TEST(BipartiteRegular, EvenGirthAtLeastFour) {
+  Rng rng(83);
+  const auto inst = make_random_bipartite_regular(128, 3, rng);
+  const int g = girth(inst.graph);
+  EXPECT_GE(g, 4);
+  EXPECT_EQ(g % 2, 0);  // bipartite graphs have even girth
+}
+
+TEST(BipartiteRegular, ShortCyclesAreRare) {
+  // Substitution check (DESIGN.md): in a random Δ-regular bipartite graph
+  // the expected number of 4-cycles is Θ(1) independent of n, so the local
+  // girth around almost every vertex is >= 6 (and grows with n). Sample
+  // vertices and check the overwhelming majority see no 4-cycle.
+  Rng rng(89);
+  const auto inst = make_random_bipartite_regular(1024, 3, rng);
+  int long_girth = 0;
+  const int samples = 64;
+  for (int s = 0; s < samples; ++s) {
+    const auto v = static_cast<NodeId>(
+        rng.next_below(static_cast<std::uint64_t>(inst.graph.num_nodes())));
+    if (shortest_cycle_through(inst.graph, v) >= 6) ++long_girth;
+  }
+  EXPECT_GE(long_girth, samples * 8 / 10);
+}
+
+TEST(Moebius, ThreeRegular) {
+  const Graph g = make_moebius_ladder(8);
+  EXPECT_EQ(g.num_nodes(), 16);
+  EXPECT_TRUE(g.is_regular(3));
+  EXPECT_TRUE(connected_components(g).count == 1);
+}
+
+TEST(ProperEdgeColoring, DetectsViolations) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(is_proper_edge_coloring(g, {0, 1}, 2));
+  EXPECT_FALSE(is_proper_edge_coloring(g, {0, 0}, 2));   // meet at node 1
+  EXPECT_FALSE(is_proper_edge_coloring(g, {0, 2}, 2));   // out of range
+  EXPECT_FALSE(is_proper_edge_coloring(g, {0}, 2));      // wrong size
+}
+
+}  // namespace
+}  // namespace ckp

@@ -1,0 +1,130 @@
+#include "graph/trees.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace ckp {
+namespace {
+
+TEST(CompleteTree, StructureAndDegrees) {
+  for (int delta : {2, 3, 5, 8}) {
+    for (NodeId n : {1, 2, 10, 100, 500}) {
+      const Graph g = make_complete_tree(n, delta);
+      EXPECT_TRUE(is_tree(g)) << "n=" << n << " delta=" << delta;
+      EXPECT_LE(g.max_degree(), delta);
+    }
+  }
+  // A full three-level Δ=3 tree: root(3 children), each child 2 children.
+  const Graph g = make_complete_tree(10, 3);
+  EXPECT_EQ(g.degree(0), 3);
+  EXPECT_EQ(g.degree(1), 3);
+}
+
+TEST(CompleteTree, DiameterLogarithmic) {
+  const Graph g = make_complete_tree(3280, 4);  // ~3^7 nodes
+  EXPECT_TRUE(is_tree(g));
+  const int diam = tree_diameter(g);
+  EXPECT_GE(diam, 10);
+  EXPECT_LE(diam, 18);
+}
+
+TEST(RandomTree, RespectsDegreeCap) {
+  Rng rng(51);
+  for (int delta : {2, 3, 4, 16}) {
+    const Graph g = make_random_tree(300, delta, rng);
+    EXPECT_TRUE(is_tree(g));
+    EXPECT_LE(g.max_degree(), delta);
+  }
+}
+
+TEST(RandomTree, DegreeTwoIsPath) {
+  Rng rng(53);
+  const Graph g = make_random_tree(50, 2, rng);
+  EXPECT_TRUE(is_tree(g));
+  EXPECT_LE(g.max_degree(), 2);
+  int leaves = 0;
+  for (NodeId v = 0; v < 50; ++v) {
+    if (g.degree(v) == 1) ++leaves;
+  }
+  EXPECT_EQ(leaves, 2);
+}
+
+TEST(PruferTree, AlwaysTree) {
+  Rng rng(57);
+  for (NodeId n : {1, 2, 3, 10, 100, 777}) {
+    const Graph g = make_prufer_tree(n, rng);
+    EXPECT_TRUE(is_tree(g)) << n;
+  }
+}
+
+TEST(PruferTree, CoversDifferentShapes) {
+  // Over many samples the max degree should vary (uniform trees are diverse).
+  Rng rng(59);
+  int min_max_deg = 1 << 20;
+  int max_max_deg = 0;
+  for (int s = 0; s < 30; ++s) {
+    const Graph g = make_prufer_tree(40, rng);
+    min_max_deg = std::min(min_max_deg, g.max_degree());
+    max_max_deg = std::max(max_max_deg, g.max_degree());
+  }
+  EXPECT_LT(min_max_deg, max_max_deg);
+}
+
+TEST(Caterpillar, Structure) {
+  const Graph g = make_caterpillar(5, 3);
+  EXPECT_EQ(g.num_nodes(), 5 + 15);
+  EXPECT_TRUE(is_tree(g));
+  EXPECT_EQ(g.max_degree(), 3 + 2);  // middle spine: 2 spine nbrs + 3 legs
+}
+
+TEST(Spider, Structure) {
+  const Graph g = make_spider(6, 4);
+  EXPECT_EQ(g.num_nodes(), 25);
+  EXPECT_TRUE(is_tree(g));
+  EXPECT_EQ(g.degree(0), 6);
+  EXPECT_EQ(tree_diameter(g), 8);
+}
+
+TEST(IsTree, NegativeCases) {
+  EXPECT_FALSE(is_tree(make_cycle(5)));
+  // Forest with 2 components: right edge count minus one, disconnected.
+  EXPECT_FALSE(is_tree(Graph::from_edges(4, {{0, 1}, {2, 3}})));
+  // Connected with extra edge.
+  EXPECT_FALSE(is_tree(Graph::from_edges(3, {{0, 1}, {1, 2}, {0, 2}})));
+}
+
+TEST(RootTree, ParentsAreNeighborsAndAcyclic) {
+  Rng rng(61);
+  const Graph g = make_random_tree(200, 4, rng);
+  const auto parent = root_tree(g, 7);
+  EXPECT_EQ(parent[7], kInvalidNode);
+  for (NodeId v = 0; v < 200; ++v) {
+    if (v == 7) continue;
+    ASSERT_NE(parent[static_cast<std::size_t>(v)], kInvalidNode);
+    EXPECT_TRUE(g.has_edge(v, parent[static_cast<std::size_t>(v)]));
+    // Walking up reaches the root without cycling.
+    NodeId cur = v;
+    int steps = 0;
+    while (cur != 7) {
+      cur = parent[static_cast<std::size_t>(cur)];
+      ASSERT_LE(++steps, 200);
+    }
+  }
+}
+
+TEST(RootTree, RequiresConnectivity) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW(root_tree(g, 0), CheckFailure);
+}
+
+TEST(TreeDiameter, KnownValues) {
+  EXPECT_EQ(tree_diameter(make_path(10)), 9);
+  EXPECT_EQ(tree_diameter(make_star(10)), 2);
+  EXPECT_EQ(tree_diameter(Graph::from_edges(1, {})), 0);
+}
+
+}  // namespace
+}  // namespace ckp

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/trees.hpp"
+#include "lcl/problem.hpp"
+#include "lcl/verify_coloring.hpp"
+#include "lcl/verify_edge_coloring.hpp"
+#include "lcl/verify_matching.hpp"
+#include "lcl/verify_mis.hpp"
+#include "lcl/verify_orientation.hpp"
+#include "lcl/verify_ruling_set.hpp"
+
+namespace ckp {
+namespace {
+
+TEST(VerifyColoring, AcceptsProper) {
+  const Graph g = make_cycle(6);
+  EXPECT_TRUE(verify_coloring(g, std::vector<int>{0, 1, 0, 1, 0, 1}, 2).ok);
+}
+
+TEST(VerifyColoring, RejectsMonochromaticEdge) {
+  const Graph g = make_path(3);
+  const auto r = verify_coloring(g, std::vector<int>{0, 0, 1}, 2);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.edge, kInvalidEdge);
+}
+
+TEST(VerifyColoring, RejectsOutOfPalette) {
+  const Graph g = make_path(2);
+  EXPECT_FALSE(verify_coloring(g, std::vector<int>{0, 2}, 2).ok);
+  EXPECT_FALSE(verify_coloring(g, std::vector<int>{0, -1}, 2).ok);
+  EXPECT_FALSE(verify_coloring(g, std::vector<int>{0}, 2).ok);
+}
+
+TEST(VerifyPartialColoring, AllowsUncolored) {
+  const Graph g = make_path(3);
+  EXPECT_TRUE(verify_partial_coloring(g, std::vector<int>{-1, 0, -1}, 1).ok);
+  EXPECT_FALSE(verify_partial_coloring(g, std::vector<int>{0, 0, -1}, 1).ok);
+}
+
+TEST(VerifySinklessColoring, ForbiddenTriple) {
+  // Path 0-1 with edge color 1: both endpoints colored 1 => forbidden.
+  const Graph g = make_path(2);
+  const std::vector<int> ec{1};
+  EXPECT_FALSE(
+      verify_sinkless_coloring(g, std::vector<int>{1, 1}, ec, 3).ok);
+  EXPECT_TRUE(verify_sinkless_coloring(g, std::vector<int>{1, 2}, ec, 3).ok);
+  EXPECT_TRUE(verify_sinkless_coloring(g, std::vector<int>{0, 0}, ec, 3).ok);
+}
+
+TEST(VerifyMis, AcceptsValid) {
+  const Graph g = make_path(5);
+  EXPECT_TRUE(verify_mis(g, std::vector<char>{1, 0, 1, 0, 1}).ok);
+}
+
+TEST(VerifyMis, RejectsAdjacentMembers) {
+  const Graph g = make_path(3);
+  const auto r = verify_mis(g, std::vector<char>{1, 1, 0});
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(VerifyMis, RejectsNonMaximal) {
+  const Graph g = make_path(5);
+  const auto r = verify_mis(g, std::vector<char>{1, 0, 0, 0, 1});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.node, 2);
+}
+
+TEST(VerifyIndependent, MaximalityNotRequired) {
+  const Graph g = make_path(5);
+  EXPECT_TRUE(verify_independent(g, std::vector<char>{1, 0, 0, 0, 1}).ok);
+}
+
+TEST(VerifyMatching, AcceptsAndRejects) {
+  const Graph g = make_path(4);  // edges 0-1,1-2,2-3
+  EXPECT_TRUE(verify_maximal_matching(g, std::vector<char>{1, 0, 1}).ok);
+  // Overlapping edges share node 1.
+  EXPECT_FALSE(verify_matching(g, std::vector<char>{1, 1, 0}).ok);
+  // Middle edge alone IS maximal on P4.
+  EXPECT_TRUE(verify_maximal_matching(g, std::vector<char>{0, 1, 0}).ok);
+  // Empty matching is not maximal.
+  EXPECT_FALSE(verify_maximal_matching(g, std::vector<char>{0, 0, 0}).ok);
+}
+
+TEST(VerifyOrientation, SinklessOnCycle) {
+  const Graph g = make_cycle(4);
+  // Orient every edge "first->second" — on a cycle built 0-1-2-3-0 this is
+  // consistent except the closing edge; build explicitly.
+  Orientation orient(static_cast<std::size_t>(g.num_edges()), 0);
+  // Send each node's edge to its (v+1)%n neighbor outward.
+  for (NodeId v = 0; v < 4; ++v) {
+    const NodeId u = (v + 1) % 4;
+    const EdgeId e = g.edge_between(v, u);
+    const auto [a, b] = g.endpoints(e);
+    orient[static_cast<std::size_t>(e)] = (a == v) ? +1 : -1;
+  }
+  EXPECT_TRUE(verify_sinkless_orientation(g, orient).ok);
+  EXPECT_TRUE(find_sinks(g, orient).empty());
+}
+
+TEST(VerifyOrientation, DetectsSinkAndUnoriented) {
+  const Graph g = make_path(3);
+  Orientation toward_middle{+1, -1};  // 0->1, 2->1: node 1 is a sink
+  const auto r = verify_sinkless_orientation(g, toward_middle);
+  EXPECT_FALSE(r.ok);
+  const auto sinks = find_sinks(g, toward_middle);
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(sinks[0], 1);
+  Orientation unoriented{+1, 0};
+  EXPECT_FALSE(verify_sinkless_orientation(g, unoriented).ok);
+}
+
+TEST(VerifyOrientation, OutDegreeAccounting) {
+  const Graph g = make_star(4);
+  Orientation all_out(3);
+  for (EdgeId e = 0; e < 3; ++e) {
+    const auto [a, b] = g.endpoints(e);
+    all_out[static_cast<std::size_t>(e)] = (a == 0) ? +1 : -1;
+  }
+  EXPECT_EQ(out_degree(g, all_out, 0), 3);
+  for (NodeId leaf = 1; leaf < 4; ++leaf) {
+    EXPECT_EQ(out_degree(g, all_out, leaf), 0);
+  }
+}
+
+TEST(VerifyEdgeColoring, AcceptsAndRejects) {
+  const Graph g = make_star(4);
+  EXPECT_TRUE(verify_edge_coloring(g, std::vector<int>{0, 1, 2}, 3).ok);
+  EXPECT_FALSE(verify_edge_coloring(g, std::vector<int>{0, 0, 1}, 3).ok);
+  EXPECT_FALSE(verify_edge_coloring(g, std::vector<int>{0, 1, 3}, 3).ok);
+}
+
+TEST(VerifyRulingSet, MisIsTwoOneRuling) {
+  const Graph g = make_path(7);
+  const std::vector<char> mis{1, 0, 1, 0, 1, 0, 1};
+  EXPECT_TRUE(verify_ruling_set(g, mis, 2, 1).ok);
+}
+
+TEST(VerifyRulingSet, SeparationViolation) {
+  const Graph g = make_path(5);
+  const std::vector<char> close{1, 1, 0, 0, 1};
+  EXPECT_FALSE(verify_ruling_set(g, close, 2, 2).ok);
+}
+
+TEST(VerifyRulingSet, DominationViolation) {
+  const Graph g = make_path(9);
+  std::vector<char> sparse(9, 0);
+  sparse[0] = 1;
+  EXPECT_FALSE(verify_ruling_set(g, sparse, 2, 3).ok);
+  EXPECT_TRUE(verify_ruling_set(g, sparse, 2, 8).ok);
+}
+
+TEST(LabelingProblem, ColoringWrapper) {
+  const auto p = make_coloring_problem(3);
+  EXPECT_EQ(p->label_count(), 3);
+  EXPECT_EQ(p->radius(), 1);
+  const Graph g = make_cycle(6);
+  const std::vector<int> good{0, 1, 2, 0, 1, 2};
+  EXPECT_TRUE(p->verify(g, good).ok);
+  const std::vector<int> bad{0, 0, 2, 0, 1, 2};
+  EXPECT_FALSE(p->verify(g, bad).ok);
+}
+
+TEST(LabelingProblem, MisWrapper) {
+  const auto p = make_mis_problem();
+  const Graph g = make_path(4);
+  EXPECT_TRUE(p->verify(g, std::vector<int>{1, 0, 0, 1}).ok);
+  EXPECT_FALSE(p->verify(g, std::vector<int>{0, 0, 0, 0}).ok);
+  EXPECT_FALSE(p->verify(g, std::vector<int>{2, 0, 0, 1}).ok);
+}
+
+}  // namespace
+}  // namespace ckp

@@ -1,0 +1,117 @@
+#include "util/math.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace ckp {
+namespace {
+
+TEST(Ilog2, PowersOfTwo) {
+  for (int k = 0; k <= 62; ++k) {
+    EXPECT_EQ(ilog2(1ULL << k), k) << "k=" << k;
+  }
+}
+
+TEST(Ilog2, BetweenPowers) {
+  EXPECT_EQ(ilog2(3), 1);
+  EXPECT_EQ(ilog2(5), 2);
+  EXPECT_EQ(ilog2(1023), 9);
+  EXPECT_EQ(ilog2(1025), 10);
+}
+
+TEST(Ilog2, RejectsZero) { EXPECT_THROW(ilog2(0), CheckFailure); }
+
+TEST(CeilLog2, ExactAndBetween) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1ULL << 40), 40);
+  EXPECT_EQ(ceil_log2((1ULL << 40) + 1), 41);
+}
+
+TEST(LogStar, KnownValues) {
+  EXPECT_EQ(log_star(1.0), 0);
+  EXPECT_EQ(log_star(2.0), 1);
+  EXPECT_EQ(log_star(4.0), 2);
+  EXPECT_EQ(log_star(16.0), 3);
+  EXPECT_EQ(log_star(65536.0), 4);
+  // 2^1000: 1000 -> 9.97 -> 3.32 -> 1.73 -> 0.79, five applications.
+  EXPECT_EQ(log_star(std::pow(2.0, 1000.0)), 5);
+  // Non-finite arguments are rejected rather than looping forever.
+  EXPECT_THROW(log_star(std::numeric_limits<double>::infinity()),
+               CheckFailure);
+}
+
+TEST(LogStar, Monotone) {
+  int prev = 0;
+  for (double x = 1; x < 1e18; x *= 3) {
+    const int cur = log_star(x);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(IlogBase, Basics) {
+  EXPECT_EQ(ilog_base(3, 1), 0);
+  EXPECT_EQ(ilog_base(3, 2), 0);
+  EXPECT_EQ(ilog_base(3, 3), 1);
+  EXPECT_EQ(ilog_base(3, 26), 2);
+  EXPECT_EQ(ilog_base(3, 27), 3);
+  EXPECT_EQ(ilog_base(10, 99999), 4);
+}
+
+TEST(CeilLogBase, Basics) {
+  EXPECT_EQ(ceil_log_base(3, 1), 0);
+  EXPECT_EQ(ceil_log_base(3, 3), 1);
+  EXPECT_EQ(ceil_log_base(3, 4), 2);
+  EXPECT_EQ(ceil_log_base(3, 9), 2);
+  EXPECT_EQ(ceil_log_base(3, 10), 3);
+}
+
+TEST(IpowSat, NormalAndSaturating) {
+  EXPECT_EQ(ipow_sat(2, 10), 1024u);
+  EXPECT_EQ(ipow_sat(3, 0), 1u);
+  EXPECT_EQ(ipow_sat(0, 5), 0u);
+  EXPECT_EQ(ipow_sat(2, 64), UINT64_MAX);
+  EXPECT_EQ(ipow_sat(10, 30), UINT64_MAX);
+}
+
+TEST(CeilDiv, Basics) {
+  EXPECT_EQ(ceil_div(10, 5), 2u);
+  EXPECT_EQ(ceil_div(11, 5), 3u);
+  EXPECT_EQ(ceil_div(1, 100), 1u);
+}
+
+TEST(Isqrt, ExactSquaresAndNeighbors) {
+  EXPECT_EQ(isqrt(0), 0u);
+  EXPECT_EQ(isqrt(1), 1u);
+  EXPECT_EQ(isqrt(15), 3u);
+  EXPECT_EQ(isqrt(16), 4u);
+  EXPECT_EQ(isqrt(17), 4u);
+  const std::uint64_t big = 3037000499ULL;  // floor(sqrt(2^63))-ish
+  EXPECT_EQ(isqrt(big * big), big);
+  EXPECT_EQ(isqrt(big * big - 1), big - 1);
+}
+
+class IsqrtSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IsqrtSweep, Definition) {
+  const std::uint64_t x = GetParam();
+  const std::uint64_t s = isqrt(x);
+  EXPECT_LE(s * s, x);
+  EXPECT_GT((s + 1) * (s + 1), x);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, IsqrtSweep,
+                         ::testing::Values(2u, 3u, 8u, 24u, 99u, 1000u, 4095u,
+                                           4096u, 4097u, 123456789u,
+                                           987654321123ULL));
+
+}  // namespace
+}  // namespace ckp

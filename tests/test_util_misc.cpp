@@ -1,0 +1,93 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace ckp {
+namespace {
+
+TEST(Check, PassAndFail) {
+  EXPECT_NO_THROW(CKP_CHECK(1 + 1 == 2));
+  EXPECT_THROW(CKP_CHECK(1 == 2), CheckFailure);
+  try {
+    CKP_CHECK_MSG(false, "the answer is " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("the answer is 42"),
+              std::string::npos);
+  }
+}
+
+TEST(Table, AlignedOutput) {
+  Table t({"n", "rounds"});
+  t.add_row({"16", "3"});
+  t.add_row({"1024", "17"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("rounds"), std::string::npos);
+  EXPECT_NE(s.find("1024"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), CheckFailure);
+}
+
+TEST(Table, CellFormatting) {
+  EXPECT_EQ(Table::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::cell(std::uint64_t{42}), "42");
+  EXPECT_EQ(Table::cell(-7), "-7");
+}
+
+TEST(Flags, ParsesForms) {
+  const char* argv[] = {"prog", "--n=128", "--delta", "8", "--verbose"};
+  Flags f(5, argv);
+  EXPECT_EQ(f.get_int("n", 0), 128);
+  EXPECT_EQ(f.get_int("delta", 0), 8);
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_EQ(f.get_int("missing", 7), 7);
+  EXPECT_NO_THROW(f.check_unknown());
+}
+
+TEST(Flags, TypedErrors) {
+  const char* argv[] = {"prog", "--n=abc"};
+  Flags f(2, argv);
+  EXPECT_THROW(f.get_int("n", 0), CheckFailure);
+}
+
+TEST(Flags, UnknownFlagDetected) {
+  const char* argv[] = {"prog", "--typo=1"};
+  Flags f(2, argv);
+  EXPECT_THROW(f.check_unknown(), CheckFailure);
+}
+
+TEST(Flags, DoubleAndString) {
+  const char* argv[] = {"prog", "--eps=0.25", "--name=tree"};
+  Flags f(3, argv);
+  EXPECT_DOUBLE_EQ(f.get_double("eps", 0), 0.25);
+  EXPECT_EQ(f.get_string("name", ""), "tree");
+}
+
+TEST(Timer, MeasuresNonNegative) {
+  Timer t;
+  EXPECT_GE(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_GE(t.millis(), 0.0);
+}
+
+}  // namespace
+}  // namespace ckp

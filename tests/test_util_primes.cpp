@@ -1,0 +1,74 @@
+#include "util/primes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ckp {
+namespace {
+
+TEST(IsPrime, SmallValues) {
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_FALSE(is_prime(4));
+  EXPECT_TRUE(is_prime(5));
+  EXPECT_FALSE(is_prime(9));
+  EXPECT_TRUE(is_prime(97));
+  EXPECT_FALSE(is_prime(91));  // 7 * 13
+}
+
+TEST(IsPrime, AgreesWithSieve) {
+  const int limit = 10000;
+  std::vector<char> composite(limit, 0);
+  for (int p = 2; p * p < limit; ++p) {
+    if (composite[p]) continue;
+    for (int q = p * p; q < limit; q += p) composite[q] = 1;
+  }
+  for (int x = 2; x < limit; ++x) {
+    EXPECT_EQ(is_prime(static_cast<std::uint64_t>(x)), !composite[x])
+        << "x=" << x;
+  }
+}
+
+TEST(IsPrime, LargeKnownValues) {
+  EXPECT_TRUE(is_prime((1ULL << 61) - 1));   // Mersenne prime
+  EXPECT_FALSE(is_prime((1ULL << 62) - 1));  // 3 * ...
+  EXPECT_TRUE(is_prime(1000000007ULL));
+  EXPECT_TRUE(is_prime(1000000000000000003ULL));
+  EXPECT_FALSE(is_prime(1000000007ULL * 1000000009ULL % (1ULL << 62)));
+}
+
+TEST(IsPrime, CarmichaelNumbers) {
+  // Fermat pseudoprimes that must be rejected.
+  for (std::uint64_t c : {561ULL, 1105ULL, 1729ULL, 2465ULL, 2821ULL, 6601ULL,
+                          8911ULL, 10585ULL, 825265ULL}) {
+    EXPECT_FALSE(is_prime(c)) << c;
+  }
+}
+
+TEST(NextPrime, ExactValues) {
+  EXPECT_EQ(next_prime(0), 2u);
+  EXPECT_EQ(next_prime(2), 2u);
+  EXPECT_EQ(next_prime(3), 3u);
+  EXPECT_EQ(next_prime(4), 5u);
+  EXPECT_EQ(next_prime(14), 17u);
+  EXPECT_EQ(next_prime(90), 97u);
+  EXPECT_EQ(next_prime(97), 97u);
+}
+
+class NextPrimeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NextPrimeSweep, IsSmallestPrimeAtLeastN) {
+  const std::uint64_t n = GetParam();
+  const std::uint64_t p = next_prime(n);
+  EXPECT_GE(p, n);
+  EXPECT_TRUE(is_prime(p));
+  for (std::uint64_t x = n; x < p; ++x) EXPECT_FALSE(is_prime(x));
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, NextPrimeSweep,
+                         ::testing::Values(10u, 100u, 1000u, 12345u, 65536u,
+                                           1000000u, 10000000019ULL));
+
+}  // namespace
+}  // namespace ckp

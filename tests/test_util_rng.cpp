@@ -1,0 +1,126 @@
+#include "util/rng.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace ckp {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowRejectsZero) {
+  Rng rng(7);
+  EXPECT_THROW(rng.next_below(0), CheckFailure);
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const auto x = rng.next_in(-5, 5);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 5);
+  }
+  // Degenerate range.
+  EXPECT_EQ(rng.next_in(3, 3), 3);
+}
+
+TEST(Rng, NextDoubleInHalfOpenUnit) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(13);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_FALSE(rng.next_bernoulli(0.0));
+    EXPECT_TRUE(rng.next_bernoulli(1.0));
+    EXPECT_FALSE(rng.next_bernoulli(-1.0));
+    EXPECT_TRUE(rng.next_bernoulli(2.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.next_bernoulli(0.3)) ++hits;
+  }
+  const double freq = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(freq, 0.3, 0.02);
+}
+
+TEST(Rng, UniformityOfNextBelow) {
+  Rng rng(19);
+  const std::uint64_t bound = 8;
+  std::vector<int> counts(bound, 0);
+  const int trials = 80000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.next_below(bound)];
+  for (auto c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 1.0 / 8, 0.01);
+  }
+}
+
+TEST(NodeRng, StreamsAreDecorrelated) {
+  // Distinct (node, epoch) pairs must give (practically) distinct streams.
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t node = 0; node < 100; ++node) {
+    for (std::uint64_t epoch = 0; epoch < 3; ++epoch) {
+      firsts.insert(node_rng(123, node, epoch)());
+    }
+  }
+  EXPECT_EQ(firsts.size(), 300u);
+}
+
+TEST(NodeRng, ReproducibleAcrossCalls) {
+  auto a = node_rng(5, 17, 2);
+  auto b = node_rng(5, 17, 2);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(MixSeed, OrderSensitive) {
+  EXPECT_NE(mix_seed(1, 2, 3), mix_seed(3, 2, 1));
+  EXPECT_NE(mix_seed(1, 2), mix_seed(2, 1));
+  EXPECT_EQ(mix_seed(9, 8, 7), mix_seed(9, 8, 7));
+}
+
+TEST(Splitmix, AdvancesState) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+  EXPECT_NE(s, 0u);
+}
+
+}  // namespace
+}  // namespace ckp

@@ -1,0 +1,86 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ckp {
+namespace {
+
+TEST(Accumulator, EmptyThrows) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_THROW(acc.mean(), CheckFailure);
+  EXPECT_THROW(acc.min(), CheckFailure);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator acc;
+  acc.add(5.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+}
+
+TEST(Accumulator, KnownMoments) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum sq dev = 32.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, MatchesDirectComputation) {
+  Rng rng(101);
+  Accumulator acc;
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double() * 100 - 50;
+    xs.push_back(x);
+    acc.add(x);
+  }
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(acc.mean(), mean, 1e-9);
+  EXPECT_NEAR(acc.variance(), var, 1e-6);
+}
+
+TEST(Percentile, Basics) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 75), 7.5);
+}
+
+TEST(Percentile, SingleAndErrors) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 99), 7.0);
+  EXPECT_THROW(percentile({}, 50), CheckFailure);
+  EXPECT_THROW(percentile({1.0}, 101), CheckFailure);
+}
+
+TEST(MaxOf, Basics) {
+  EXPECT_DOUBLE_EQ(max_of({3.0, 1.0, 2.0}), 3.0);
+  EXPECT_THROW(max_of({}), CheckFailure);
+}
+
+}  // namespace
+}  // namespace ckp
