@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coloring_landscape.dir/bench_coloring_landscape.cpp.o"
+  "CMakeFiles/bench_coloring_landscape.dir/bench_coloring_landscape.cpp.o.d"
+  "bench_coloring_landscape"
+  "bench_coloring_landscape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coloring_landscape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_linial.dir/bench_linial.cpp.o"
+  "CMakeFiles/bench_linial.dir/bench_linial.cpp.o.d"
+  "bench_linial"
+  "bench_linial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

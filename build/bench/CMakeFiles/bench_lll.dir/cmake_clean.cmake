@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lll.dir/bench_lll.cpp.o"
+  "CMakeFiles/bench_lll.dir/bench_lll.cpp.o.d"
+  "bench_lll"
+  "bench_lll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

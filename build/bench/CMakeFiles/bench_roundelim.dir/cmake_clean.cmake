@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_roundelim.dir/bench_roundelim.cpp.o"
+  "CMakeFiles/bench_roundelim.dir/bench_roundelim.cpp.o.d"
+  "bench_roundelim"
+  "bench_roundelim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_roundelim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

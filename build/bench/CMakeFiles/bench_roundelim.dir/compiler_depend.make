@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_roundelim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shattering.dir/bench_shattering.cpp.o"
+  "CMakeFiles/bench_shattering.dir/bench_shattering.cpp.o.d"
+  "bench_shattering"
+  "bench_shattering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shattering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sinkless.cpp" "bench/CMakeFiles/bench_sinkless.dir/bench_sinkless.cpp.o" "gcc" "bench/CMakeFiles/bench_sinkless.dir/bench_sinkless.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ckp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ckp_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ckp_lcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ckp_local.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ckp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ckp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

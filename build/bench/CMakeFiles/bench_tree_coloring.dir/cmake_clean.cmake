@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tree_coloring.dir/bench_tree_coloring.cpp.o"
+  "CMakeFiles/bench_tree_coloring.dir/bench_tree_coloring.cpp.o.d"
+  "bench_tree_coloring"
+  "bench_tree_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tree_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

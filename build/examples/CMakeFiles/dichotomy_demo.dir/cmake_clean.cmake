@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dichotomy_demo.dir/dichotomy_demo.cpp.o"
+  "CMakeFiles/dichotomy_demo.dir/dichotomy_demo.cpp.o.d"
+  "dichotomy_demo"
+  "dichotomy_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dichotomy_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

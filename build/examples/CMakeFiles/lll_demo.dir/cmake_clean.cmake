@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lll_demo.dir/lll_demo.cpp.o"
+  "CMakeFiles/lll_demo.dir/lll_demo.cpp.o.d"
+  "lll_demo"
+  "lll_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lll_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

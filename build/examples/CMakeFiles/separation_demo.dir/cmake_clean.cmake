@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/separation_demo.dir/separation_demo.cpp.o"
+  "CMakeFiles/separation_demo.dir/separation_demo.cpp.o.d"
+  "separation_demo"
+  "separation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/separation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

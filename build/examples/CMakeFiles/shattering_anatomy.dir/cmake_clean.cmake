@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shattering_anatomy.dir/shattering_anatomy.cpp.o"
+  "CMakeFiles/shattering_anatomy.dir/shattering_anatomy.cpp.o.d"
+  "shattering_anatomy"
+  "shattering_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shattering_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

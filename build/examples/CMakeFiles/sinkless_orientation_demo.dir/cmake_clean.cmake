@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sinkless_orientation_demo.dir/sinkless_orientation_demo.cpp.o"
+  "CMakeFiles/sinkless_orientation_demo.dir/sinkless_orientation_demo.cpp.o.d"
+  "sinkless_orientation_demo"
+  "sinkless_orientation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sinkless_orientation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

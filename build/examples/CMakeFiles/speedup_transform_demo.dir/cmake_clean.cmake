@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedup_transform_demo.dir/speedup_transform_demo.cpp.o"
+  "CMakeFiles/speedup_transform_demo.dir/speedup_transform_demo.cpp.o.d"
+  "speedup_transform_demo"
+  "speedup_transform_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedup_transform_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/be_tree_coloring.cpp" "src/CMakeFiles/ckp_algo.dir/algo/be_tree_coloring.cpp.o" "gcc" "src/CMakeFiles/ckp_algo.dir/algo/be_tree_coloring.cpp.o.d"
+  "/root/repo/src/algo/cole_vishkin.cpp" "src/CMakeFiles/ckp_algo.dir/algo/cole_vishkin.cpp.o" "gcc" "src/CMakeFiles/ckp_algo.dir/algo/cole_vishkin.cpp.o.d"
+  "/root/repo/src/algo/color_reduction.cpp" "src/CMakeFiles/ckp_algo.dir/algo/color_reduction.cpp.o" "gcc" "src/CMakeFiles/ckp_algo.dir/algo/color_reduction.cpp.o.d"
+  "/root/repo/src/algo/defective_coloring.cpp" "src/CMakeFiles/ckp_algo.dir/algo/defective_coloring.cpp.o" "gcc" "src/CMakeFiles/ckp_algo.dir/algo/defective_coloring.cpp.o.d"
+  "/root/repo/src/algo/edge_coloring_distributed.cpp" "src/CMakeFiles/ckp_algo.dir/algo/edge_coloring_distributed.cpp.o" "gcc" "src/CMakeFiles/ckp_algo.dir/algo/edge_coloring_distributed.cpp.o.d"
+  "/root/repo/src/algo/forest_decomposition.cpp" "src/CMakeFiles/ckp_algo.dir/algo/forest_decomposition.cpp.o" "gcc" "src/CMakeFiles/ckp_algo.dir/algo/forest_decomposition.cpp.o.d"
+  "/root/repo/src/algo/greedy_color.cpp" "src/CMakeFiles/ckp_algo.dir/algo/greedy_color.cpp.o" "gcc" "src/CMakeFiles/ckp_algo.dir/algo/greedy_color.cpp.o.d"
+  "/root/repo/src/algo/leader_election.cpp" "src/CMakeFiles/ckp_algo.dir/algo/leader_election.cpp.o" "gcc" "src/CMakeFiles/ckp_algo.dir/algo/leader_election.cpp.o.d"
+  "/root/repo/src/algo/linial.cpp" "src/CMakeFiles/ckp_algo.dir/algo/linial.cpp.o" "gcc" "src/CMakeFiles/ckp_algo.dir/algo/linial.cpp.o.d"
+  "/root/repo/src/algo/matching_deterministic.cpp" "src/CMakeFiles/ckp_algo.dir/algo/matching_deterministic.cpp.o" "gcc" "src/CMakeFiles/ckp_algo.dir/algo/matching_deterministic.cpp.o.d"
+  "/root/repo/src/algo/matching_randomized.cpp" "src/CMakeFiles/ckp_algo.dir/algo/matching_randomized.cpp.o" "gcc" "src/CMakeFiles/ckp_algo.dir/algo/matching_randomized.cpp.o.d"
+  "/root/repo/src/algo/mis_deterministic.cpp" "src/CMakeFiles/ckp_algo.dir/algo/mis_deterministic.cpp.o" "gcc" "src/CMakeFiles/ckp_algo.dir/algo/mis_deterministic.cpp.o.d"
+  "/root/repo/src/algo/mis_ghaffari.cpp" "src/CMakeFiles/ckp_algo.dir/algo/mis_ghaffari.cpp.o" "gcc" "src/CMakeFiles/ckp_algo.dir/algo/mis_ghaffari.cpp.o.d"
+  "/root/repo/src/algo/mis_luby.cpp" "src/CMakeFiles/ckp_algo.dir/algo/mis_luby.cpp.o" "gcc" "src/CMakeFiles/ckp_algo.dir/algo/mis_luby.cpp.o.d"
+  "/root/repo/src/algo/network_decomposition.cpp" "src/CMakeFiles/ckp_algo.dir/algo/network_decomposition.cpp.o" "gcc" "src/CMakeFiles/ckp_algo.dir/algo/network_decomposition.cpp.o.d"
+  "/root/repo/src/algo/plus_one_coloring.cpp" "src/CMakeFiles/ckp_algo.dir/algo/plus_one_coloring.cpp.o" "gcc" "src/CMakeFiles/ckp_algo.dir/algo/plus_one_coloring.cpp.o.d"
+  "/root/repo/src/algo/ruling_set.cpp" "src/CMakeFiles/ckp_algo.dir/algo/ruling_set.cpp.o" "gcc" "src/CMakeFiles/ckp_algo.dir/algo/ruling_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ckp_local.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ckp_lcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ckp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ckp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cycle_lcl.cpp" "src/CMakeFiles/ckp_core.dir/core/cycle_lcl.cpp.o" "gcc" "src/CMakeFiles/ckp_core.dir/core/cycle_lcl.cpp.o.d"
+  "/root/repo/src/core/delta_coloring_thm10.cpp" "src/CMakeFiles/ckp_core.dir/core/delta_coloring_thm10.cpp.o" "gcc" "src/CMakeFiles/ckp_core.dir/core/delta_coloring_thm10.cpp.o.d"
+  "/root/repo/src/core/delta_coloring_thm11.cpp" "src/CMakeFiles/ckp_core.dir/core/delta_coloring_thm11.cpp.o" "gcc" "src/CMakeFiles/ckp_core.dir/core/delta_coloring_thm11.cpp.o.d"
+  "/root/repo/src/core/derand.cpp" "src/CMakeFiles/ckp_core.dir/core/derand.cpp.o" "gcc" "src/CMakeFiles/ckp_core.dir/core/derand.cpp.o.d"
+  "/root/repo/src/core/dichotomy.cpp" "src/CMakeFiles/ckp_core.dir/core/dichotomy.cpp.o" "gcc" "src/CMakeFiles/ckp_core.dir/core/dichotomy.cpp.o.d"
+  "/root/repo/src/core/distance_sets.cpp" "src/CMakeFiles/ckp_core.dir/core/distance_sets.cpp.o" "gcc" "src/CMakeFiles/ckp_core.dir/core/distance_sets.cpp.o.d"
+  "/root/repo/src/core/lll.cpp" "src/CMakeFiles/ckp_core.dir/core/lll.cpp.o" "gcc" "src/CMakeFiles/ckp_core.dir/core/lll.cpp.o.d"
+  "/root/repo/src/core/lower_bounds.cpp" "src/CMakeFiles/ckp_core.dir/core/lower_bounds.cpp.o" "gcc" "src/CMakeFiles/ckp_core.dir/core/lower_bounds.cpp.o.d"
+  "/root/repo/src/core/roundelim.cpp" "src/CMakeFiles/ckp_core.dir/core/roundelim.cpp.o" "gcc" "src/CMakeFiles/ckp_core.dir/core/roundelim.cpp.o.d"
+  "/root/repo/src/core/sinkless.cpp" "src/CMakeFiles/ckp_core.dir/core/sinkless.cpp.o" "gcc" "src/CMakeFiles/ckp_core.dir/core/sinkless.cpp.o.d"
+  "/root/repo/src/core/speedup.cpp" "src/CMakeFiles/ckp_core.dir/core/speedup.cpp.o" "gcc" "src/CMakeFiles/ckp_core.dir/core/speedup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ckp_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ckp_local.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ckp_lcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ckp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ckp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckp_core.dir/core/cycle_lcl.cpp.o"
+  "CMakeFiles/ckp_core.dir/core/cycle_lcl.cpp.o.d"
+  "CMakeFiles/ckp_core.dir/core/delta_coloring_thm10.cpp.o"
+  "CMakeFiles/ckp_core.dir/core/delta_coloring_thm10.cpp.o.d"
+  "CMakeFiles/ckp_core.dir/core/delta_coloring_thm11.cpp.o"
+  "CMakeFiles/ckp_core.dir/core/delta_coloring_thm11.cpp.o.d"
+  "CMakeFiles/ckp_core.dir/core/derand.cpp.o"
+  "CMakeFiles/ckp_core.dir/core/derand.cpp.o.d"
+  "CMakeFiles/ckp_core.dir/core/dichotomy.cpp.o"
+  "CMakeFiles/ckp_core.dir/core/dichotomy.cpp.o.d"
+  "CMakeFiles/ckp_core.dir/core/distance_sets.cpp.o"
+  "CMakeFiles/ckp_core.dir/core/distance_sets.cpp.o.d"
+  "CMakeFiles/ckp_core.dir/core/lll.cpp.o"
+  "CMakeFiles/ckp_core.dir/core/lll.cpp.o.d"
+  "CMakeFiles/ckp_core.dir/core/lower_bounds.cpp.o"
+  "CMakeFiles/ckp_core.dir/core/lower_bounds.cpp.o.d"
+  "CMakeFiles/ckp_core.dir/core/roundelim.cpp.o"
+  "CMakeFiles/ckp_core.dir/core/roundelim.cpp.o.d"
+  "CMakeFiles/ckp_core.dir/core/sinkless.cpp.o"
+  "CMakeFiles/ckp_core.dir/core/sinkless.cpp.o.d"
+  "CMakeFiles/ckp_core.dir/core/speedup.cpp.o"
+  "CMakeFiles/ckp_core.dir/core/speedup.cpp.o.d"
+  "libckp_core.a"
+  "libckp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

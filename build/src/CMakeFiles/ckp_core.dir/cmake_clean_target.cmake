@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libckp_core.a"
+)

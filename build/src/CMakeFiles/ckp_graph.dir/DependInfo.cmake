@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builder.cpp" "src/CMakeFiles/ckp_graph.dir/graph/builder.cpp.o" "gcc" "src/CMakeFiles/ckp_graph.dir/graph/builder.cpp.o.d"
+  "/root/repo/src/graph/components.cpp" "src/CMakeFiles/ckp_graph.dir/graph/components.cpp.o" "gcc" "src/CMakeFiles/ckp_graph.dir/graph/components.cpp.o.d"
+  "/root/repo/src/graph/edge_coloring.cpp" "src/CMakeFiles/ckp_graph.dir/graph/edge_coloring.cpp.o" "gcc" "src/CMakeFiles/ckp_graph.dir/graph/edge_coloring.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/ckp_graph.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/ckp_graph.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/girth.cpp" "src/CMakeFiles/ckp_graph.dir/graph/girth.cpp.o" "gcc" "src/CMakeFiles/ckp_graph.dir/graph/girth.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/ckp_graph.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/ckp_graph.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/ckp_graph.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/ckp_graph.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/line_graph.cpp" "src/CMakeFiles/ckp_graph.dir/graph/line_graph.cpp.o" "gcc" "src/CMakeFiles/ckp_graph.dir/graph/line_graph.cpp.o.d"
+  "/root/repo/src/graph/power.cpp" "src/CMakeFiles/ckp_graph.dir/graph/power.cpp.o" "gcc" "src/CMakeFiles/ckp_graph.dir/graph/power.cpp.o.d"
+  "/root/repo/src/graph/ramanujan.cpp" "src/CMakeFiles/ckp_graph.dir/graph/ramanujan.cpp.o" "gcc" "src/CMakeFiles/ckp_graph.dir/graph/ramanujan.cpp.o.d"
+  "/root/repo/src/graph/regular.cpp" "src/CMakeFiles/ckp_graph.dir/graph/regular.cpp.o" "gcc" "src/CMakeFiles/ckp_graph.dir/graph/regular.cpp.o.d"
+  "/root/repo/src/graph/subgraph.cpp" "src/CMakeFiles/ckp_graph.dir/graph/subgraph.cpp.o" "gcc" "src/CMakeFiles/ckp_graph.dir/graph/subgraph.cpp.o.d"
+  "/root/repo/src/graph/trees.cpp" "src/CMakeFiles/ckp_graph.dir/graph/trees.cpp.o" "gcc" "src/CMakeFiles/ckp_graph.dir/graph/trees.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ckp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckp_graph.dir/graph/builder.cpp.o"
+  "CMakeFiles/ckp_graph.dir/graph/builder.cpp.o.d"
+  "CMakeFiles/ckp_graph.dir/graph/components.cpp.o"
+  "CMakeFiles/ckp_graph.dir/graph/components.cpp.o.d"
+  "CMakeFiles/ckp_graph.dir/graph/edge_coloring.cpp.o"
+  "CMakeFiles/ckp_graph.dir/graph/edge_coloring.cpp.o.d"
+  "CMakeFiles/ckp_graph.dir/graph/generators.cpp.o"
+  "CMakeFiles/ckp_graph.dir/graph/generators.cpp.o.d"
+  "CMakeFiles/ckp_graph.dir/graph/girth.cpp.o"
+  "CMakeFiles/ckp_graph.dir/graph/girth.cpp.o.d"
+  "CMakeFiles/ckp_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/ckp_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/ckp_graph.dir/graph/io.cpp.o"
+  "CMakeFiles/ckp_graph.dir/graph/io.cpp.o.d"
+  "CMakeFiles/ckp_graph.dir/graph/line_graph.cpp.o"
+  "CMakeFiles/ckp_graph.dir/graph/line_graph.cpp.o.d"
+  "CMakeFiles/ckp_graph.dir/graph/power.cpp.o"
+  "CMakeFiles/ckp_graph.dir/graph/power.cpp.o.d"
+  "CMakeFiles/ckp_graph.dir/graph/ramanujan.cpp.o"
+  "CMakeFiles/ckp_graph.dir/graph/ramanujan.cpp.o.d"
+  "CMakeFiles/ckp_graph.dir/graph/regular.cpp.o"
+  "CMakeFiles/ckp_graph.dir/graph/regular.cpp.o.d"
+  "CMakeFiles/ckp_graph.dir/graph/subgraph.cpp.o"
+  "CMakeFiles/ckp_graph.dir/graph/subgraph.cpp.o.d"
+  "CMakeFiles/ckp_graph.dir/graph/trees.cpp.o"
+  "CMakeFiles/ckp_graph.dir/graph/trees.cpp.o.d"
+  "libckp_graph.a"
+  "libckp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

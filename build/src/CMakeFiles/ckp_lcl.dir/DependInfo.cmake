@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lcl/ball_checker.cpp" "src/CMakeFiles/ckp_lcl.dir/lcl/ball_checker.cpp.o" "gcc" "src/CMakeFiles/ckp_lcl.dir/lcl/ball_checker.cpp.o.d"
+  "/root/repo/src/lcl/problem.cpp" "src/CMakeFiles/ckp_lcl.dir/lcl/problem.cpp.o" "gcc" "src/CMakeFiles/ckp_lcl.dir/lcl/problem.cpp.o.d"
+  "/root/repo/src/lcl/verify_coloring.cpp" "src/CMakeFiles/ckp_lcl.dir/lcl/verify_coloring.cpp.o" "gcc" "src/CMakeFiles/ckp_lcl.dir/lcl/verify_coloring.cpp.o.d"
+  "/root/repo/src/lcl/verify_edge_coloring.cpp" "src/CMakeFiles/ckp_lcl.dir/lcl/verify_edge_coloring.cpp.o" "gcc" "src/CMakeFiles/ckp_lcl.dir/lcl/verify_edge_coloring.cpp.o.d"
+  "/root/repo/src/lcl/verify_matching.cpp" "src/CMakeFiles/ckp_lcl.dir/lcl/verify_matching.cpp.o" "gcc" "src/CMakeFiles/ckp_lcl.dir/lcl/verify_matching.cpp.o.d"
+  "/root/repo/src/lcl/verify_mis.cpp" "src/CMakeFiles/ckp_lcl.dir/lcl/verify_mis.cpp.o" "gcc" "src/CMakeFiles/ckp_lcl.dir/lcl/verify_mis.cpp.o.d"
+  "/root/repo/src/lcl/verify_orientation.cpp" "src/CMakeFiles/ckp_lcl.dir/lcl/verify_orientation.cpp.o" "gcc" "src/CMakeFiles/ckp_lcl.dir/lcl/verify_orientation.cpp.o.d"
+  "/root/repo/src/lcl/verify_ruling_set.cpp" "src/CMakeFiles/ckp_lcl.dir/lcl/verify_ruling_set.cpp.o" "gcc" "src/CMakeFiles/ckp_lcl.dir/lcl/verify_ruling_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ckp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ckp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

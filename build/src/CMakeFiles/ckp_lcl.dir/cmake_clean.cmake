@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckp_lcl.dir/lcl/ball_checker.cpp.o"
+  "CMakeFiles/ckp_lcl.dir/lcl/ball_checker.cpp.o.d"
+  "CMakeFiles/ckp_lcl.dir/lcl/problem.cpp.o"
+  "CMakeFiles/ckp_lcl.dir/lcl/problem.cpp.o.d"
+  "CMakeFiles/ckp_lcl.dir/lcl/verify_coloring.cpp.o"
+  "CMakeFiles/ckp_lcl.dir/lcl/verify_coloring.cpp.o.d"
+  "CMakeFiles/ckp_lcl.dir/lcl/verify_edge_coloring.cpp.o"
+  "CMakeFiles/ckp_lcl.dir/lcl/verify_edge_coloring.cpp.o.d"
+  "CMakeFiles/ckp_lcl.dir/lcl/verify_matching.cpp.o"
+  "CMakeFiles/ckp_lcl.dir/lcl/verify_matching.cpp.o.d"
+  "CMakeFiles/ckp_lcl.dir/lcl/verify_mis.cpp.o"
+  "CMakeFiles/ckp_lcl.dir/lcl/verify_mis.cpp.o.d"
+  "CMakeFiles/ckp_lcl.dir/lcl/verify_orientation.cpp.o"
+  "CMakeFiles/ckp_lcl.dir/lcl/verify_orientation.cpp.o.d"
+  "CMakeFiles/ckp_lcl.dir/lcl/verify_ruling_set.cpp.o"
+  "CMakeFiles/ckp_lcl.dir/lcl/verify_ruling_set.cpp.o.d"
+  "libckp_lcl.a"
+  "libckp_lcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckp_lcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

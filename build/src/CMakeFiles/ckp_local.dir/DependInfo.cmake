@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/local/engine.cpp" "src/CMakeFiles/ckp_local.dir/local/engine.cpp.o" "gcc" "src/CMakeFiles/ckp_local.dir/local/engine.cpp.o.d"
+  "/root/repo/src/local/ids.cpp" "src/CMakeFiles/ckp_local.dir/local/ids.cpp.o" "gcc" "src/CMakeFiles/ckp_local.dir/local/ids.cpp.o.d"
+  "/root/repo/src/local/trace.cpp" "src/CMakeFiles/ckp_local.dir/local/trace.cpp.o" "gcc" "src/CMakeFiles/ckp_local.dir/local/trace.cpp.o.d"
+  "/root/repo/src/local/view_engine.cpp" "src/CMakeFiles/ckp_local.dir/local/view_engine.cpp.o" "gcc" "src/CMakeFiles/ckp_local.dir/local/view_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ckp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ckp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckp_local.dir/local/engine.cpp.o"
+  "CMakeFiles/ckp_local.dir/local/engine.cpp.o.d"
+  "CMakeFiles/ckp_local.dir/local/ids.cpp.o"
+  "CMakeFiles/ckp_local.dir/local/ids.cpp.o.d"
+  "CMakeFiles/ckp_local.dir/local/trace.cpp.o"
+  "CMakeFiles/ckp_local.dir/local/trace.cpp.o.d"
+  "CMakeFiles/ckp_local.dir/local/view_engine.cpp.o"
+  "CMakeFiles/ckp_local.dir/local/view_engine.cpp.o.d"
+  "libckp_local.a"
+  "libckp_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckp_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

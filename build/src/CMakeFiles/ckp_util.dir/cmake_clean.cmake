@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckp_util.dir/util/flags.cpp.o"
+  "CMakeFiles/ckp_util.dir/util/flags.cpp.o.d"
+  "CMakeFiles/ckp_util.dir/util/math.cpp.o"
+  "CMakeFiles/ckp_util.dir/util/math.cpp.o.d"
+  "CMakeFiles/ckp_util.dir/util/primes.cpp.o"
+  "CMakeFiles/ckp_util.dir/util/primes.cpp.o.d"
+  "CMakeFiles/ckp_util.dir/util/rng.cpp.o"
+  "CMakeFiles/ckp_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/ckp_util.dir/util/stats.cpp.o"
+  "CMakeFiles/ckp_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/ckp_util.dir/util/table.cpp.o"
+  "CMakeFiles/ckp_util.dir/util/table.cpp.o.d"
+  "libckp_util.a"
+  "libckp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algo_defective.dir/test_algo_defective.cpp.o"
+  "CMakeFiles/test_algo_defective.dir/test_algo_defective.cpp.o.d"
+  "test_algo_defective"
+  "test_algo_defective.pdb"
+  "test_algo_defective[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algo_defective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algo_linial.dir/test_algo_linial.cpp.o"
+  "CMakeFiles/test_algo_linial.dir/test_algo_linial.cpp.o.d"
+  "test_algo_linial"
+  "test_algo_linial.pdb"
+  "test_algo_linial[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algo_linial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algo_matching.dir/test_algo_matching.cpp.o"
+  "CMakeFiles/test_algo_matching.dir/test_algo_matching.cpp.o.d"
+  "test_algo_matching"
+  "test_algo_matching.pdb"
+  "test_algo_matching[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algo_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

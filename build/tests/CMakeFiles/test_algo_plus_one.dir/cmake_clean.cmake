@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algo_plus_one.dir/test_algo_plus_one.cpp.o"
+  "CMakeFiles/test_algo_plus_one.dir/test_algo_plus_one.cpp.o.d"
+  "test_algo_plus_one"
+  "test_algo_plus_one.pdb"
+  "test_algo_plus_one[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algo_plus_one.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algo_reduction.dir/test_algo_reduction.cpp.o"
+  "CMakeFiles/test_algo_reduction.dir/test_algo_reduction.cpp.o.d"
+  "test_algo_reduction"
+  "test_algo_reduction.pdb"
+  "test_algo_reduction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algo_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algo_ruling_set.dir/test_algo_ruling_set.cpp.o"
+  "CMakeFiles/test_algo_ruling_set.dir/test_algo_ruling_set.cpp.o.d"
+  "test_algo_ruling_set"
+  "test_algo_ruling_set.pdb"
+  "test_algo_ruling_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algo_ruling_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_cycle_lcl.dir/test_core_cycle_lcl.cpp.o"
+  "CMakeFiles/test_core_cycle_lcl.dir/test_core_cycle_lcl.cpp.o.d"
+  "test_core_cycle_lcl"
+  "test_core_cycle_lcl.pdb"
+  "test_core_cycle_lcl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_cycle_lcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

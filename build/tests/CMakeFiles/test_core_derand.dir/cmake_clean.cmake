@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_derand.dir/test_core_derand.cpp.o"
+  "CMakeFiles/test_core_derand.dir/test_core_derand.cpp.o.d"
+  "test_core_derand"
+  "test_core_derand.pdb"
+  "test_core_derand[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_derand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_dichotomy.dir/test_core_dichotomy.cpp.o"
+  "CMakeFiles/test_core_dichotomy.dir/test_core_dichotomy.cpp.o.d"
+  "test_core_dichotomy"
+  "test_core_dichotomy.pdb"
+  "test_core_dichotomy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_dichotomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

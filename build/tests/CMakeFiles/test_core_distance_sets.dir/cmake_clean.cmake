@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_distance_sets.dir/test_core_distance_sets.cpp.o"
+  "CMakeFiles/test_core_distance_sets.dir/test_core_distance_sets.cpp.o.d"
+  "test_core_distance_sets"
+  "test_core_distance_sets.pdb"
+  "test_core_distance_sets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_distance_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_lll.dir/test_core_lll.cpp.o"
+  "CMakeFiles/test_core_lll.dir/test_core_lll.cpp.o.d"
+  "test_core_lll"
+  "test_core_lll.pdb"
+  "test_core_lll[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_lll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_lower_bounds.dir/test_core_lower_bounds.cpp.o"
+  "CMakeFiles/test_core_lower_bounds.dir/test_core_lower_bounds.cpp.o.d"
+  "test_core_lower_bounds"
+  "test_core_lower_bounds.pdb"
+  "test_core_lower_bounds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_lower_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_roundelim.dir/test_core_roundelim.cpp.o"
+  "CMakeFiles/test_core_roundelim.dir/test_core_roundelim.cpp.o.d"
+  "test_core_roundelim"
+  "test_core_roundelim.pdb"
+  "test_core_roundelim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_roundelim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

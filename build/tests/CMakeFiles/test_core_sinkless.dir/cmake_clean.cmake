@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_sinkless.dir/test_core_sinkless.cpp.o"
+  "CMakeFiles/test_core_sinkless.dir/test_core_sinkless.cpp.o.d"
+  "test_core_sinkless"
+  "test_core_sinkless.pdb"
+  "test_core_sinkless[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_sinkless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

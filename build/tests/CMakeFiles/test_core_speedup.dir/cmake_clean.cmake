@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_speedup.dir/test_core_speedup.cpp.o"
+  "CMakeFiles/test_core_speedup.dir/test_core_speedup.cpp.o.d"
+  "test_core_speedup"
+  "test_core_speedup.pdb"
+  "test_core_speedup[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_thm10.dir/test_core_thm10.cpp.o"
+  "CMakeFiles/test_core_thm10.dir/test_core_thm10.cpp.o.d"
+  "test_core_thm10"
+  "test_core_thm10.pdb"
+  "test_core_thm10[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_thm10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_ramanujan.dir/test_graph_ramanujan.cpp.o"
+  "CMakeFiles/test_graph_ramanujan.dir/test_graph_ramanujan.cpp.o.d"
+  "test_graph_ramanujan"
+  "test_graph_ramanujan.pdb"
+  "test_graph_ramanujan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_ramanujan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_regular.dir/test_graph_regular.cpp.o"
+  "CMakeFiles/test_graph_regular.dir/test_graph_regular.cpp.o.d"
+  "test_graph_regular"
+  "test_graph_regular.pdb"
+  "test_graph_regular[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_regular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

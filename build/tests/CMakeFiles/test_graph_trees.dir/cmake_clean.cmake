@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_trees.dir/test_graph_trees.cpp.o"
+  "CMakeFiles/test_graph_trees.dir/test_graph_trees.cpp.o.d"
+  "test_graph_trees"
+  "test_graph_trees.pdb"
+  "test_graph_trees[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

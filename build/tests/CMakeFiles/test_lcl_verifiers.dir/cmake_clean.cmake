@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lcl_verifiers.dir/test_lcl_verifiers.cpp.o"
+  "CMakeFiles/test_lcl_verifiers.dir/test_lcl_verifiers.cpp.o.d"
+  "test_lcl_verifiers"
+  "test_lcl_verifiers.pdb"
+  "test_lcl_verifiers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lcl_verifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

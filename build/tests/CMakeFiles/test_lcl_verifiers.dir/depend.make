@@ -1,0 +1,2 @@
+# Empty dependencies file for test_lcl_verifiers.
+# This may be replaced when dependencies are built.

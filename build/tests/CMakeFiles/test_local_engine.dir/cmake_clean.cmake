@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_engine.dir/test_local_engine.cpp.o"
+  "CMakeFiles/test_local_engine.dir/test_local_engine.cpp.o.d"
+  "test_local_engine"
+  "test_local_engine.pdb"
+  "test_local_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

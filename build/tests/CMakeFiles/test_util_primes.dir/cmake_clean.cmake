@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_primes.dir/test_util_primes.cpp.o"
+  "CMakeFiles/test_util_primes.dir/test_util_primes.cpp.o.d"
+  "test_util_primes"
+  "test_util_primes.pdb"
+  "test_util_primes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_primes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
