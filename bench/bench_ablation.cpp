@@ -23,6 +23,7 @@
 #include "graph/trees.hpp"
 #include "lcl/verify_coloring.hpp"
 #include "local/ids.hpp"
+#include "obs/reporter.hpp"
 #include "util/check.hpp"
 #include "util/flags.hpp"
 #include "util/math.hpp"
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
   using namespace ckp;
   Flags flags(argc, argv);
   const auto n = static_cast<NodeId>(flags.get_int("n", 1 << 14));
+  BenchReporter reporter(flags, "E15_ablation");
   flags.check_unknown();
 
   std::cout << "E15/Table A: palette reduction to Δ+1 — naive vs blocked\n\n";
@@ -51,12 +53,23 @@ int main(int argc, char** argv) {
       reduce_palette_fast(g, fast, coloring.palette, delta + 1, lf);
       CKP_CHECK(verify_coloring(g, naive, delta + 1).ok);
       CKP_CHECK(verify_coloring(g, fast, delta + 1).ok);
+      for (const bool blocked : {false, true}) {
+        RunRecord rec = reporter.make_record();
+        rec.algorithm = blocked ? "reduce_palette_fast" : "reduce_palette";
+        rec.graph_family = "complete_tree";
+        rec.n = n;
+        rec.delta = delta;
+        rec.rounds = blocked ? lf.rounds() : ln.rounds();
+        rec.verified = true;
+        rec.metric("linial_palette", static_cast<double>(coloring.palette));
+        reporter.add(std::move(rec));
+      }
       t.add_row({Table::cell(delta), Table::cell(coloring.palette),
                  Table::cell(ln.rounds()), Table::cell(lf.rounds()),
                  Table::cell(static_cast<double>(ln.rounds()) / lf.rounds(),
                              1)});
     }
-    t.print(std::cout);
+    reporter.print(t, std::cout);
   }
 
   std::cout << "\nE15/Table B: Theorem 10 constants — paper vs practical\n\n";
@@ -76,6 +89,22 @@ int main(int argc, char** argv) {
         const auto r = delta_coloring_thm10(g, delta, 11, ledger,
                                             use_paper ? paper : practical);
         CKP_CHECK(verify_coloring(g, r.colors, delta).ok);
+        {
+          RunRecord rec = reporter.make_record();
+          rec.algorithm = use_paper ? "thm10_paper_constants"
+                                    : "thm10_practical_constants";
+          rec.graph_family = "complete_tree";
+          rec.n = n;
+          rec.delta = delta;
+          rec.seed = 11;
+          rec.rounds = ledger.rounds();
+          rec.verified = true;
+          rec.trace = r.trace;
+          rec.metric("phase1_iterations",
+                     static_cast<double>(r.phase1_iterations));
+          rec.metric("bad_vertices", static_cast<double>(r.bad_vertices));
+          reporter.add(std::move(rec));
+        }
         t.add_row({Table::cell(delta), use_paper ? "paper" : "practical",
                    Table::cell(r.phase1_iterations),
                    Table::cell(static_cast<std::int64_t>(r.bad_vertices)),
@@ -83,7 +112,7 @@ int main(int argc, char** argv) {
                    Table::cell(ledger.rounds())});
       }
     }
-    t.print(std::cout);
+    reporter.print(t, std::cout);
   }
 
   std::cout << "\nE15/Table C: Ghaffari phase-1 budget vs residue\n\n";
@@ -96,12 +125,27 @@ int main(int argc, char** argv) {
       params.phase1_iterations = iters;
       RoundLedger ledger;
       const auto r = mis_ghaffari(g, 5, ledger, params);
+      {
+        RunRecord rec = reporter.make_record();
+        rec.algorithm = "mis_ghaffari";
+        rec.graph_family = "random_regular";
+        rec.n = n;
+        rec.delta = 16;
+        rec.seed = 5;
+        rec.rounds = ledger.rounds();
+        rec.verified = true;
+        rec.metric("phase1_iterations", static_cast<double>(iters));
+        rec.metric("residue_nodes", static_cast<double>(r.residue_nodes));
+        rec.metric("largest_residue_component",
+                   static_cast<double>(r.largest_residue_component));
+        reporter.add(std::move(rec));
+      }
       t.add_row({Table::cell(iters),
                  Table::cell(static_cast<std::int64_t>(r.residue_nodes)),
                  Table::cell(static_cast<std::int64_t>(r.largest_residue_component)),
                  Table::cell(ledger.rounds())});
     }
-    t.print(std::cout);
+    reporter.print(t, std::cout);
   }
   std::cout << "\nReading: blocked reduction wins by Θ(Δ/log Δ); the paper's"
             << " proof constants push all work into Phase 2\n(still correct,"

@@ -12,6 +12,7 @@
 #include "lcl/verify_coloring.hpp"
 #include "lcl/verify_ruling_set.hpp"
 #include "local/ids.hpp"
+#include "obs/reporter.hpp"
 #include "util/check.hpp"
 #include "util/flags.hpp"
 #include "util/math.hpp"
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const int seeds = static_cast<int>(flags.get_int("seeds", 3));
   const int max_exp = static_cast<int>(flags.get_int("max-exp", 14));
+  BenchReporter reporter(flags, "E10c_coloring_landscape");
   flags.check_unknown();
 
   std::cout << "E10c/Table A: (Δ+1)-coloring — three strategies\n"
@@ -46,6 +48,17 @@ int main(int argc, char** argv) {
           CKP_CHECK(full.completed);
           CKP_CHECK(verify_coloring(g, full.colors, delta + 1).ok);
           rand_rounds.add(lr.rounds());
+          {
+            RunRecord rec = reporter.make_record();
+            rec.algorithm = "plus_one_randomized";
+            rec.graph_family = "random_regular";
+            rec.n = n;
+            rec.delta = delta;
+            rec.seed = static_cast<std::uint64_t>(s) + 1;
+            rec.rounds = lr.rounds();
+            rec.verified = true;
+            reporter.add(std::move(rec));
+          }
 
           PlusOneParams params;
           params.shatter_iterations =
@@ -58,12 +71,37 @@ int main(int argc, char** argv) {
           hybrid_rounds.add(lh.rounds());
           residue.add(hybrid.residue_nodes);
           maxcomp.add(hybrid.largest_residue_component);
+          {
+            RunRecord rec = reporter.make_record();
+            rec.algorithm = "plus_one_hybrid";
+            rec.graph_family = "random_regular";
+            rec.n = n;
+            rec.delta = delta;
+            rec.seed = static_cast<std::uint64_t>(s) + 50;
+            rec.rounds = lh.rounds();
+            rec.verified = true;
+            rec.metric("residue_nodes",
+                       static_cast<double>(hybrid.residue_nodes));
+            rec.metric("largest_residue_component",
+                       static_cast<double>(hybrid.largest_residue_component));
+            reporter.add(std::move(rec));
+          }
         }
         RoundLedger ld;
         const auto ids =
             random_ids(n, 2 * ceil_log2(static_cast<std::uint64_t>(n)), rng);
         const auto det = plus_one_coloring_deterministic(g, ids, delta, ld);
         CKP_CHECK(verify_coloring(g, det.colors, delta + 1).ok);
+        {
+          RunRecord rec = reporter.make_record();
+          rec.algorithm = "plus_one_deterministic";
+          rec.graph_family = "random_regular";
+          rec.n = n;
+          rec.delta = delta;
+          rec.rounds = ld.rounds();
+          rec.verified = true;
+          reporter.add(std::move(rec));
+        }
         t.add_row({Table::cell(delta), Table::cell(static_cast<std::int64_t>(n)),
                    Table::cell(rand_rounds.mean(), 1),
                    Table::cell(hybrid_rounds.mean(), 1),
@@ -71,7 +109,7 @@ int main(int argc, char** argv) {
                    Table::cell(maxcomp.mean(), 1), Table::cell(ld.rounds())});
       }
     }
-    t.print(std::cout);
+    reporter.print(t, std::cout);
   }
 
   std::cout << "\nE10c/Table B: (β+1, β)-ruling sets via powers\n\n";
@@ -89,12 +127,24 @@ int main(int argc, char** argv) {
         CKP_CHECK(verify_ruling_set(g, det.in_set, beta + 1, beta).ok);
         const auto rnd = ruling_set_randomized(g, beta, 7, lr);
         CKP_CHECK(rnd.completed);
+        {
+          RunRecord rec = reporter.make_record();
+          rec.algorithm = "ruling_set_deterministic";
+          rec.graph_family = "random_regular";
+          rec.n = n;
+          rec.delta = delta;
+          rec.rounds = ld.rounds();
+          rec.verified = true;
+          rec.metric("beta", static_cast<double>(beta));
+          rec.metric("power_delta", static_cast<double>(det.power_delta));
+          reporter.add(std::move(rec));
+        }
         t.add_row({Table::cell(delta), Table::cell(static_cast<std::int64_t>(n)),
                    Table::cell(beta), Table::cell(ld.rounds()),
                    Table::cell(lr.rounds()), Table::cell(det.power_delta)});
       }
     }
-    t.print(std::cout);
+    reporter.print(t, std::cout);
   }
   std::cout << "\nExpected shape: rand grows with log n; hybrid is flat in n"
             << " with log n-size residue components;\ndet flat in n but grows"

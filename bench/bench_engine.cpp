@@ -3,7 +3,17 @@
 // experiment; this binary reports the wall-clock cost of the simulation
 // substrate itself: graph construction, one engine round, ball collection,
 // and a full Luby run.
+//
+// Unlike the table-printing benches this one is driven by google-benchmark,
+// whose flag parser rejects unknown flags — so a custom main() peels
+// --json_out off argv first, then captures every finished run through a
+// reporter subclass and streams it as RunRecord JSON Lines.
 #include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "algo/mis_luby.hpp"
 #include "algo/linial.hpp"
@@ -11,6 +21,7 @@
 #include "graph/regular.hpp"
 #include "graph/trees.hpp"
 #include "local/ids.hpp"
+#include "obs/run_record.hpp"
 
 namespace {
 
@@ -73,4 +84,60 @@ void BM_BallCollection(benchmark::State& state) {
 }
 BENCHMARK(BM_BallCollection)->Arg(2)->Arg(4)->Arg(8);
 
+// Console output as usual, plus one RunRecord per finished benchmark run.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  std::vector<RunRecord> records;
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      RunRecord rec;
+      rec.bench = "E11_engine";
+      rec.algorithm = run.benchmark_name();
+      if (run.iterations > 0) {
+        rec.wall_seconds =
+            run.real_accumulated_time / static_cast<double>(run.iterations);
+        rec.metric("cpu_seconds_per_iter",
+                   run.cpu_accumulated_time /
+                       static_cast<double>(run.iterations));
+      }
+      rec.metric("iterations", static_cast<double>(run.iterations));
+      for (const auto& kv : run.counters) {
+        rec.metric(kv.first, static_cast<double>(kv.second));
+      }
+      records.push_back(std::move(rec));
+    }
+  }
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> bargs;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    constexpr std::string_view kJsonOut = "--json_out=";
+    if (arg.rfind(kJsonOut, 0) == 0) {
+      json_path = std::string(arg.substr(kJsonOut.size()));
+    } else {
+      bargs.push_back(argv[i]);
+    }
+  }
+  int bargc = static_cast<int>(bargs.size());
+  benchmark::Initialize(&bargc, bargs.data());
+  if (benchmark::ReportUnrecognizedArguments(bargc, bargs.data())) return 1;
+
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    ckp::JsonlWriter out(json_path);
+    for (const ckp::RunRecord& rec : reporter.records) out.write(rec);
+    std::cout << "[obs] wrote " << out.rows_written() << " run records to "
+              << json_path << "\n";
+  }
+  return 0;
+}

@@ -13,6 +13,7 @@
 #include "graph/regular.hpp"
 #include "lcl/verify_mis.hpp"
 #include "local/ids.hpp"
+#include "obs/reporter.hpp"
 #include "util/check.hpp"
 #include "util/flags.hpp"
 #include "util/math.hpp"
@@ -24,6 +25,7 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const int seeds = static_cast<int>(flags.get_int("seeds", 3));
   const int max_exp = static_cast<int>(flags.get_int("max-exp", 14));
+  BenchReporter reporter(flags, "E10a_mis");
   flags.check_unknown();
 
   std::cout << "E10a: MIS — randomized vs deterministic round complexity\n"
@@ -46,6 +48,17 @@ int main(int argc, char** argv) {
         CKP_CHECK(l.completed);
         CKP_CHECK(verify_mis(g, l.in_set).ok);
         luby.add(l.rounds);
+        {
+          RunRecord rec = reporter.make_record();
+          rec.algorithm = "mis_luby";
+          rec.graph_family = "random_regular";
+          rec.n = n;
+          rec.delta = delta;
+          rec.seed = in.seed;
+          rec.rounds = l.rounds;
+          rec.verified = true;
+          reporter.add(std::move(rec));
+        }
 
         RoundLedger lg;
         const auto gh = mis_ghaffari(g, static_cast<std::uint64_t>(s) + 1, lg);
@@ -53,12 +66,38 @@ int main(int argc, char** argv) {
         ghaf.add(lg.rounds());
         residue.add(gh.residue_nodes);
         maxcomp.add(gh.largest_residue_component);
+        {
+          RunRecord rec = reporter.make_record();
+          rec.algorithm = "mis_ghaffari";
+          rec.graph_family = "random_regular";
+          rec.n = n;
+          rec.delta = delta;
+          rec.seed = static_cast<std::uint64_t>(s) + 1;
+          rec.rounds = lg.rounds();
+          rec.verified = true;
+          rec.metric("residue_nodes", static_cast<double>(gh.residue_nodes));
+          rec.metric("largest_residue_component",
+                     static_cast<double>(gh.largest_residue_component));
+          reporter.add(std::move(rec));
+        }
       }
       RoundLedger ld;
       const auto ids =
           random_ids(n, 2 * ceil_log2(static_cast<std::uint64_t>(n)), rng);
       const auto det = mis_deterministic(g, ids, delta, ld);
       CKP_CHECK(verify_mis(g, det.in_set).ok);
+      {
+        RunRecord rec = reporter.make_record();
+        rec.algorithm = "mis_deterministic";
+        rec.graph_family = "random_regular";
+        rec.n = n;
+        rec.delta = delta;
+        rec.rounds = ld.rounds();
+        rec.verified = true;
+        rec.metric("schedule_palette",
+                   static_cast<double>(det.schedule_palette));
+        reporter.add(std::move(rec));
+      }
       t.add_row({Table::cell(delta), Table::cell(static_cast<std::int64_t>(n)),
                  Table::cell(luby.mean(), 1), Table::cell(ghaf.mean(), 1),
                  Table::cell(residue.mean(), 0),
@@ -66,7 +105,7 @@ int main(int argc, char** argv) {
                  Table::cell(det.schedule_palette)});
     }
   }
-  t.print(std::cout);
+  reporter.print(t, std::cout);
   std::cout << "\nExpected shape: det rounds scale with Δ·log Δ (blocked"
             << " schedule reduction) and are flat in n; luby scales with log n;\n"
             << "ghaffari's shattering leaves a residue with only small"

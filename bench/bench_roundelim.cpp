@@ -8,12 +8,14 @@
 #include <iostream>
 
 #include "core/roundelim.hpp"
+#include "obs/reporter.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace ckp;
   Flags flags(argc, argv);
+  BenchReporter reporter(flags, "E9_roundelim");
   flags.check_unknown();
 
   std::cout << "E9: round-elimination fixed point for sinkless orientation\n\n";
@@ -24,6 +26,17 @@ int main(int argc, char** argv) {
       const auto p = natural_form ? sinkless_orientation_problem(delta)
                                   : canonical;
       const auto rr = round_eliminate(round_eliminate(p));
+      {
+        RunRecord rec = reporter.make_record();
+        rec.algorithm = natural_form ? "roundelim_natural" : "roundelim_canonical";
+        rec.delta = delta;
+        rec.verified = problems_isomorphic(rr, canonical);
+        rec.metric("labels", static_cast<double>(p.num_labels()));
+        rec.metric("active", static_cast<double>(p.active.size()));
+        rec.metric("passive", static_cast<double>(p.passive.size()));
+        rec.metric("zero_round_solvable", zero_round_solvable(p) ? 1.0 : 0.0);
+        reporter.add(std::move(rec));
+      }
       t.add_row({Table::cell(delta), natural_form ? "O/I" : "M/U",
                  Table::cell(p.num_labels()),
                  Table::cell(static_cast<std::uint64_t>(p.active.size())),
@@ -32,7 +45,7 @@ int main(int argc, char** argv) {
                  zero_round_solvable(p) ? "yes" : "no"});
     }
   }
-  t.print(std::cout);
+  reporter.print(t, std::cout);
 
   std::cout << "\nControl: trivially solvable problem stays 0-round solvable"
             << " through elimination\n\n";
@@ -43,7 +56,7 @@ int main(int argc, char** argv) {
     c.add_row({Table::cell(delta), zero_round_solvable(p) ? "yes" : "no",
                zero_round_solvable(r) ? "yes" : "no"});
   }
-  c.print(std::cout);
+  reporter.print(c, std::cout);
   std::cout << "\nExpected shape: RR≅orig = yes and 0-round = no for every Δ"
             << " — sinkless orientation is a round-elimination fixed point,\n"
             << "certifying that no fixed-round algorithm exists (the paper's"

@@ -18,18 +18,20 @@
 #include "graph/trees.hpp"
 #include "lcl/verify_coloring.hpp"
 #include "local/ids.hpp"
+#include "obs/reporter.hpp"
 #include "util/check.hpp"
 #include "util/flags.hpp"
 #include "util/math.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 int main(int argc, char** argv) {
   using namespace ckp;
   Flags flags(argc, argv);
   const int seeds = static_cast<int>(flags.get_int("seeds", 3));
   const int max_exp = static_cast<int>(flags.get_int("max-exp", 20));
-  const bool csv = flags.get_bool("csv", false);
+  BenchReporter reporter(flags, "E1_separation");
   flags.check_unknown();
 
   std::cout << "E1: exponential separation for Δ-coloring trees\n"
@@ -48,22 +50,73 @@ int main(int argc, char** argv) {
       const auto ids = random_ids(n, 2 * ceil_log2(static_cast<std::uint64_t>(n)),
                                   rng);
       RoundLedger det_ledger;
+      Timer det_timer;
       const auto det = be_tree_coloring(g, delta, ids, det_ledger);
+      const double det_seconds = det_timer.seconds();
       CKP_CHECK(verify_coloring(g, det.colors, delta).ok);
+      {
+        RunRecord rec = reporter.make_record();
+        rec.algorithm = "be_tree_coloring";
+        rec.graph_family = "complete_tree";
+        rec.n = n;
+        rec.delta = delta;
+        rec.rounds = det_ledger.rounds();
+        rec.wall_seconds = det_seconds;
+        rec.verified = true;
+        rec.metric("layers", det.layers);
+        reporter.add(std::move(rec));
+      }
 
       Accumulator r10, r11;
       for (int s = 0; s < seeds; ++s) {
         RoundLedger l10, l11;
+        Timer t10;
         const auto a = delta_coloring_thm10(g, delta,
                                             static_cast<std::uint64_t>(s) + 1,
                                             l10);
+        const double sec10 = t10.seconds();
         CKP_CHECK(verify_coloring(g, a.colors, delta).ok);
         r10.add(l10.rounds());
+        {
+          RunRecord rec = reporter.make_record();
+          rec.algorithm = "thm10";
+          rec.graph_family = "complete_tree";
+          rec.n = n;
+          rec.delta = delta;
+          rec.seed = static_cast<std::uint64_t>(s) + 1;
+          rec.rounds = l10.rounds();
+          rec.wall_seconds = sec10;
+          rec.verified = true;
+          rec.trace = a.trace;
+          rec.metric("bad_vertices", static_cast<double>(a.bad_vertices));
+          rec.metric("largest_bad_component",
+                     static_cast<double>(a.largest_bad_component));
+          reporter.add(std::move(rec));
+        }
+        Timer t11;
         const auto b = delta_coloring_thm11(g, delta,
                                             static_cast<std::uint64_t>(s) + 1,
                                             l11);
+        const double sec11 = t11.seconds();
         CKP_CHECK(verify_coloring(g, b.colors, delta).ok);
         r11.add(l11.rounds());
+        {
+          RunRecord rec = reporter.make_record();
+          rec.algorithm = "thm11";
+          rec.graph_family = "complete_tree";
+          rec.n = n;
+          rec.delta = delta;
+          rec.seed = static_cast<std::uint64_t>(s) + 1;
+          rec.rounds = l11.rounds();
+          rec.wall_seconds = sec11;
+          rec.verified = true;
+          rec.trace = b.trace;
+          rec.metric("phase2_set_size",
+                     static_cast<double>(b.phase2_set_size));
+          rec.metric("phase2_largest_component",
+                     static_cast<double>(b.phase2_largest_component));
+          reporter.add(std::move(rec));
+        }
       }
       table.add_row({Table::cell(delta), Table::cell(static_cast<std::int64_t>(n)),
                      Table::cell(ilog_base(static_cast<std::uint64_t>(delta),
@@ -73,11 +126,7 @@ int main(int argc, char** argv) {
                      Table::cell(det_ledger.rounds() / r10.mean(), 2)});
     }
   }
-  if (csv) {
-    table.print_csv(std::cout);
-  } else {
-    table.print(std::cout);
-  }
+  reporter.print(table, std::cout);
   std::cout << "\nExpected shape: det grows with log_Δ n; rand columns stay"
             << " nearly flat; det/rand widens as n grows.\n";
   return 0;

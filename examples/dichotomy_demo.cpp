@@ -9,6 +9,7 @@
 #include "graph/generators.hpp"
 #include "lcl/verify_coloring.hpp"
 #include "local/ids.hpp"
+#include "obs/reporter.hpp"
 #include "util/check.hpp"
 #include "util/flags.hpp"
 #include "util/math.hpp"
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   auto n = static_cast<NodeId>(flags.get_int("n", 65536));
   if (n % 2 != 0) ++n;  // 2-coloring needs an even cycle
+  BenchReporter reporter(flags, "dichotomy_demo");
   flags.check_unknown();
 
   const Graph g = make_cycle(n);
@@ -31,6 +33,16 @@ int main(int argc, char** argv) {
   RoundLedger l3;
   const auto c3 = three_color_cycle(g, ids, l3);
   CKP_CHECK(verify_coloring(g, c3.colors, 3).ok);
+  for (const bool two_sided : {true, false}) {
+    RunRecord rec = reporter.make_record();
+    rec.algorithm = two_sided ? "two_color_cycle" : "three_color_cycle";
+    rec.graph_family = "cycle";
+    rec.n = n;
+    rec.delta = 2;
+    rec.rounds = two_sided ? l2.rounds() : l3.rounds();
+    rec.verified = true;
+    reporter.add(std::move(rec));
+  }
 
   std::cout << "cycle with n = " << n << " (log* n = "
             << log_star(static_cast<double>(n)) << ")\n\n"

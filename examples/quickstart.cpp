@@ -2,11 +2,16 @@
 // algorithm (Theorem 11), verify the result, and inspect the round count.
 //
 //   ./quickstart [--n=20000] [--delta=55] [--seed=1]
+//               [--json_out=run.jsonl] [--trace_out=run.trace.json]
+//
+// --trace_out exports the per-phase timeline as a Chrome trace-event file
+// (load it at chrome://tracing or ui.perfetto.dev).
 #include <iostream>
 
 #include "core/delta_coloring_thm11.hpp"
 #include "graph/trees.hpp"
 #include "lcl/verify_coloring.hpp"
+#include "obs/reporter.hpp"
 #include "util/flags.hpp"
 #include "util/math.hpp"
 
@@ -16,6 +21,7 @@ int main(int argc, char** argv) {
   const auto n = static_cast<NodeId>(flags.get_int("n", 20000));
   const int delta = static_cast<int>(flags.get_int("delta", 55));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  BenchReporter reporter(flags, "quickstart");
   flags.check_unknown();
 
   // 1. An instance: a complete degree-Δ tree (every internal node has
@@ -47,5 +53,19 @@ int main(int argc, char** argv) {
   std::cout << "\nshattering telemetry: |S|=" << result.phase2_set_size
             << ", largest S-component=" << result.phase2_largest_component
             << ", phase-3 residue=" << result.phase3_set_size << "\n";
+
+  RunRecord rec = reporter.make_record();
+  rec.algorithm = "thm11";
+  rec.graph_family = "complete_tree";
+  rec.n = n;
+  rec.delta = delta;
+  rec.seed = seed;
+  rec.rounds = result.rounds;
+  rec.verified = verdict.ok;
+  rec.trace = result.trace;
+  rec.metric("phase2_set_size", static_cast<double>(result.phase2_set_size));
+  rec.metric("phase3_set_size", static_cast<double>(result.phase3_set_size));
+  reporter.add(std::move(rec));
+  reporter.finish();
   return verdict.ok ? 0 : 1;
 }

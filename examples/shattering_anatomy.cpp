@@ -10,6 +10,7 @@
 #include "algo/mis_ghaffari.hpp"
 #include "graph/regular.hpp"
 #include "lcl/verify_mis.hpp"
+#include "obs/reporter.hpp"
 #include "util/check.hpp"
 #include "util/flags.hpp"
 #include "util/math.hpp"
@@ -21,6 +22,7 @@ int main(int argc, char** argv) {
   const auto n = static_cast<NodeId>(flags.get_int("n", 8192));
   const int delta = static_cast<int>(flags.get_int("delta", 16));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2));
+  BenchReporter reporter(flags, "shattering_anatomy");
   flags.check_unknown();
 
   Rng rng(seed);
@@ -36,11 +38,26 @@ int main(int argc, char** argv) {
     RoundLedger ledger;
     const auto r = mis_ghaffari(g, seed, ledger, params);
     CKP_CHECK(verify_mis(g, r.in_set).ok);
+    {
+      RunRecord rec = reporter.make_record();
+      rec.algorithm = "mis_ghaffari";
+      rec.graph_family = "random_regular";
+      rec.n = n;
+      rec.delta = delta;
+      rec.seed = seed;
+      rec.rounds = ledger.rounds();
+      rec.verified = true;
+      rec.metric("phase1_iterations", static_cast<double>(iters));
+      rec.metric("residue_nodes", static_cast<double>(r.residue_nodes));
+      rec.metric("largest_residue_component",
+                 static_cast<double>(r.largest_residue_component));
+      reporter.add(std::move(rec));
+    }
     t.add_row({Table::cell(iters), Table::cell(static_cast<std::int64_t>(r.residue_nodes)),
                Table::cell(static_cast<std::int64_t>(r.largest_residue_component)),
                Table::cell(ledger.rounds())});
   }
-  t.print(std::cout);
+  reporter.print(t, std::cout);
   std::cout
       << "\nReading: a few randomized iterations leave a giant undecided\n"
          "component; enough iterations *shatter* it into O(log n)-size\n"

@@ -9,6 +9,7 @@
 #include "graph/girth.hpp"
 #include "graph/regular.hpp"
 #include "local/ids.hpp"
+#include "obs/reporter.hpp"
 #include "util/check.hpp"
 #include "util/flags.hpp"
 #include "util/math.hpp"
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
   const auto side = static_cast<NodeId>(flags.get_int("side", 4096));
   const int delta = static_cast<int>(flags.get_int("delta", 3));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  BenchReporter reporter(flags, "sinkless_orientation_demo");
   flags.check_unknown();
 
   Rng rng(seed);
@@ -33,6 +35,20 @@ int main(int argc, char** argv) {
   const auto r = sinkless_orientation_randomized(g, seed, rand_ledger);
   CKP_CHECK(r.completed);
   CKP_CHECK(verify_sinkless_orientation(g, r.orient).ok);
+  {
+    RunRecord rec = reporter.make_record();
+    rec.algorithm = "sinkless_rand";
+    rec.graph_family = "bipartite_regular";
+    rec.n = g.num_nodes();
+    rec.delta = delta;
+    rec.seed = seed;
+    rec.rounds = rand_ledger.rounds();
+    rec.verified = true;
+    rec.metric("sinks_after_claims",
+               static_cast<double>(r.sinks_after_claims));
+    rec.metric("repair_rounds", static_cast<double>(r.repair_rounds));
+    reporter.add(std::move(rec));
+  }
   std::cout << "RandLOCAL claim+repair: " << rand_ledger.rounds()
             << " rounds (" << r.sinks_after_claims
             << " sinks after the claim round, repaired in "
@@ -44,6 +60,16 @@ int main(int argc, char** argv) {
   RoundLedger det_ledger;
   const auto d = sinkless_orientation_deterministic(g, ids, det_ledger);
   CKP_CHECK(verify_sinkless_orientation(g, d.orient).ok);
+  {
+    RunRecord rec = reporter.make_record();
+    rec.algorithm = "sinkless_det";
+    rec.graph_family = "bipartite_regular";
+    rec.n = g.num_nodes();
+    rec.delta = delta;
+    rec.rounds = det_ledger.rounds();
+    rec.verified = true;
+    reporter.add(std::move(rec));
+  }
   std::cout << "DetLOCAL leader orientation: " << det_ledger.rounds()
             << " rounds (component diameter; log_Δ n = "
             << ilog_base(static_cast<std::uint64_t>(delta),

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Runs every bench binary at a small, fast parameterization with --json_out
+# and concatenates the per-bench JSON Lines into one file (default
+# BENCH_PR.json at the repo root). The result is the machine-readable record
+# of one benchmark sweep: one RunRecord per measured run, across all
+# experiments.
+#
+#   scripts/collect_bench.sh [BUILD_DIR] [OUT_FILE]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_FILE="${2:-BENCH_PR.json}"
+BENCH_DIR="$BUILD_DIR/bench"
+
+if [[ ! -d "$BENCH_DIR" ]]; then
+  echo "error: $BENCH_DIR not found — build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+# bench binary -> small-but-representative arguments. Every run still
+# verifies its outputs; the knobs only shrink the n/seed sweeps.
+run_bench() {
+  local name="$1"
+  shift
+  local bin="$BENCH_DIR/$name"
+  if [[ ! -x "$bin" ]]; then
+    echo "warning: $bin missing, skipping" >&2
+    return 0
+  fi
+  echo "== $name $*"
+  "$bin" "$@" --json_out="$TMP_DIR/$name.jsonl" > "$TMP_DIR/$name.log"
+}
+
+run_bench bench_separation --seeds=1 --max-exp=10
+run_bench bench_linial --max-exp=12
+run_bench bench_tree_coloring --max-exp=12
+run_bench bench_shattering --seeds=1 --max-exp=13
+run_bench bench_speedup --max-exp=9 --horizon=6
+run_bench bench_derand --phi-samples=50
+run_bench bench_lower_bounds --trials=200
+run_bench bench_sinkless --seeds=1 --max-exp=9
+run_bench bench_roundelim
+run_bench bench_mis --seeds=1 --max-exp=10
+run_bench bench_matching --seeds=1 --max-exp=9
+run_bench bench_engine --benchmark_min_time=0.01
+run_bench bench_lll --seeds=1 --max-exp=10
+run_bench bench_dichotomy --max-exp=10
+run_bench bench_coloring_landscape --seeds=1 --max-exp=10
+run_bench bench_ablation --n=2048
+run_bench bench_decomposition --seeds=1 --max-exp=9
+
+cat "$TMP_DIR"/*.jsonl > "$OUT_FILE"
+echo "wrote $(wc -l < "$OUT_FILE") run records to $OUT_FILE"

@@ -10,6 +10,7 @@
 #include "local/ids.hpp"
 #include "util/check.hpp"
 #include "util/math.hpp"
+#include "util/timer.hpp"
 
 namespace ckp {
 namespace {
@@ -70,6 +71,7 @@ Thm10Result delta_coloring_thm10(const Graph& g, int delta, std::uint64_t seed,
 
   // ---- Phase 1: ColorBidding(i) + Filtering(i), i = 1..t. ----
   const int phase1_start = ledger.rounds();
+  Timer phase1_timer;
   std::vector<std::vector<int>> sampled(static_cast<std::size_t>(n));
   std::vector<std::vector<char>> sample_flags(
       static_cast<std::size_t>(n),
@@ -172,10 +174,12 @@ Thm10Result delta_coloring_thm10(const Graph& g, int delta, std::uint64_t seed,
     for (NodeId v : newly_bad) status[static_cast<std::size_t>(v)] = kBad;
     ledger.charge(2);  // bid exchange + color/filter exchange
   }
-  out.trace.record("phase1(ColorBidding)", ledger.rounds() - phase1_start, t);
+  out.trace.record("phase1(ColorBidding)", ledger.rounds() - phase1_start, t,
+                   phase1_timer.seconds());
 
   // ---- Phase 2: Theorem 9 with q = ⌊√Δ⌋ on the bad vertices. ----
   const int phase2_start = ledger.rounds();
+  Timer phase2_timer;
   std::vector<char> bad(static_cast<std::size_t>(n), 0);
   for (NodeId v = 0; v < n; ++v) {
     CKP_CHECK(status[static_cast<std::size_t>(v)] != kActive);
@@ -206,7 +210,7 @@ Thm10Result delta_coloring_thm10(const Graph& g, int delta, std::uint64_t seed,
     }
   }
   out.trace.record("phase2(Thm9 on bad)", ledger.rounds() - phase2_start,
-                   out.largest_bad_component);
+                   out.largest_bad_component, phase2_timer.seconds());
 
   out.rounds = ledger.rounds() - start_rounds;
   CKP_DCHECK(verify_coloring(g, out.colors, delta).ok);

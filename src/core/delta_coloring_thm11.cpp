@@ -10,6 +10,7 @@
 #include "lcl/verify_coloring.hpp"
 #include "local/ids.hpp"
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace ckp {
 namespace {
@@ -46,11 +47,13 @@ Thm11Result delta_coloring_thm11(const Graph& g, int delta, std::uint64_t seed,
   // colors, reused by every MIS extension round of Phase 1 (so each
   // extension costs Δ+1 rounds instead of O(Δ²)).
   const int schedule_start = ledger.rounds();
+  Timer schedule_timer;
   auto schedule = linial_coloring(g, ids, delta, ledger);
   const int schedule_palette = delta + 1;
   reduce_palette_fast(g, schedule.colors, schedule.palette, schedule_palette,
                       ledger);
-  out.trace.record("schedule(Thm2+reduce)", ledger.rounds() - schedule_start);
+  out.trace.record("schedule(Thm2+reduce)", ledger.rounds() - schedule_start,
+                   0, schedule_timer.seconds());
   std::vector<std::vector<NodeId>> class_members(
       static_cast<std::size_t>(schedule_palette));
   for (NodeId v = 0; v < n; ++v) {
@@ -68,6 +71,7 @@ Thm11Result delta_coloring_thm11(const Graph& g, int delta, std::uint64_t seed,
 
   // ---- Phase 1: colors delta-1 down to 3. ----
   const int phase1_start = ledger.rounds();
+  Timer phase1_timer;
   std::vector<std::uint64_t> rank(static_cast<std::size_t>(n), 0);
   std::vector<char> in_i(static_cast<std::size_t>(n), 0);
   for (int color = delta - 1; color >= 3; --color) {
@@ -121,7 +125,8 @@ Thm11Result delta_coloring_thm11(const Graph& g, int delta, std::uint64_t seed,
     }
     ledger.charge(1);  // color announcement
   }
-  out.trace.record("phase1(MIS peeling)", ledger.rounds() - phase1_start);
+  out.trace.record("phase1(MIS peeling)", ledger.rounds() - phase1_start, 0,
+                   phase1_timer.seconds());
 
   // Every uncolored vertex now has at most 3 uncolored neighbors.
   auto uncolored_degree = [&](NodeId v) {
@@ -140,6 +145,7 @@ Thm11Result delta_coloring_thm11(const Graph& g, int delta, std::uint64_t seed,
 
   // ---- Phase 2: 3-color S = {uncolored with exactly 3 uncolored nbrs}. ----
   const int phase2_start = ledger.rounds();
+  Timer phase2_timer;
   std::vector<char> in_s(static_cast<std::size_t>(n), 0);
   for (NodeId v = 0; v < n; ++v) {
     if (uncolored[static_cast<std::size_t>(v)] && uncolored_degree(v) == 3) {
@@ -167,10 +173,11 @@ Thm11Result delta_coloring_thm11(const Graph& g, int delta, std::uint64_t seed,
     }
   }
   out.trace.record("phase2(3-color S)", ledger.rounds() - phase2_start,
-                   out.phase2_largest_component);
+                   out.phase2_largest_component, phase2_timer.seconds());
 
   // ---- Phase 3: list-color the remainder from the full palette. ----
   const int phase3_start = ledger.rounds();
+  Timer phase3_timer;
   std::vector<char> in_u3(static_cast<std::size_t>(n), 0);
   NodeId u3 = 0;
   for (NodeId v = 0; v < n; ++v) {
@@ -217,7 +224,8 @@ Thm11Result delta_coloring_thm11(const Graph& g, int delta, std::uint64_t seed,
       ledger.charge(1);
     }
   }
-  out.trace.record("phase3(list color)", ledger.rounds() - phase3_start, u3);
+  out.trace.record("phase3(list color)", ledger.rounds() - phase3_start, u3,
+                   phase3_timer.seconds());
 
   out.rounds = ledger.rounds() - start_rounds;
   CKP_DCHECK(verify_coloring(g, out.colors, delta).ok);

@@ -26,12 +26,15 @@
 #pragma once
 
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "local/context.hpp"
+#include "obs/observer.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace ckp {
 
@@ -64,10 +67,19 @@ struct EngineResult {
   bool all_halted = false;
 };
 
-// Runs `algo` on `input` for at most `max_rounds` synchronous rounds.
-template <typename A>
-EngineResult<A> run_local(const LocalInput& input, A& algo, int max_rounds) {
+namespace detail {
+
+// Tag type selecting the uninstrumented engine path. All observer hook sites
+// are guarded by `if constexpr`, so run_local without an observer compiles
+// to exactly the code it had before observers existed — no virtual calls, no
+// timers, no per-round bookkeeping.
+struct NullEngineObserver {};
+
+template <typename A, typename Obs>
+EngineResult<A> run_local_impl(const LocalInput& input, A& algo,
+                               int max_rounds, Obs* obs) {
   using State = typename A::State;
+  constexpr bool kObserved = !std::is_same_v<Obs, NullEngineObserver>;
   input.validate();
   const Graph& g = *input.graph;
   const NodeId n = g.num_nodes();
@@ -108,6 +120,7 @@ EngineResult<A> run_local(const LocalInput& input, A& algo, int max_rounds) {
     return env;
   };
 
+  [[maybe_unused]] Timer run_timer;
   EngineResult<A> result;
   result.states.reserve(static_cast<std::size_t>(n));
   for (NodeId v = 0; v < n; ++v) {
@@ -119,6 +132,13 @@ EngineResult<A> run_local(const LocalInput& input, A& algo, int max_rounds) {
 
   NodeId num_halted = 0;
   while (num_halted < n && result.rounds < max_rounds) {
+    [[maybe_unused]] Timer round_timer;
+    [[maybe_unused]] NodeId active_this_round = 0;
+    [[maybe_unused]] std::uint64_t copies_this_round = 0;
+    if constexpr (kObserved) {
+      obs->on_round_begin(result.rounds + 1);
+      active_this_round = n - num_halted;
+    }
     for (NodeId v = 0; v < n; ++v) {
       if (halted[static_cast<std::size_t>(v)]) continue;
       nbr_ptrs.clear();
@@ -127,23 +147,66 @@ EngineResult<A> run_local(const LocalInput& input, A& algo, int max_rounds) {
       }
       State& mine = next[static_cast<std::size_t>(v)];
       mine = result.states[static_cast<std::size_t>(v)];
+      if constexpr (kObserved) ++copies_this_round;
       const bool done = algo.step(mine, env_of(v),
                                   std::span<const State* const>(nbr_ptrs));
       if (done) {
         halted[static_cast<std::size_t>(v)] = 1;
         ++num_halted;
+        if constexpr (kObserved) obs->on_node_halt(v, result.rounds + 1);
       }
     }
     std::swap(result.states, next);
-    // Halted nodes may have stale entries in `next` after the swap; refresh
-    // them from the authoritative states so future swaps stay consistent.
     ++result.rounds;
+    // After the swap, `next` holds the previous round's states. Non-halted
+    // entries are overwritten via `mine = result.states[v]` next round, but
+    // halted nodes skip that assignment, so only their entries need
+    // refreshing from the authoritative states.
     for (NodeId v = 0; v < n; ++v) {
+      if (!halted[static_cast<std::size_t>(v)]) continue;
       next[static_cast<std::size_t>(v)] = result.states[static_cast<std::size_t>(v)];
+      if constexpr (kObserved) ++copies_this_round;
+    }
+    if constexpr (kObserved) {
+      RoundStats stats;
+      stats.round = result.rounds;
+      stats.n = n;
+      stats.active_nodes = active_this_round;
+      stats.halted_total = num_halted;
+      stats.state_copies = copies_this_round;
+      stats.seconds = round_timer.seconds();
+      obs->on_round_end(stats);
     }
   }
   result.all_halted = (num_halted == n);
+  if constexpr (kObserved) {
+    RunStats stats;
+    stats.rounds = result.rounds;
+    stats.all_halted = result.all_halted;
+    stats.n = n;
+    stats.seconds = run_timer.seconds();
+    obs->on_run_end(stats);
+  }
   return result;
+}
+
+}  // namespace detail
+
+// Runs `algo` on `input` for at most `max_rounds` synchronous rounds.
+template <typename A>
+EngineResult<A> run_local(const LocalInput& input, A& algo, int max_rounds) {
+  return detail::run_local_impl<A, detail::NullEngineObserver>(
+      input, algo, max_rounds, nullptr);
+}
+
+// Observed overload: reports per-round progress through `observer`. Passing
+// nullptr falls back to the uninstrumented path, so call sites can thread an
+// optional observer without branching.
+template <typename A>
+EngineResult<A> run_local(const LocalInput& input, A& algo, int max_rounds,
+                          EngineObserver* observer) {
+  if (observer == nullptr) return run_local(input, algo, max_rounds);
+  return detail::run_local_impl(input, algo, max_rounds, observer);
 }
 
 }  // namespace ckp

@@ -2,10 +2,13 @@
 
 #include <ostream>
 
+#include "util/json.hpp"
+
 namespace ckp {
 
-void Trace::record(std::string name, int rounds, std::int64_t detail) {
-  phases_.push_back({std::move(name), rounds, detail});
+void Trace::record(std::string name, int rounds, std::int64_t detail,
+                   double seconds) {
+  phases_.push_back({std::move(name), rounds, detail, seconds});
 }
 
 int Trace::total_rounds() const {
@@ -14,13 +17,35 @@ int Trace::total_rounds() const {
   return total;
 }
 
+double Trace::total_seconds() const {
+  double total = 0.0;
+  for (const auto& p : phases_) total += p.seconds;
+  return total;
+}
+
 void Trace::print(std::ostream& os) const {
   for (const auto& p : phases_) {
     os << "  phase " << p.name << ": rounds=" << p.rounds;
     if (p.detail != 0) os << " detail=" << p.detail;
+    if (p.seconds != 0.0) os << " time=" << p.seconds * 1e3 << "ms";
     os << '\n';
   }
   os << "  total rounds: " << total_rounds() << '\n';
+}
+
+std::string Trace::to_json() const {
+  JsonWriter w;
+  w.begin_array();
+  for (const auto& p : phases_) {
+    w.begin_object();
+    w.key("name").value(p.name);
+    w.key("rounds").value(p.rounds);
+    if (p.detail != 0) w.key("detail").value(static_cast<std::int64_t>(p.detail));
+    if (p.seconds != 0.0) w.key("seconds").value(p.seconds);
+    w.end_object();
+  }
+  w.end_array();
+  return w.str();
 }
 
 }  // namespace ckp

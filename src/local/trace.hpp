@@ -1,9 +1,11 @@
 // Per-phase execution telemetry.
 //
 // Composite algorithms (Theorems 10 and 11 have three phases each) record
-// one entry per phase: name, rounds charged, and a free-form detail counter
-// (e.g. vertices colored). Benches print traces so the per-phase structure
-// of measured round counts is visible.
+// one entry per phase: name, rounds charged, a free-form detail counter
+// (e.g. vertices colored), and optionally the phase's wall time. Benches
+// print traces so the per-phase structure of measured round counts is
+// visible, and run records embed them via to_json() so the same structure
+// lands in JSONL output without string-parsing print() text.
 #pragma once
 
 #include <cstdint>
@@ -17,17 +19,26 @@ struct PhaseRecord {
   std::string name;
   int rounds = 0;
   std::int64_t detail = 0;
+  double seconds = 0.0;  // wall time; 0 means "not measured"
 };
 
 class Trace {
  public:
-  void record(std::string name, int rounds, std::int64_t detail = 0);
+  void record(std::string name, int rounds, std::int64_t detail = 0,
+              double seconds = 0.0);
 
   const std::vector<PhaseRecord>& phases() const { return phases_; }
+  bool empty() const { return phases_.empty(); }
 
   int total_rounds() const;
+  double total_seconds() const;
 
   void print(std::ostream& os) const;
+
+  // Serializes the phases as a JSON array of objects, e.g.
+  //   [{"name":"phase1","rounds":12,"detail":3,"seconds":0.0041}, ...]
+  // ("detail"/"seconds" are omitted when zero).
+  std::string to_json() const;
 
  private:
   std::vector<PhaseRecord> phases_;

@@ -1,0 +1,151 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ckp {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      counts_(bounds_.size() + 1, 0) {
+  CKP_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bucket bound");
+  CKP_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "histogram bucket bounds must be sorted");
+}
+
+void Histogram::add(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())] += 1;
+  summary_.add(x);
+}
+
+std::vector<double> Histogram::powers_of_two(int count) {
+  CKP_CHECK(count >= 1);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(count));
+  double b = 1.0;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= 2.0;
+  }
+  return bounds;
+}
+
+void Histogram::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("bounds").begin_array();
+  for (const double b : bounds_) w.value(b);
+  w.end_array();
+  w.key("counts").begin_array();
+  for (const std::uint64_t c : counts_) w.value(c);
+  w.end_array();
+  w.key("count").value(static_cast<std::uint64_t>(summary_.count()));
+  if (summary_.count() > 0) {
+    w.key("mean").value(summary_.mean());
+    w.key("min").value(summary_.min());
+    w.key("max").value(summary_.max());
+  }
+  w.end_object();
+}
+
+template <typename T>
+T* MetricsRegistry::find_in(NamedVec<T>& vec, const std::string& name) {
+  for (auto& [k, v] : vec) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+template <typename T>
+const T* MetricsRegistry::find_in(const NamedVec<T>& vec,
+                                  const std::string& name) {
+  for (const auto& [k, v] : vec) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+void MetricsRegistry::add(const std::string& name, double delta) {
+  if (double* c = find_in(counters_, name)) {
+    *c += delta;
+  } else {
+    counters_.emplace_back(name, delta);
+  }
+}
+
+void MetricsRegistry::set(const std::string& name, double value) {
+  if (double* g = find_in(gauges_, name)) {
+    *g = value;
+  } else {
+    gauges_.emplace_back(name, value);
+  }
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<double>& upper_bounds) {
+  if (Histogram* h = find_in(histograms_, name)) {
+    CKP_CHECK_MSG(h->upper_bounds() == upper_bounds,
+                  "histogram '" << name << "' re-declared with other bounds");
+    return *h;
+  }
+  histograms_.emplace_back(name, Histogram(upper_bounds));
+  return histograms_.back().second;
+}
+
+double MetricsRegistry::counter(const std::string& name) const {
+  const double* c = find_in(counters_, name);
+  return c ? *c : 0.0;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  const double* g = find_in(gauges_, name);
+  return g ? *g : 0.0;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  return find_in(histograms_, name);
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::snapshot() const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(counters_.size() + gauges_.size() + 4 * histograms_.size());
+  for (const auto& [name, v] : counters_) out.emplace_back(name, v);
+  for (const auto& [name, v] : gauges_) out.emplace_back(name, v);
+  for (const auto& [name, h] : histograms_) {
+    const Accumulator& s = h.summary();
+    out.emplace_back(name + ".count", static_cast<double>(s.count()));
+    if (s.count() > 0) {
+      out.emplace_back(name + ".mean", s.mean());
+      out.emplace_back(name + ".min", s.min());
+      out.emplace_back(name + ".max", s.max());
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : counters_) w.key(name).value(v);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : gauges_) w.key(name).value(v);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name);
+    h.write_json(w);
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string MetricsRegistry::to_json() const {
+  JsonWriter w;
+  write_json(w);
+  return w.str();
+}
+
+}  // namespace ckp

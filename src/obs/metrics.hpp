@@ -1,0 +1,97 @@
+// Named run-time metrics: counters, gauges, and fixed-bucket histograms.
+//
+// The registry is the accumulation point for everything the engine observer
+// and the benches measure beyond round counts: per-round active-node
+// distributions, state-copy volume, wall-time spreads. Histograms keep an
+// Accumulator (the same Welford machinery the bench harness already uses for
+// round statistics) next to their bucket counts, so mean/min/max come for
+// free with the distribution shape.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/stats.hpp"
+
+namespace ckp {
+
+// A histogram over fixed, sorted bucket upper bounds. A sample lands in the
+// first bucket whose upper bound is >= the sample; larger samples land in an
+// implicit overflow bucket. Bounds are fixed at construction so merged or
+// serialized histograms always align.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void add(double x);
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  // counts()[i] pairs with upper_bounds()[i]; counts().back() is overflow,
+  // so counts().size() == upper_bounds().size() + 1.
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  const Accumulator& summary() const { return summary_; }
+
+  // Exponential bucket bounds {1, 2, 4, ...} with `count` buckets — the
+  // default shape for node counts and round times spanning orders of
+  // magnitude.
+  static std::vector<double> powers_of_two(int count);
+
+  void write_json(JsonWriter& w) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  Accumulator summary_;
+};
+
+// Insertion-ordered registry of named counters (monotone sums), gauges
+// (last-write-wins), and histograms.
+class MetricsRegistry {
+ public:
+  // Counter: adds `delta` (default 1) to `name`, creating it at zero.
+  void add(const std::string& name, double delta = 1.0);
+
+  // Gauge: sets `name` to `value`.
+  void set(const std::string& name, double value);
+
+  // Histogram: returns the histogram named `name`, creating it with
+  // `upper_bounds` on first use. Later calls ignore the bounds argument but
+  // CKP_CHECK that they match, so two call sites cannot silently disagree.
+  Histogram& histogram(const std::string& name,
+                       const std::vector<double>& upper_bounds);
+
+  double counter(const std::string& name) const;  // 0 when absent
+  double gauge(const std::string& name) const;    // 0 when absent
+  const Histogram* find_histogram(const std::string& name) const;
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  // Flattens everything to scalar metrics: counters and gauges verbatim,
+  // histograms expanded as name.count / name.mean / name.min / name.max.
+  // Insertion order is preserved (counters, then gauges, then histograms).
+  std::vector<std::pair<std::string, double>> snapshot() const;
+
+  // Full-fidelity serialization including histogram buckets.
+  void write_json(JsonWriter& w) const;
+  std::string to_json() const;
+
+ private:
+  template <typename T>
+  using NamedVec = std::vector<std::pair<std::string, T>>;
+
+  template <typename T>
+  static T* find_in(NamedVec<T>& vec, const std::string& name);
+  template <typename T>
+  static const T* find_in(const NamedVec<T>& vec, const std::string& name);
+
+  NamedVec<double> counters_;
+  NamedVec<double> gauges_;
+  NamedVec<Histogram> histograms_;
+};
+
+}  // namespace ckp

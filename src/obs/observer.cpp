@@ -1,0 +1,43 @@
+#include "obs/observer.hpp"
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace ckp {
+namespace {
+
+std::vector<double> round_seconds_bounds() {
+  // Decade buckets from 1µs to 10s.
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0};
+}
+
+}  // namespace
+
+MetricsObserver::MetricsObserver(MetricsRegistry* registry)
+    : registry_(registry) {
+  CKP_CHECK_MSG(registry != nullptr, "MetricsObserver needs a registry");
+}
+
+void MetricsObserver::on_round_end(const RoundStats& stats) {
+  registry_->add("engine.rounds");
+  registry_->add("engine.steps", static_cast<double>(stats.active_nodes));
+  registry_->add("engine.state_copies",
+                 static_cast<double>(stats.state_copies));
+  registry_->set("engine.halted_fraction", stats.halted_fraction());
+  registry_->histogram("engine.active_nodes", Histogram::powers_of_two(24))
+      .add(static_cast<double>(stats.active_nodes));
+  registry_->histogram("engine.round_seconds", round_seconds_bounds())
+      .add(stats.seconds);
+}
+
+void MetricsObserver::on_node_halt(NodeId /*v*/, int /*round*/) {
+  registry_->add("engine.halts");
+}
+
+void MetricsObserver::on_run_end(const RunStats& stats) {
+  registry_->set("engine.run_rounds", static_cast<double>(stats.rounds));
+  registry_->set("engine.all_halted", stats.all_halted ? 1.0 : 0.0);
+  registry_->set("engine.run_seconds", stats.seconds);
+}
+
+}  // namespace ckp

@@ -1,0 +1,71 @@
+// Engine observability hooks.
+//
+// run_local accepts an optional EngineObserver and reports per-round
+// progress through it: which round just ran, how many nodes stepped, how
+// many have halted, how long the round took, and how many state copies the
+// round cost. The observer-less run_local overload compiles to exactly the
+// uninstrumented loop (the hook sites are `if constexpr`-eliminated), so
+// simulation throughput is unchanged unless a run opts in.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace ckp {
+
+class MetricsRegistry;
+
+// Everything the engine knows at the end of one synchronous round.
+struct RoundStats {
+  int round = 0;             // 1-based index of the round that just ran
+  NodeId n = 0;              // nodes in the simulation
+  NodeId active_nodes = 0;   // nodes that executed step() this round
+  NodeId halted_total = 0;   // cumulative halted count after the round
+  std::uint64_t state_copies = 0;  // State assignments the engine performed
+  double seconds = 0.0;      // wall time of the round
+
+  double halted_fraction() const {
+    return n == 0 ? 1.0
+                  : static_cast<double>(halted_total) / static_cast<double>(n);
+  }
+};
+
+// Run-level summary delivered once, after the last round.
+struct RunStats {
+  int rounds = 0;
+  bool all_halted = false;
+  NodeId n = 0;
+  double seconds = 0.0;  // wall time of the whole run (init + rounds)
+};
+
+// Hook interface. All hooks default to no-ops so observers override only
+// what they need. Hooks are called synchronously from inside the round loop;
+// observers must not mutate the simulation.
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+
+  virtual void on_round_begin(int /*round*/) {}
+  virtual void on_round_end(const RoundStats& /*stats*/) {}
+  virtual void on_node_halt(NodeId /*v*/, int /*round*/) {}
+  virtual void on_run_end(const RunStats& /*stats*/) {}
+};
+
+// EngineObserver that folds every round into a MetricsRegistry (not owned):
+//   counters   engine.rounds, engine.steps, engine.halts, engine.state_copies
+//   gauges     engine.halted_fraction, engine.run_rounds, engine.all_halted,
+//              engine.run_seconds
+//   histograms engine.active_nodes (power-of-two buckets),
+//              engine.round_seconds (decade buckets 1µs..10s)
+class MetricsObserver : public EngineObserver {
+ public:
+  explicit MetricsObserver(MetricsRegistry* registry);
+
+  void on_round_end(const RoundStats& stats) override;
+  void on_node_halt(NodeId v, int round) override;
+  void on_run_end(const RunStats& stats) override;
+
+ private:
+  MetricsRegistry* registry_;  // not owned
+};
+
+}  // namespace ckp

@@ -1,0 +1,76 @@
+#include "obs/reporter.hpp"
+
+#include <iostream>
+#include <utility>
+
+#include "util/flags.hpp"
+
+namespace ckp {
+
+BenchReporter::BenchReporter(Flags& flags, std::string bench_name)
+    : bench_name_(std::move(bench_name)),
+      csv_(flags.get_bool("csv", false)),
+      trace_path_(flags.get_string("trace_out", "")),
+      jsonl_(flags.get_string("json_out", "")) {}
+
+BenchReporter::~BenchReporter() { finish(); }
+
+RunRecord BenchReporter::make_record() const {
+  RunRecord record;
+  record.bench = bench_name_;
+  return record;
+}
+
+void BenchReporter::add(RunRecord record) {
+  if (record.bench.empty()) record.bench = bench_name_;
+  jsonl_.write(record);
+  ++records_;
+  if (trace_path_.empty()) return;
+  if (!have_phase_trace_ && !record.trace.empty()) {
+    have_phase_trace_ = true;
+    phase_trace_ = record.trace;
+    phase_trace_label_ = record.algorithm;
+  }
+  if (!have_phase_trace_ && record.wall_seconds > 0.0) {
+    std::string name = record.algorithm.empty() ? bench_name_
+                                                : record.algorithm;
+    flat_spans_.add_complete(std::move(name), flat_cursor_seconds_,
+                             record.wall_seconds);
+    flat_cursor_seconds_ += record.wall_seconds;
+  }
+}
+
+void BenchReporter::print(const Table& table, std::ostream& os) const {
+  if (csv_) {
+    table.print_csv(os);
+  } else {
+    table.print(os);
+  }
+}
+
+void BenchReporter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (jsonl_.enabled() && jsonl_.rows_written() > 0) {
+    std::cout << "[obs] wrote " << jsonl_.rows_written()
+              << " run records to " << jsonl_.path() << '\n';
+  }
+  if (trace_path_.empty()) return;
+  if (have_phase_trace_) {
+    SpanTracer tracer;
+    tracer.add_trace(phase_trace_);
+    tracer.write_chrome_json(trace_path_);
+    std::cout << "[obs] wrote Chrome trace (" << tracer.size()
+              << " phase spans of " << phase_trace_label_ << ") to "
+              << trace_path_ << '\n';
+  } else if (flat_spans_.size() > 0) {
+    flat_spans_.write_chrome_json(trace_path_);
+    std::cout << "[obs] wrote Chrome trace (" << flat_spans_.size()
+              << " run spans) to " << trace_path_ << '\n';
+  } else {
+    std::cout << "[obs] no timed runs recorded; " << trace_path_
+              << " not written\n";
+  }
+}
+
+}  // namespace ckp

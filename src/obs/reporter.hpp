@@ -1,0 +1,74 @@
+// Shared output front-end for bench and example binaries.
+//
+// Every bench used to hand-roll its own `--csv` branch and had no structured
+// output at all. BenchReporter centralizes the three output channels:
+//
+//   --csv              print tables as CSV instead of aligned text
+//   --json_out=PATH    stream one RunRecord per measured run as JSON Lines
+//   --trace_out=PATH   export a Chrome trace-event timeline of the run
+//                      phases (first record with a Trace; otherwise the
+//                      records laid end-to-end by wall time)
+//
+// Construct it right after Flags (it consumes the three flags, so construct
+// before flags.check_unknown()), call add() for every measured run, print()
+// for every table, and the destructor writes the deferred outputs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/run_record.hpp"
+#include "obs/trace_span.hpp"
+#include "util/table.hpp"
+
+namespace ckp {
+
+class Flags;
+
+class BenchReporter {
+ public:
+  // Consumes --csv, --json_out and --trace_out from `flags`.
+  BenchReporter(Flags& flags, std::string bench_name);
+  ~BenchReporter();
+
+  BenchReporter(const BenchReporter&) = delete;
+  BenchReporter& operator=(const BenchReporter&) = delete;
+
+  const std::string& bench_name() const { return bench_name_; }
+  bool csv() const { return csv_; }
+  bool json_enabled() const { return jsonl_.enabled(); }
+
+  // A record pre-filled with the bench name.
+  RunRecord make_record() const;
+
+  // Streams `record` to --json_out (no-op without the flag) and remembers
+  // phase structure for --trace_out.
+  void add(RunRecord record);
+
+  // Prints `table` honouring --csv.
+  void print(const Table& table, std::ostream& os) const;
+
+  // Writes deferred outputs (idempotent; also invoked by the destructor) and
+  // prints a one-line note per file written.
+  void finish();
+
+  std::size_t records() const { return records_; }
+
+ private:
+  std::string bench_name_;
+  bool csv_ = false;
+  std::string trace_path_;
+  JsonlWriter jsonl_;
+  std::size_t records_ = 0;
+
+  // Deferred --trace_out state: the first record carrying a Trace wins;
+  // until one shows up, records accumulate as flat wall-time spans.
+  bool have_phase_trace_ = false;
+  Trace phase_trace_;
+  std::string phase_trace_label_;
+  SpanTracer flat_spans_;
+  double flat_cursor_seconds_ = 0.0;
+  bool finished_ = false;
+};
+
+}  // namespace ckp

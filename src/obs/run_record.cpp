@@ -1,0 +1,60 @@
+#include "obs/run_record.hpp"
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace ckp {
+
+void RunRecord::metric(const std::string& name, double value) {
+  for (auto& [k, v] : metrics_) {
+    if (k == name) {
+      v = value;
+      return;
+    }
+  }
+  metrics_.emplace_back(name, value);
+}
+
+void RunRecord::absorb(const MetricsRegistry& registry) {
+  for (const auto& [name, value] : registry.snapshot()) {
+    metric(name, value);
+  }
+}
+
+std::string RunRecord::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("bench").value(bench);
+  w.key("algorithm").value(algorithm);
+  if (!graph_family.empty()) w.key("graph_family").value(graph_family);
+  w.key("n").value(n);
+  if (delta != 0) w.key("delta").value(delta);
+  if (seed != 0) w.key("seed").value(seed);
+  w.key("rounds").value(rounds);
+  if (wall_seconds != 0.0) w.key("wall_seconds").value(wall_seconds);
+  w.key("verified").value(verified);
+  if (!trace.empty()) w.key("trace").raw(trace.to_json());
+  if (!metrics_.empty()) {
+    w.key("metrics").begin_object();
+    for (const auto& [name, value] : metrics_) w.key(name).value(value);
+    w.end_object();
+  }
+  w.end_object();
+  return w.str();
+}
+
+JsonlWriter::JsonlWriter(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) return;
+  out_.open(path_, std::ios::trunc);
+  CKP_CHECK_MSG(out_.good(), "cannot open JSONL output file " << path_);
+}
+
+void JsonlWriter::write(const RunRecord& record) {
+  if (!enabled()) return;
+  out_ << record.to_json() << '\n';
+  CKP_CHECK_MSG(out_.good(), "JSONL write failed for " << path_);
+  ++rows_;
+}
+
+}  // namespace ckp

@@ -1,0 +1,69 @@
+// Structured, machine-readable records of individual measured runs.
+//
+// One RunRecord captures one algorithm execution on one instance: what ran,
+// on which graph family at which n/Δ/seed, how many rounds it took, the
+// per-phase Trace, and a free-form scalar metrics map (which is also where a
+// MetricsRegistry snapshot lands). Records serialize to single-line JSON
+// objects, so a file of them is JSON Lines — the format the bench trajectory
+// tooling consumes.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "local/trace.hpp"
+
+namespace ckp {
+
+class MetricsRegistry;
+
+struct RunRecord {
+  std::string bench;         // experiment id, e.g. "E1_separation"
+  std::string algorithm;     // e.g. "thm10", "be_tree_coloring"
+  std::string graph_family;  // e.g. "complete_tree", "random_regular"
+  std::uint64_t n = 0;
+  int delta = 0;
+  std::uint64_t seed = 0;    // 0 for deterministic runs
+  int rounds = 0;
+  double wall_seconds = 0.0;
+  bool verified = false;     // output checked by an LCL verifier
+  Trace trace;               // optional per-phase structure
+
+  // Appends (or overwrites) a named scalar metric.
+  void metric(const std::string& name, double value);
+  // Folds a MetricsRegistry snapshot into the metrics map.
+  void absorb(const MetricsRegistry& registry);
+
+  const std::vector<std::pair<std::string, double>>& metrics() const {
+    return metrics_;
+  }
+
+  // One compact JSON object on a single line (no trailing newline).
+  std::string to_json() const;
+
+ private:
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+// Writes RunRecords as JSON Lines. An empty path makes the writer a no-op
+// sink so call sites need no conditionals. The file is truncated on open.
+class JsonlWriter {
+ public:
+  explicit JsonlWriter(std::string path);
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  void write(const RunRecord& record);
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace ckp

@@ -1,0 +1,361 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace ckp {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back({'{'});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  CKP_CHECK_MSG(!stack_.empty() && stack_.back().kind == '{' &&
+                    !stack_.back().key_pending,
+                "JsonWriter: end_object without open object");
+  out_ += '}';
+  stack_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back({'['});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  CKP_CHECK_MSG(!stack_.empty() && stack_.back().kind == '[',
+                "JsonWriter: end_array without open array");
+  out_ += ']';
+  stack_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  CKP_CHECK_MSG(!stack_.empty() && stack_.back().kind == '{' &&
+                    !stack_.back().key_pending,
+                "JsonWriter: key outside object or after a dangling key");
+  if (stack_.back().has_elements) out_ += ',';
+  stack_.back().has_elements = true;
+  stack_.back().key_pending = true;
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\":";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& s) {
+  before_value();
+  out_ += '"';
+  out_ += json_escape(s);
+  out_ += '"';
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* s) { return value(std::string(s)); }
+
+JsonWriter& JsonWriter::value(double v) { return raw_value(json_number(v)); }
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  return raw_value(std::to_string(v));
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  return raw_value(std::to_string(v));
+}
+
+JsonWriter& JsonWriter::value(int v) {
+  return raw_value(std::to_string(v));
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  return raw_value(v ? "true" : "false");
+}
+
+JsonWriter& JsonWriter::null() { return raw_value("null"); }
+
+JsonWriter& JsonWriter::raw(const std::string& fragment) {
+  return raw_value(fragment);
+}
+
+const std::string& JsonWriter::str() const {
+  CKP_CHECK_MSG(done_ && stack_.empty(),
+                "JsonWriter: str() before the document is complete");
+  return out_;
+}
+
+void JsonWriter::before_value() {
+  CKP_CHECK_MSG(!done_, "JsonWriter: document already complete");
+  if (stack_.empty()) return;  // root value
+  Frame& top = stack_.back();
+  if (top.kind == '{') {
+    CKP_CHECK_MSG(top.key_pending, "JsonWriter: object value without a key");
+    top.key_pending = false;
+  } else {
+    if (top.has_elements) out_ += ',';
+    top.has_elements = true;
+  }
+}
+
+JsonWriter& JsonWriter::raw_value(const std::string& token) {
+  before_value();
+  out_ += token;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    CKP_CHECK_MSG(pos_ == text_.size(), "JSON: trailing garbage after value");
+    return v;
+  }
+
+ private:
+  char peek() {
+    CKP_CHECK_MSG(pos_ < text_.size(), "JSON: unexpected end of input");
+    return text_[pos_];
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    CKP_CHECK_MSG(peek() == c, "JSON: expected '" << c << "' at offset "
+                                                  << pos_);
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    JsonValue v;
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"':
+        v.type = JsonValue::Type::String;
+        v.string = parse_string();
+        return v;
+      case 't':
+        CKP_CHECK_MSG(consume_literal("true"), "JSON: bad literal");
+        v.type = JsonValue::Type::Bool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        CKP_CHECK_MSG(consume_literal("false"), "JSON: bad literal");
+        v.type = JsonValue::Type::Bool;
+        v.boolean = false;
+        return v;
+      case 'n':
+        CKP_CHECK_MSG(consume_literal("null"), "JSON: bad literal");
+        return v;
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::Object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string name = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(name), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::Array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          CKP_CHECK_MSG(pos_ + 4 <= text_.size(), "JSON: truncated \\u");
+          const std::string hex(text_.substr(pos_, 4));
+          pos_ += 4;
+          const long code = std::strtol(hex.c_str(), nullptr, 16);
+          // Only the BMP subset the writer emits (control chars) is decoded;
+          // it is always < 0x80 here, so one byte suffices.
+          CKP_CHECK_MSG(code >= 0 && code < 0x80,
+                        "JSON: \\u escape outside ASCII unsupported");
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          CKP_CHECK_MSG(false, "JSON: bad escape \\" << esc);
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    CKP_CHECK_MSG(pos_ > start, "JSON: expected a value at offset " << pos_);
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    JsonValue v;
+    v.type = JsonValue::Type::Number;
+    v.number = std::strtod(token.c_str(), &end);
+    CKP_CHECK_MSG(end != nullptr && *end == '\0',
+                  "JSON: malformed number '" << token << "'");
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(const std::string& name) const {
+  if (type != Type::Object) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& name) const {
+  const JsonValue* v = find(name);
+  CKP_CHECK_MSG(v != nullptr, "JSON: missing member '" << name << "'");
+  return *v;
+}
+
+double JsonValue::as_number() const {
+  CKP_CHECK_MSG(type == Type::Number, "JSON: value is not a number");
+  return number;
+}
+
+const std::string& JsonValue::as_string() const {
+  CKP_CHECK_MSG(type == Type::String, "JSON: value is not a string");
+  return string;
+}
+
+JsonValue json_parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace ckp
