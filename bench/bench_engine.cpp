@@ -10,6 +10,7 @@
 // reporter subclass and streams it as RunRecord JSON Lines.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <string_view>
@@ -20,8 +21,11 @@
 #include "graph/power.hpp"
 #include "graph/regular.hpp"
 #include "graph/trees.hpp"
+#include "local/engine.hpp"
 #include "local/ids.hpp"
 #include "obs/run_record.hpp"
+#include "obs/trials.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -84,6 +88,84 @@ void BM_BallCollection(benchmark::State& state) {
 }
 BENCHMARK(BM_BallCollection)->Arg(2)->Arg(4)->Arg(8);
 
+// Sequential-vs-parallel engine comparison. The algorithm does nontrivial
+// per-neighbor mixing work every round and never halts early, so the rounds
+// divide evenly and the threads sweep isolates the engine's parallel
+// scaling. Args: {n, threads}; threads=1 is the sequential baseline.
+struct MixFlood {
+  static constexpr int kRounds = 12;
+
+  struct State {
+    std::uint64_t acc = 0;
+    int round = 0;
+  };
+
+  State init(const NodeEnv& env) {
+    std::uint64_t s = env.id + 0x9e3779b97f4a7c15ULL;
+    return {splitmix64(s), 0};
+  }
+
+  bool step(State& self, const NodeEnv&,
+            std::span<const State* const> nbrs) {
+    std::uint64_t acc = self.acc;
+    for (const State* nb : nbrs) {
+      std::uint64_t mixer = acc ^ nb->acc;
+      acc += splitmix64(mixer);
+    }
+    self.acc = acc;
+    return ++self.round >= kRounds;
+  }
+};
+
+void BM_EngineRoundsThreads(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  Rng rng(11);
+  const Graph g = make_random_regular(n, 8, rng);
+  LocalInput in;
+  in.graph = &g;
+  in.ids = sequential_ids(n);
+  for (auto _ : state) {
+    MixFlood algo;
+    benchmark::DoNotOptimize(
+        run_local(in, algo, MixFlood::kRounds + 1, nullptr, threads));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          MixFlood::kRounds);
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_EngineRoundsThreads)
+    ->Args({1 << 17, 1})
+    ->Args({1 << 17, 2})
+    ->Args({1 << 17, 4})
+    ->Args({1 << 17, 8});
+
+// Multi-seed fan-out: full Luby runs per seed, sequential vs pooled. The
+// per-trial engine degrades to one thread inside the fan-out, so this
+// measures the run_trials layer the multi-seed benches sit on.
+void BM_TrialFanout(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  constexpr int kSeeds = 8;
+  Rng rng(7);
+  const Graph g = make_random_regular(1 << 14, 6, rng);
+  for (auto _ : state) {
+    const auto records =
+        run_trials(kSeeds, threads, [&](int s) -> std::vector<RunRecord> {
+          LocalInput in;
+          in.graph = &g;
+          in.seed = static_cast<std::uint64_t>(s) + 1;
+          const auto mis = mis_luby(in);
+          RunRecord rec;
+          rec.rounds = mis.rounds;
+          return {std::move(rec)};
+        });
+    benchmark::DoNotOptimize(records.size());
+  }
+  state.SetItemsProcessed(state.iterations() * kSeeds);
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_TrialFanout)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 // Console output as usual, plus one RunRecord per finished benchmark run.
 class CaptureReporter : public benchmark::ConsoleReporter {
  public:
@@ -119,8 +201,14 @@ int main(int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     constexpr std::string_view kJsonOut = "--json_out=";
+    constexpr std::string_view kThreads = "--threads=";
     if (arg.rfind(kJsonOut, 0) == 0) {
       json_path = std::string(arg.substr(kJsonOut.size()));
+    } else if (arg.rfind(kThreads, 0) == 0) {
+      // Default for runs that don't sweep threads explicitly (the
+      // comparison cases pass their own count to run_local).
+      ckp::set_default_engine_threads(
+          std::atoi(std::string(arg.substr(kThreads.size())).c_str()));
     } else {
       bargs.push_back(argv[i]);
     }

@@ -14,6 +14,7 @@
 #include "graph/regular.hpp"
 #include "lcl/verify_orientation.hpp"
 #include "obs/reporter.hpp"
+#include "obs/trials.hpp"
 #include "util/check.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
@@ -39,29 +40,31 @@ int main(int argc, char** argv) {
                          static_cast<std::uint64_t>(n)));
         const Graph g = make_random_regular(n, d, rng);
         const auto inst = sinkless_orientation_lll(g);
+        auto trial_records = run_trials(
+            seeds, reporter.threads(), [&](int s) -> std::vector<RunRecord> {
+              RoundLedger ledger;
+              const auto r = moser_tardos_parallel(
+                  inst, static_cast<std::uint64_t>(s) + 1, ledger);
+              CKP_CHECK(r.completed);
+              RunRecord rec = reporter.make_record();
+              rec.algorithm = "moser_tardos_sinkless";
+              rec.graph_family = "random_regular";
+              rec.n = n;
+              rec.delta = d;
+              rec.seed = static_cast<std::uint64_t>(s) + 1;
+              rec.rounds = ledger.rounds();
+              rec.verified = true;
+              rec.metric("iterations", static_cast<double>(r.iterations));
+              rec.metric("resampled_events",
+                         static_cast<double>(r.resampled_events));
+              return {std::move(rec)};
+            });
         Accumulator iters, rounds, resampled;
-        for (int s = 0; s < seeds; ++s) {
-          RoundLedger ledger;
-          const auto r = moser_tardos_parallel(
-              inst, static_cast<std::uint64_t>(s) + 1, ledger);
-          CKP_CHECK(r.completed);
-          iters.add(r.iterations);
-          rounds.add(ledger.rounds());
-          resampled.add(static_cast<double>(r.resampled_events));
-          {
-            RunRecord rec = reporter.make_record();
-            rec.algorithm = "moser_tardos_sinkless";
-            rec.graph_family = "random_regular";
-            rec.n = n;
-            rec.delta = d;
-            rec.seed = static_cast<std::uint64_t>(s) + 1;
-            rec.rounds = ledger.rounds();
-            rec.verified = true;
-            rec.metric("iterations", static_cast<double>(r.iterations));
-            rec.metric("resampled_events",
-                       static_cast<double>(r.resampled_events));
-            reporter.add(std::move(rec));
-          }
+        for (RunRecord& rec : trial_records) {
+          iters.add(metric_or(rec, "iterations", 0.0));
+          rounds.add(rec.rounds);
+          resampled.add(metric_or(rec, "resampled_events", 0.0));
+          reporter.add(std::move(rec));
         }
         const double criterion =
             std::exp(1.0) * d * d / std::pow(2.0, static_cast<double>(d));
@@ -85,27 +88,29 @@ int main(int argc, char** argv) {
         const int edges = vars * density_num / density_den;
         const auto h = make_random_hypergraph(vars, edges, k, rng);
         const auto inst = hypergraph_two_coloring_lll(h);
+        auto trial_records = run_trials(
+            seeds, reporter.threads(), [&](int s) -> std::vector<RunRecord> {
+              RoundLedger ledger;
+              const auto r = moser_tardos_parallel(
+                  inst, static_cast<std::uint64_t>(s) + 100, ledger);
+              CKP_CHECK(r.completed);
+              RunRecord rec = reporter.make_record();
+              rec.algorithm = "moser_tardos_hypergraph";
+              rec.graph_family = "random_hypergraph";
+              rec.n = static_cast<NodeId>(vars);
+              rec.seed = static_cast<std::uint64_t>(s) + 100;
+              rec.rounds = ledger.rounds();
+              rec.verified = true;
+              rec.metric("k", static_cast<double>(k));
+              rec.metric("edges", static_cast<double>(edges));
+              rec.metric("iterations", static_cast<double>(r.iterations));
+              return {std::move(rec)};
+            });
         Accumulator iters, rounds;
-        for (int s = 0; s < seeds; ++s) {
-          RoundLedger ledger;
-          const auto r = moser_tardos_parallel(
-              inst, static_cast<std::uint64_t>(s) + 100, ledger);
-          CKP_CHECK(r.completed);
-          iters.add(r.iterations);
-          rounds.add(ledger.rounds());
-          {
-            RunRecord rec = reporter.make_record();
-            rec.algorithm = "moser_tardos_hypergraph";
-            rec.graph_family = "random_hypergraph";
-            rec.n = static_cast<NodeId>(vars);
-            rec.seed = static_cast<std::uint64_t>(s) + 100;
-            rec.rounds = ledger.rounds();
-            rec.verified = true;
-            rec.metric("k", static_cast<double>(k));
-            rec.metric("edges", static_cast<double>(edges));
-            rec.metric("iterations", static_cast<double>(r.iterations));
-            reporter.add(std::move(rec));
-          }
+        for (RunRecord& rec : trial_records) {
+          iters.add(metric_or(rec, "iterations", 0.0));
+          rounds.add(rec.rounds);
+          reporter.add(std::move(rec));
         }
         t.add_row({Table::cell(k), Table::cell(vars), Table::cell(edges),
                    Table::cell(iters.mean(), 1), Table::cell(rounds.mean(), 1)});

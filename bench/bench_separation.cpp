@@ -19,6 +19,7 @@
 #include "lcl/verify_coloring.hpp"
 #include "local/ids.hpp"
 #include "obs/reporter.hpp"
+#include "obs/trials.hpp"
 #include "util/check.hpp"
 #include "util/flags.hpp"
 #include "util/math.hpp"
@@ -67,56 +68,53 @@ int main(int argc, char** argv) {
         reporter.add(std::move(rec));
       }
 
+      // Independent seeds fan out across the thread pool; records come back
+      // in seed order so tables and JSONL are identical at any --threads.
+      auto trial_records = run_trials(
+          seeds, reporter.threads(), [&](int s) -> std::vector<RunRecord> {
+            const auto seed = static_cast<std::uint64_t>(s) + 1;
+            RoundLedger l10, l11;
+            Timer t10;
+            const auto a = delta_coloring_thm10(g, delta, seed, l10);
+            const double sec10 = t10.seconds();
+            CKP_CHECK(verify_coloring(g, a.colors, delta).ok);
+            RunRecord rec10 = reporter.make_record();
+            rec10.algorithm = "thm10";
+            rec10.graph_family = "complete_tree";
+            rec10.n = n;
+            rec10.delta = delta;
+            rec10.seed = seed;
+            rec10.rounds = l10.rounds();
+            rec10.wall_seconds = sec10;
+            rec10.verified = true;
+            rec10.trace = a.trace;
+            rec10.metric("bad_vertices", static_cast<double>(a.bad_vertices));
+            rec10.metric("largest_bad_component",
+                         static_cast<double>(a.largest_bad_component));
+            Timer t11;
+            const auto b = delta_coloring_thm11(g, delta, seed, l11);
+            const double sec11 = t11.seconds();
+            CKP_CHECK(verify_coloring(g, b.colors, delta).ok);
+            RunRecord rec11 = reporter.make_record();
+            rec11.algorithm = "thm11";
+            rec11.graph_family = "complete_tree";
+            rec11.n = n;
+            rec11.delta = delta;
+            rec11.seed = seed;
+            rec11.rounds = l11.rounds();
+            rec11.wall_seconds = sec11;
+            rec11.verified = true;
+            rec11.trace = b.trace;
+            rec11.metric("phase2_set_size",
+                         static_cast<double>(b.phase2_set_size));
+            rec11.metric("phase2_largest_component",
+                         static_cast<double>(b.phase2_largest_component));
+            return {std::move(rec10), std::move(rec11)};
+          });
       Accumulator r10, r11;
-      for (int s = 0; s < seeds; ++s) {
-        RoundLedger l10, l11;
-        Timer t10;
-        const auto a = delta_coloring_thm10(g, delta,
-                                            static_cast<std::uint64_t>(s) + 1,
-                                            l10);
-        const double sec10 = t10.seconds();
-        CKP_CHECK(verify_coloring(g, a.colors, delta).ok);
-        r10.add(l10.rounds());
-        {
-          RunRecord rec = reporter.make_record();
-          rec.algorithm = "thm10";
-          rec.graph_family = "complete_tree";
-          rec.n = n;
-          rec.delta = delta;
-          rec.seed = static_cast<std::uint64_t>(s) + 1;
-          rec.rounds = l10.rounds();
-          rec.wall_seconds = sec10;
-          rec.verified = true;
-          rec.trace = a.trace;
-          rec.metric("bad_vertices", static_cast<double>(a.bad_vertices));
-          rec.metric("largest_bad_component",
-                     static_cast<double>(a.largest_bad_component));
-          reporter.add(std::move(rec));
-        }
-        Timer t11;
-        const auto b = delta_coloring_thm11(g, delta,
-                                            static_cast<std::uint64_t>(s) + 1,
-                                            l11);
-        const double sec11 = t11.seconds();
-        CKP_CHECK(verify_coloring(g, b.colors, delta).ok);
-        r11.add(l11.rounds());
-        {
-          RunRecord rec = reporter.make_record();
-          rec.algorithm = "thm11";
-          rec.graph_family = "complete_tree";
-          rec.n = n;
-          rec.delta = delta;
-          rec.seed = static_cast<std::uint64_t>(s) + 1;
-          rec.rounds = l11.rounds();
-          rec.wall_seconds = sec11;
-          rec.verified = true;
-          rec.trace = b.trace;
-          rec.metric("phase2_set_size",
-                     static_cast<double>(b.phase2_set_size));
-          rec.metric("phase2_largest_component",
-                     static_cast<double>(b.phase2_largest_component));
-          reporter.add(std::move(rec));
-        }
+      for (RunRecord& rec : trial_records) {
+        (rec.algorithm == "thm10" ? r10 : r11).add(rec.rounds);
+        reporter.add(std::move(rec));
       }
       table.add_row({Table::cell(delta), Table::cell(static_cast<std::int64_t>(n)),
                      Table::cell(ilog_base(static_cast<std::uint64_t>(delta),

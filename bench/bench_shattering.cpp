@@ -15,6 +15,7 @@
 #include "graph/trees.hpp"
 #include "lcl/verify_coloring.hpp"
 #include "obs/reporter.hpp"
+#include "obs/trials.hpp"
 #include "util/check.hpp"
 #include "util/flags.hpp"
 #include "util/math.hpp"
@@ -37,31 +38,33 @@ int main(int argc, char** argv) {
       for (int e = 13; e <= max_exp; e += 2) {
         const NodeId n = static_cast<NodeId>(1) << e;
         const Graph g = make_complete_tree(n, delta);
+        auto trial_records = run_trials(
+            seeds, reporter.threads(), [&](int s) -> std::vector<RunRecord> {
+              RoundLedger ledger;
+              const auto r = delta_coloring_thm11(
+                  g, delta, static_cast<std::uint64_t>(s) + 1, ledger);
+              CKP_CHECK(verify_coloring(g, r.colors, delta).ok);
+              RunRecord rec = reporter.make_record();
+              rec.algorithm = "thm11";
+              rec.graph_family = "complete_tree";
+              rec.n = n;
+              rec.delta = delta;
+              rec.seed = static_cast<std::uint64_t>(s) + 1;
+              rec.rounds = ledger.rounds();
+              rec.verified = true;
+              rec.trace = r.trace;
+              rec.metric("phase2_set_size",
+                         static_cast<double>(r.phase2_set_size));
+              rec.metric("phase2_largest_component",
+                         static_cast<double>(r.phase2_largest_component));
+              return {std::move(rec)};
+            });
         Accumulator set_size, comp, comp_max;
-        for (int s = 0; s < seeds; ++s) {
-          RoundLedger ledger;
-          const auto r = delta_coloring_thm11(
-              g, delta, static_cast<std::uint64_t>(s) + 1, ledger);
-          CKP_CHECK(verify_coloring(g, r.colors, delta).ok);
-          set_size.add(r.phase2_set_size);
-          comp.add(r.phase2_largest_component);
-          comp_max.add(r.phase2_largest_component);
-          {
-            RunRecord rec = reporter.make_record();
-            rec.algorithm = "thm11";
-            rec.graph_family = "complete_tree";
-            rec.n = n;
-            rec.delta = delta;
-            rec.seed = static_cast<std::uint64_t>(s) + 1;
-            rec.rounds = ledger.rounds();
-            rec.verified = true;
-            rec.trace = r.trace;
-            rec.metric("phase2_set_size",
-                       static_cast<double>(r.phase2_set_size));
-            rec.metric("phase2_largest_component",
-                       static_cast<double>(r.phase2_largest_component));
-            reporter.add(std::move(rec));
-          }
+        for (RunRecord& rec : trial_records) {
+          set_size.add(metric_or(rec, "phase2_set_size", 0.0));
+          comp.add(metric_or(rec, "phase2_largest_component", 0.0));
+          comp_max.add(metric_or(rec, "phase2_largest_component", 0.0));
+          reporter.add(std::move(rec));
         }
         t.add_row({Table::cell(delta), Table::cell(static_cast<std::int64_t>(n)),
                    Table::cell(set_size.mean(), 1), Table::cell(comp.mean(), 1),
@@ -81,29 +84,31 @@ int main(int argc, char** argv) {
       for (int e = 13; e <= max_exp; e += 2) {
         const NodeId n = static_cast<NodeId>(1) << e;
         const Graph g = make_complete_tree(n, delta);
+        auto trial_records = run_trials(
+            seeds, reporter.threads(), [&](int s) -> std::vector<RunRecord> {
+              RoundLedger ledger;
+              const auto r = delta_coloring_thm10(
+                  g, delta, static_cast<std::uint64_t>(s) + 1, ledger);
+              CKP_CHECK(verify_coloring(g, r.colors, delta).ok);
+              RunRecord rec = reporter.make_record();
+              rec.algorithm = "thm10";
+              rec.graph_family = "complete_tree";
+              rec.n = n;
+              rec.delta = delta;
+              rec.seed = static_cast<std::uint64_t>(s) + 1;
+              rec.rounds = ledger.rounds();
+              rec.verified = true;
+              rec.trace = r.trace;
+              rec.metric("bad_vertices", static_cast<double>(r.bad_vertices));
+              rec.metric("largest_bad_component",
+                         static_cast<double>(r.largest_bad_component));
+              return {std::move(rec)};
+            });
         Accumulator bad, comp;
-        for (int s = 0; s < seeds; ++s) {
-          RoundLedger ledger;
-          const auto r = delta_coloring_thm10(
-              g, delta, static_cast<std::uint64_t>(s) + 1, ledger);
-          CKP_CHECK(verify_coloring(g, r.colors, delta).ok);
-          bad.add(r.bad_vertices);
-          comp.add(r.largest_bad_component);
-          {
-            RunRecord rec = reporter.make_record();
-            rec.algorithm = "thm10";
-            rec.graph_family = "complete_tree";
-            rec.n = n;
-            rec.delta = delta;
-            rec.seed = static_cast<std::uint64_t>(s) + 1;
-            rec.rounds = ledger.rounds();
-            rec.verified = true;
-            rec.trace = r.trace;
-            rec.metric("bad_vertices", static_cast<double>(r.bad_vertices));
-            rec.metric("largest_bad_component",
-                       static_cast<double>(r.largest_bad_component));
-            reporter.add(std::move(rec));
-          }
+        for (RunRecord& rec : trial_records) {
+          bad.add(metric_or(rec, "bad_vertices", 0.0));
+          comp.add(metric_or(rec, "largest_bad_component", 0.0));
+          reporter.add(std::move(rec));
         }
         const double bound = static_cast<double>(delta) * delta * delta *
                              delta *

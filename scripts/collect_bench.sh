@@ -12,6 +12,10 @@ BUILD_DIR="${1:-build}"
 OUT_FILE="${2:-BENCH_PR.json}"
 BENCH_DIR="$BUILD_DIR/bench"
 
+# Engine thread count for the sweep. Recorded in every RunRecord (metric
+# "threads") so a BENCH_PR.json is self-describing about how it was produced.
+THREADS="${CKP_THREADS:-$(nproc)}"
+
 if [[ ! -d "$BENCH_DIR" ]]; then
   echo "error: $BENCH_DIR not found — build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
   exit 1
@@ -30,8 +34,9 @@ run_bench() {
     echo "warning: $bin missing, skipping" >&2
     return 0
   fi
-  echo "== $name $*"
-  "$bin" "$@" --json_out="$TMP_DIR/$name.jsonl" > "$TMP_DIR/$name.log"
+  echo "== $name $* --threads=$THREADS"
+  "$bin" "$@" --threads="$THREADS" --json_out="$TMP_DIR/$name.jsonl" \
+    > "$TMP_DIR/$name.log"
 }
 
 run_bench bench_separation --seeds=1 --max-exp=10

@@ -23,8 +23,22 @@
 //
 // Halted nodes stop executing but their final state remains visible to
 // neighbors, matching the standard definition of local termination.
+//
+// Parallel execution. Within a round, node steps are data-independent by
+// construction — step reads only previous-round states and writes only the
+// node's own next state, and per-node RNG streams are private — so the node
+// loop runs as a parallel_for over contiguous chunks of the active-node
+// list. The round barrier coincides with LOCAL's message delivery, chunk
+// merge order is ascending node order, and every node consumes exactly its
+// own random stream, so results are bit-identical for every thread count
+// (see tests/test_engine_parallel.cpp). The one obligation this puts on
+// algorithms: step must not mutate shared members of the algorithm object
+// (all in-repo algorithms keep their per-node data in State and are
+// stateless as objects).
 #pragma once
 
+#include <algorithm>
+#include <numeric>
 #include <span>
 #include <type_traits>
 #include <vector>
@@ -34,6 +48,7 @@
 #include "obs/observer.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace ckp {
@@ -77,16 +92,25 @@ struct NullEngineObserver {};
 
 template <typename A, typename Obs>
 EngineResult<A> run_local_impl(const LocalInput& input, A& algo,
-                               int max_rounds, Obs* obs) {
+                               int max_rounds, Obs* obs, int threads) {
   using State = typename A::State;
   constexpr bool kObserved = !std::is_same_v<Obs, NullEngineObserver>;
   input.validate();
   const Graph& g = *input.graph;
   const NodeId n = g.num_nodes();
 
-  // Per-node private randomness (RandLOCAL only).
+  if (threads <= 0) threads = default_engine_threads();
+  // No nested parallelism: inside a trial fan-out (or any parallel_for
+  // body) the engine degrades to sequential; the outer fan-out keeps the
+  // hardware busy at the better granularity.
+  if (in_parallel_worker()) threads = 1;
+  threads = std::clamp<int>(threads, 1, std::max<NodeId>(n, 1));
+
+  // Per-node private randomness. RandLOCAL is defined by the *absence* of
+  // IDs; the seed value is irrelevant to the mode, so a DetLOCAL input with
+  // a nonzero seed allocates no streams.
   std::vector<Rng> rngs;
-  const bool randomized = !input.has_ids() || input.seed != 0;
+  const bool randomized = !input.has_ids();
   if (randomized) {
     rngs.reserve(static_cast<std::size_t>(n));
     for (NodeId v = 0; v < n; ++v) {
@@ -106,7 +130,11 @@ EngineResult<A> run_local_impl(const LocalInput& input, A& algo,
     }
   }
 
-  auto env_of = [&](NodeId v) {
+  // Static per-node environments, built once per run instead of once per
+  // node per round: everything in NodeEnv is round-invariant.
+  std::vector<NodeEnv> envs;
+  envs.reserve(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
     NodeEnv env;
     env.index = v;
     env.degree = g.degree(v);
@@ -117,67 +145,147 @@ EngineResult<A> run_local_impl(const LocalInput& input, A& algo,
     if (!edge_labels.empty()) {
       env.incident_edge_labels = edge_labels[static_cast<std::size_t>(v)];
     }
-    return env;
-  };
+    envs.push_back(env);
+  }
 
   [[maybe_unused]] Timer run_timer;
   EngineResult<A> result;
-  result.states.reserve(static_cast<std::size_t>(n));
+
+  // Double-buffered states. Neither buffer reallocates after this point, so
+  // the CSR neighbor-pointer tables below stay valid for the whole run.
+  std::vector<State> buf_a;
+  buf_a.reserve(static_cast<std::size_t>(n));
   for (NodeId v = 0; v < n; ++v) {
-    result.states.push_back(algo.init(env_of(v)));
+    buf_a.push_back(algo.init(envs[static_cast<std::size_t>(v)]));
   }
+  std::vector<State> buf_b(buf_a);
+
+  // CSR tables of neighbor State pointers, one per buffer, built once per
+  // run instead of rebuilding a pointer vector per node per round. Entry k
+  // corresponds to adjacency entry k of the graph; the table matching the
+  // current previous-round buffer is selected each round by the swap below.
+  std::vector<std::size_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    offsets[static_cast<std::size_t>(v) + 1] =
+        offsets[static_cast<std::size_t>(v)] +
+        static_cast<std::size_t>(g.degree(v));
+  }
+  std::vector<const State*> nbrs_a(offsets[static_cast<std::size_t>(n)]);
+  std::vector<const State*> nbrs_b(nbrs_a.size());
+  {
+    std::size_t k = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      for (NodeId u : g.neighbors(v)) {
+        nbrs_a[k] = &buf_a[static_cast<std::size_t>(u)];
+        nbrs_b[k] = &buf_b[static_cast<std::size_t>(u)];
+        ++k;
+      }
+    }
+  }
+
+  std::vector<State>* cur = &buf_a;  // latest completed round
+  std::vector<State>* nxt = &buf_b;  // scratch being written this round
+  const State* const* cur_nbrs = nbrs_a.data();  // points into *cur
+  const State* const* nxt_nbrs = nbrs_b.data();
+
   std::vector<char> halted(static_cast<std::size_t>(n), 0);
-  std::vector<State> next = result.states;
-  std::vector<const State*> nbr_ptrs;
+  // Compacted list of non-halted nodes, ascending. Late rounds (post-
+  // shattering, when most nodes have halted) iterate only survivors instead
+  // of scanning all n entries.
+  std::vector<NodeId> active(static_cast<std::size_t>(n));
+  std::iota(active.begin(), active.end(), NodeId{0});
+  // Nodes that halted last round: their entry in the scratch buffer is one
+  // round stale and needs a single refresh, after which both buffers hold
+  // their final state forever.
+  std::vector<NodeId> fresh_halts;
+  std::vector<std::vector<NodeId>> chunk_halts(
+      static_cast<std::size_t>(threads));
+  [[maybe_unused]] std::vector<double> chunk_seconds;
+
+  ThreadPool* pool = threads > 1 ? &shared_pool(threads) : nullptr;
 
   NodeId num_halted = 0;
   while (num_halted < n && result.rounds < max_rounds) {
     [[maybe_unused]] Timer round_timer;
-    [[maybe_unused]] NodeId active_this_round = 0;
     [[maybe_unused]] std::uint64_t copies_this_round = 0;
+    const auto active_count = static_cast<std::int64_t>(active.size());
     if constexpr (kObserved) {
       obs->on_round_begin(result.rounds + 1);
-      active_this_round = n - num_halted;
+      chunk_seconds.assign(static_cast<std::size_t>(threads), 0.0);
+      copies_this_round =
+          static_cast<std::uint64_t>(active_count) + fresh_halts.size();
     }
-    for (NodeId v = 0; v < n; ++v) {
-      if (halted[static_cast<std::size_t>(v)]) continue;
-      nbr_ptrs.clear();
-      for (NodeId u : g.neighbors(v)) {
-        nbr_ptrs.push_back(&result.states[static_cast<std::size_t>(u)]);
+    for (NodeId v : fresh_halts) {
+      (*nxt)[static_cast<std::size_t>(v)] = (*cur)[static_cast<std::size_t>(v)];
+    }
+    fresh_halts.clear();
+
+    // The parallel region. Each chunk touches a contiguous slice of the
+    // active list: reads *cur (frozen this round), writes next-states and
+    // RNG streams of its own nodes only, and records halts in its private
+    // list. Merging below is the only cross-chunk communication.
+    auto step_chunk = [&](std::int64_t chunk_begin, std::int64_t chunk_end,
+                          int chunk) {
+      [[maybe_unused]] Timer chunk_timer;
+      std::vector<NodeId>& halts = chunk_halts[static_cast<std::size_t>(chunk)];
+      for (std::int64_t i = chunk_begin; i < chunk_end; ++i) {
+        const NodeId v = active[static_cast<std::size_t>(i)];
+        State& mine = (*nxt)[static_cast<std::size_t>(v)];
+        mine = (*cur)[static_cast<std::size_t>(v)];
+        const bool done = algo.step(
+            mine, envs[static_cast<std::size_t>(v)],
+            std::span<const State* const>(
+                cur_nbrs + offsets[static_cast<std::size_t>(v)],
+                cur_nbrs + offsets[static_cast<std::size_t>(v) + 1]));
+        if (done) halts.push_back(v);
       }
-      State& mine = next[static_cast<std::size_t>(v)];
-      mine = result.states[static_cast<std::size_t>(v)];
-      if constexpr (kObserved) ++copies_this_round;
-      const bool done = algo.step(mine, env_of(v),
-                                  std::span<const State* const>(nbr_ptrs));
-      if (done) {
+      if constexpr (kObserved) {
+        chunk_seconds[static_cast<std::size_t>(chunk)] = chunk_timer.seconds();
+      }
+    };
+    if (pool != nullptr) {
+      pool->parallel_for(0, active_count, threads, step_chunk);
+    } else {
+      step_chunk(0, active_count, 0);
+    }
+
+    // Round barrier: merge per-chunk halt lists in chunk order, which is
+    // ascending node order (chunks are contiguous slices of the sorted
+    // active list) — the same order the sequential engine reports.
+    for (std::vector<NodeId>& halts : chunk_halts) {
+      for (NodeId v : halts) {
         halted[static_cast<std::size_t>(v)] = 1;
         ++num_halted;
+        fresh_halts.push_back(v);
         if constexpr (kObserved) obs->on_node_halt(v, result.rounds + 1);
       }
+      halts.clear();
     }
-    std::swap(result.states, next);
+    if (!fresh_halts.empty()) {
+      active.erase(std::remove_if(active.begin(), active.end(),
+                                  [&](NodeId v) {
+                                    return halted[static_cast<std::size_t>(v)] !=
+                                           0;
+                                  }),
+                   active.end());
+    }
+    std::swap(cur, nxt);
+    std::swap(cur_nbrs, nxt_nbrs);
     ++result.rounds;
-    // After the swap, `next` holds the previous round's states. Non-halted
-    // entries are overwritten via `mine = result.states[v]` next round, but
-    // halted nodes skip that assignment, so only their entries need
-    // refreshing from the authoritative states.
-    for (NodeId v = 0; v < n; ++v) {
-      if (!halted[static_cast<std::size_t>(v)]) continue;
-      next[static_cast<std::size_t>(v)] = result.states[static_cast<std::size_t>(v)];
-      if constexpr (kObserved) ++copies_this_round;
-    }
     if constexpr (kObserved) {
       RoundStats stats;
       stats.round = result.rounds;
       stats.n = n;
-      stats.active_nodes = active_this_round;
+      stats.active_nodes = static_cast<NodeId>(active_count);
       stats.halted_total = num_halted;
       stats.state_copies = copies_this_round;
       stats.seconds = round_timer.seconds();
+      stats.threads = threads;
+      stats.chunk_seconds = chunk_seconds;
       obs->on_round_end(stats);
     }
   }
+  result.states = std::move(*cur);
   result.all_halted = (num_halted == n);
   if constexpr (kObserved) {
     RunStats stats;
@@ -185,6 +293,7 @@ EngineResult<A> run_local_impl(const LocalInput& input, A& algo,
     stats.all_halted = result.all_halted;
     stats.n = n;
     stats.seconds = run_timer.seconds();
+    stats.threads = threads;
     obs->on_run_end(stats);
   }
   return result;
@@ -192,11 +301,12 @@ EngineResult<A> run_local_impl(const LocalInput& input, A& algo,
 
 }  // namespace detail
 
-// Runs `algo` on `input` for at most `max_rounds` synchronous rounds.
+// Runs `algo` on `input` for at most `max_rounds` synchronous rounds, using
+// default_engine_threads() (1 unless --threads / CKP_THREADS raised it).
 template <typename A>
 EngineResult<A> run_local(const LocalInput& input, A& algo, int max_rounds) {
   return detail::run_local_impl<A, detail::NullEngineObserver>(
-      input, algo, max_rounds, nullptr);
+      input, algo, max_rounds, nullptr, 0);
 }
 
 // Observed overload: reports per-round progress through `observer`. Passing
@@ -205,8 +315,20 @@ EngineResult<A> run_local(const LocalInput& input, A& algo, int max_rounds) {
 template <typename A>
 EngineResult<A> run_local(const LocalInput& input, A& algo, int max_rounds,
                           EngineObserver* observer) {
-  if (observer == nullptr) return run_local(input, algo, max_rounds);
-  return detail::run_local_impl(input, algo, max_rounds, observer);
+  return run_local(input, algo, max_rounds, observer, 0);
+}
+
+// Full-control overload: `threads` > 0 forces the chunk count of the
+// per-round node loop (clamped to n); 0 uses default_engine_threads().
+// Results are bit-identical across all thread counts.
+template <typename A>
+EngineResult<A> run_local(const LocalInput& input, A& algo, int max_rounds,
+                          EngineObserver* observer, int threads) {
+  if (observer == nullptr) {
+    return detail::run_local_impl<A, detail::NullEngineObserver>(
+        input, algo, max_rounds, nullptr, threads);
+  }
+  return detail::run_local_impl(input, algo, max_rounds, observer, threads);
 }
 
 }  // namespace ckp

@@ -24,10 +24,18 @@ void MetricsObserver::on_round_end(const RoundStats& stats) {
   registry_->add("engine.state_copies",
                  static_cast<double>(stats.state_copies));
   registry_->set("engine.halted_fraction", stats.halted_fraction());
+  registry_->set("engine.threads", static_cast<double>(stats.threads));
   registry_->histogram("engine.active_nodes", Histogram::powers_of_two(24))
       .add(static_cast<double>(stats.active_nodes));
   registry_->histogram("engine.round_seconds", round_seconds_bounds())
       .add(stats.seconds);
+  // Per-chunk step times expose the parallel load balance: with T threads a
+  // perfectly balanced round has T near-equal entries well below the round
+  // wall time.
+  for (const double chunk : stats.chunk_seconds) {
+    registry_->histogram("engine.chunk_seconds", round_seconds_bounds())
+        .add(chunk);
+  }
 }
 
 void MetricsObserver::on_node_halt(NodeId /*v*/, int /*round*/) {

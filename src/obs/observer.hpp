@@ -8,6 +8,8 @@
 // simulation throughput is unchanged unless a run opts in.
 #pragma once
 
+#include <vector>
+
 #include "graph/graph.hpp"
 
 namespace ckp {
@@ -22,10 +24,20 @@ struct RoundStats {
   NodeId halted_total = 0;   // cumulative halted count after the round
   std::uint64_t state_copies = 0;  // State assignments the engine performed
   double seconds = 0.0;      // wall time of the round
+  int threads = 1;           // chunks the node loop was split into
+  // Wall time of each chunk's step loop (size == threads). The spread
+  // between max and min is the load imbalance of the static partition.
+  std::vector<double> chunk_seconds;
 
   double halted_fraction() const {
     return n == 0 ? 1.0
                   : static_cast<double>(halted_total) / static_cast<double>(n);
+  }
+
+  double max_chunk_seconds() const {
+    double worst = 0.0;
+    for (double s : chunk_seconds) worst = s > worst ? s : worst;
+    return worst;
   }
 };
 
@@ -35,10 +47,13 @@ struct RunStats {
   bool all_halted = false;
   NodeId n = 0;
   double seconds = 0.0;  // wall time of the whole run (init + rounds)
+  int threads = 1;       // parallelism of the per-round node loop
 };
 
 // Hook interface. All hooks default to no-ops so observers override only
-// what they need. Hooks are called synchronously from inside the round loop;
+// what they need. Hooks are called synchronously on the engine's calling
+// thread — node halts are aggregated per chunk and reported at the round
+// barrier in ascending node order, regardless of the thread count — and
 // observers must not mutate the simulation.
 class EngineObserver {
  public:
@@ -53,9 +68,10 @@ class EngineObserver {
 // EngineObserver that folds every round into a MetricsRegistry (not owned):
 //   counters   engine.rounds, engine.steps, engine.halts, engine.state_copies
 //   gauges     engine.halted_fraction, engine.run_rounds, engine.all_halted,
-//              engine.run_seconds
+//              engine.run_seconds, engine.threads
 //   histograms engine.active_nodes (power-of-two buckets),
-//              engine.round_seconds (decade buckets 1µs..10s)
+//              engine.round_seconds, engine.chunk_seconds (decade buckets
+//              1µs..10s)
 class MetricsObserver : public EngineObserver {
  public:
   explicit MetricsObserver(MetricsRegistry* registry);

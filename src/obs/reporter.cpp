@@ -4,20 +4,25 @@
 #include <utility>
 
 #include "util/flags.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ckp {
 
 BenchReporter::BenchReporter(Flags& flags, std::string bench_name)
     : bench_name_(std::move(bench_name)),
       csv_(flags.get_bool("csv", false)),
+      threads_(flags.get_threads()),
       trace_path_(flags.get_string("trace_out", "")),
-      jsonl_(flags.get_string("json_out", "")) {}
+      jsonl_(flags.get_string("json_out", "")) {
+  set_default_engine_threads(threads_);
+}
 
 BenchReporter::~BenchReporter() { finish(); }
 
 RunRecord BenchReporter::make_record() const {
   RunRecord record;
   record.bench = bench_name_;
+  record.metric("threads", static_cast<double>(threads_));
   return record;
 }
 

@@ -8,8 +8,14 @@
 //   --trace_out=PATH   export a Chrome trace-event timeline of the run
 //                      phases (first record with a Trace; otherwise the
 //                      records laid end-to-end by wall time)
+//   --threads=T        parallelism for engine rounds and run_trials fan-out
+//                      (CKP_THREADS env fallback; default 1). Consuming it
+//                      here wires the flag through every bench main with no
+//                      per-bench plumbing: the constructor installs T as the
+//                      process default and every record carries a "threads"
+//                      metric, so BENCH_PR.json records the thread count.
 //
-// Construct it right after Flags (it consumes the three flags, so construct
+// Construct it right after Flags (it consumes the four flags, so construct
 // before flags.check_unknown()), call add() for every measured run, print()
 // for every table, and the destructor writes the deferred outputs.
 #pragma once
@@ -27,7 +33,7 @@ class Flags;
 
 class BenchReporter {
  public:
-  // Consumes --csv, --json_out and --trace_out from `flags`.
+  // Consumes --csv, --json_out, --trace_out and --threads from `flags`.
   BenchReporter(Flags& flags, std::string bench_name);
   ~BenchReporter();
 
@@ -37,6 +43,7 @@ class BenchReporter {
   const std::string& bench_name() const { return bench_name_; }
   bool csv() const { return csv_; }
   bool json_enabled() const { return jsonl_.enabled(); }
+  int threads() const { return threads_; }
 
   // A record pre-filled with the bench name.
   RunRecord make_record() const;
@@ -57,6 +64,7 @@ class BenchReporter {
  private:
   std::string bench_name_;
   bool csv_ = false;
+  int threads_ = 1;
   std::string trace_path_;
   JsonlWriter jsonl_;
   std::size_t records_ = 0;

@@ -1,8 +1,10 @@
 #include "util/flags.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ckp {
 
@@ -61,6 +63,19 @@ bool Flags::get_bool(const std::string& name, bool def) {
   if (*v == "false" || *v == "0") return false;
   CKP_CHECK_MSG(false, "flag --" << name << " is not a boolean: " << *v);
   return def;
+}
+
+int Flags::get_threads(int def) {
+  const auto v = raw("threads");
+  if (!v) {
+    const int env = env_thread_count();
+    return env != 0 ? env : std::max(def, 1);
+  }
+  char* end = nullptr;
+  const std::int64_t out = std::strtoll(v->c_str(), &end, 10);
+  CKP_CHECK_MSG(end != nullptr && *end == '\0' && out >= 1,
+                "flag --threads is not a positive integer: " << *v);
+  return static_cast<int>(out);
 }
 
 void Flags::check_unknown() const {

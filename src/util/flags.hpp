@@ -23,6 +23,11 @@ class Flags {
   std::string get_string(const std::string& name, const std::string& def);
   bool get_bool(const std::string& name, bool def);
 
+  // The worker-thread count for parallel engine rounds and trial fan-out:
+  // --threads if given, else the CKP_THREADS environment variable, else
+  // `def`. Always >= 1.
+  int get_threads(int def = 1);
+
   // Call after all getters: throws if the command line contained flags
   // that no getter asked about.
   void check_unknown() const;

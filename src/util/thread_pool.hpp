@@ -1,0 +1,102 @@
+// A small static-partition thread pool for the simulation hot paths.
+//
+// The LOCAL model is embarrassingly parallel *within* a round: every node
+// reads only previous-round neighbor states and writes only its own next
+// state, so the engine's node loop splits into contiguous index chunks with
+// no synchronization beyond the round barrier. parallel_for implements
+// exactly that shape — deterministic contiguous partition, chunk 0 on the
+// calling thread, a barrier at the end — and deliberately nothing more (no
+// work stealing, no task queue): determinism and a cheap per-round dispatch
+// matter more here than load balancing, and chunk sizes are near-equal by
+// construction.
+//
+// Nesting policy: a parallel_for body must not issue another parallel_for.
+// Callers that might run inside a pool worker (the engine under a trial
+// fan-out) check in_parallel_worker() and degrade to sequential, which keeps
+// the outermost fan-out — the right granularity — parallel.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ckp {
+
+// Chunk body: receives [chunk_begin, chunk_end) and the chunk index.
+using ChunkFn = std::function<void(std::int64_t, std::int64_t, int)>;
+
+class ThreadPool {
+ public:
+  // Spawns `threads - 1` persistent workers (the caller is the last thread).
+  // threads >= 1; a 1-thread pool runs everything inline.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Splits [begin, end) into `chunks` contiguous near-equal ranges (sizes
+  // differ by at most one; the partition depends only on the range length
+  // and `chunks`, never on timing) and runs body(chunk_begin, chunk_end,
+  // chunk_index) for each, chunk 0 on the calling thread. Blocks until all
+  // chunks finish. `chunks` is clamped to [1, num_threads()]. The first
+  // exception thrown by any chunk is rethrown on the caller. Top-level calls
+  // are serialized internally; bodies must not call parallel_for again.
+  void parallel_for(std::int64_t begin, std::int64_t end, int chunks,
+                    const ChunkFn& body);
+
+  // The [begin, end) range of chunk `index` under the partition above.
+  static std::pair<std::int64_t, std::int64_t> chunk_range(std::int64_t begin,
+                                                           std::int64_t end,
+                                                           int chunks,
+                                                           int index);
+
+ private:
+  void worker_main(int my_index);
+  void run_chunk(const ChunkFn& body, std::int64_t begin, std::int64_t end,
+                 int chunks, int index);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a new job
+  std::condition_variable done_cv_;   // caller waits for the barrier
+  std::uint64_t job_generation_ = 0;  // bumped once per parallel_for
+  const ChunkFn* job_body_ = nullptr;
+  std::int64_t job_begin_ = 0;
+  std::int64_t job_end_ = 0;
+  int job_chunks_ = 0;
+  int workers_pending_ = 0;
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+
+  std::mutex submit_mu_;  // serializes concurrent top-level parallel_for calls
+};
+
+// True while the current thread is executing a parallel_for chunk (worker or
+// caller). Used to forbid nested parallelism: inner parallel code degrades
+// to sequential instead of deadlocking on the shared pool.
+bool in_parallel_worker();
+
+// Process-wide pool shared by the engine and the trial fan-out, created
+// lazily and grown (never shrunk) to satisfy the largest request. Returns a
+// pool with num_threads() >= threads.
+ThreadPool& shared_pool(int threads);
+
+// CKP_THREADS environment override, or 0 when unset/invalid.
+int env_thread_count();
+
+// Process default used by run_local when no explicit thread count is given:
+// the last set_default_engine_threads value if any, else CKP_THREADS, else 1.
+// BenchReporter calls the setter from the --threads flag, which wires the
+// flag through every bench without per-bench plumbing.
+void set_default_engine_threads(int threads);
+int default_engine_threads();
+
+}  // namespace ckp

@@ -162,6 +162,46 @@ struct DrawOnce {
   }
 };
 
+// Records whether the engine handed the node a private random stream.
+struct RngProbe {
+  struct State {
+    bool had_rng = false;
+  };
+  State init(const NodeEnv& env) { return {env.rng != nullptr}; }
+  bool step(State&, const NodeEnv&, std::span<const State* const>) {
+    return true;
+  }
+};
+
+// Regression: RandLOCAL is defined by the absence of IDs, not by the seed.
+// The engine used to treat any input with a nonzero seed as randomized and
+// allocate n RNG streams a DetLOCAL algorithm could never legally use.
+TEST(Engine, DetInputWithNonzeroSeedGetsNoRngStreams) {
+  const Graph g = make_path(6);
+  LocalInput in;
+  in.graph = &g;
+  in.ids = sequential_ids(6);
+  in.seed = 12345;  // nonzero seed must not flip a DetLOCAL input to RandLOCAL
+  RngProbe algo;
+  const auto result = run_local(in, algo, 10);
+  EXPECT_TRUE(result.all_halted);
+  for (const auto& s : result.states) EXPECT_FALSE(s.had_rng);
+
+  // And asking for randomness in DetLOCAL still fails loudly.
+  DrawOnce bad_algo;
+  EXPECT_THROW(run_local(in, bad_algo, 10), CheckFailure);
+}
+
+TEST(Engine, RandInputGetsRngStreamsEvenWithZeroSeed) {
+  const Graph g = make_path(6);
+  LocalInput in;
+  in.graph = &g;  // no ids => RandLOCAL
+  in.seed = 0;
+  RngProbe algo;
+  const auto result = run_local(in, algo, 10);
+  for (const auto& s : result.states) EXPECT_TRUE(s.had_rng);
+}
+
 TEST(Engine, RandomStreamsDifferAcrossNodes) {
   const Graph g = make_complete(6);
   LocalInput in;

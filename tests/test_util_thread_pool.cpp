@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ckp {
+namespace {
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, 4, [&](std::int64_t lo, std::int64_t hi, int) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PartitionIsContiguousBalancedAndDeterministic) {
+  // 10 items over 4 chunks: sizes 3,3,2,2 in index order.
+  const auto r0 = ThreadPool::chunk_range(0, 10, 4, 0);
+  const auto r1 = ThreadPool::chunk_range(0, 10, 4, 1);
+  const auto r2 = ThreadPool::chunk_range(0, 10, 4, 2);
+  const auto r3 = ThreadPool::chunk_range(0, 10, 4, 3);
+  EXPECT_EQ(r0, (std::pair<std::int64_t, std::int64_t>{0, 3}));
+  EXPECT_EQ(r1, (std::pair<std::int64_t, std::int64_t>{3, 6}));
+  EXPECT_EQ(r2, (std::pair<std::int64_t, std::int64_t>{6, 8}));
+  EXPECT_EQ(r3, (std::pair<std::int64_t, std::int64_t>{8, 10}));
+  // Nonzero begin offsets the whole partition.
+  EXPECT_EQ(ThreadPool::chunk_range(100, 110, 4, 0),
+            (std::pair<std::int64_t, std::int64_t>{100, 103}));
+}
+
+TEST(ThreadPool, MoreChunksThanItemsYieldsEmptyTails) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  std::atomic<int> nonempty{0};
+  pool.parallel_for(0, 3, 8, [&](std::int64_t lo, std::int64_t hi, int) {
+    if (lo < hi) nonempty.fetch_add(1);
+    for (std::int64_t i = lo; i < hi; ++i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    }
+  });
+  EXPECT_EQ(nonempty.load(), 3);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeRunsNothing) {
+  ThreadPool pool(2);
+  std::atomic<int> visited{0};
+  pool.parallel_for(5, 5, 2, [&](std::int64_t lo, std::int64_t hi, int) {
+    visited.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(visited.load(), 0);
+}
+
+TEST(ThreadPool, ExceptionsPropagateToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100, 4,
+                        [&](std::int64_t lo, std::int64_t, int) {
+                          CKP_CHECK_MSG(lo != 0, "chunk 0 fails");
+                        }),
+      CheckFailure);
+  // The pool survives a failed job and runs the next one.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 100, 4, [&](std::int64_t lo, std::int64_t hi, int) {
+    count.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WorkerFlagVisibleInsideChunks) {
+  EXPECT_FALSE(in_parallel_worker());
+  ThreadPool pool(2);
+  std::atomic<int> flagged{0};
+  pool.parallel_for(0, 2, 2, [&](std::int64_t lo, std::int64_t hi, int) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      if (in_parallel_worker()) flagged.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(flagged.load(), 2);
+  EXPECT_FALSE(in_parallel_worker());
+}
+
+TEST(ThreadPool, SharedPoolGrowsToLargestRequest) {
+  EXPECT_GE(shared_pool(2).num_threads(), 2);
+  EXPECT_GE(shared_pool(5).num_threads(), 5);
+  EXPECT_GE(shared_pool(2).num_threads(), 5);  // never shrinks
+}
+
+TEST(ThreadPool, DefaultEngineThreadsPrefersExplicitOverEnv) {
+  ASSERT_EQ(setenv("CKP_THREADS", "3", 1), 0);
+  EXPECT_EQ(env_thread_count(), 3);
+  set_default_engine_threads(7);
+  EXPECT_EQ(default_engine_threads(), 7);
+  set_default_engine_threads(1);
+  EXPECT_EQ(default_engine_threads(), 1);
+  ASSERT_EQ(unsetenv("CKP_THREADS"), 0);
+  EXPECT_EQ(env_thread_count(), 0);
+}
+
+TEST(ThreadPool, EnvThreadCountRejectsGarbage) {
+  ASSERT_EQ(setenv("CKP_THREADS", "banana", 1), 0);
+  EXPECT_EQ(env_thread_count(), 0);
+  ASSERT_EQ(setenv("CKP_THREADS", "0", 1), 0);
+  EXPECT_EQ(env_thread_count(), 0);
+  ASSERT_EQ(setenv("CKP_THREADS", "-4", 1), 0);
+  EXPECT_EQ(env_thread_count(), 0);
+  ASSERT_EQ(unsetenv("CKP_THREADS"), 0);
+}
+
+}  // namespace
+}  // namespace ckp
