@@ -18,8 +18,20 @@
 // o(log* n)-type upper bound from this method alone — sinkless orientation
 // is the canonical fixed point, which bench_roundelim certifies
 // mechanically, exactly the engine behind the paper's Theorem 4 lemmas.
+//
+// Two implementations of the operator live here (DESIGN.md §7):
+//
+//   * round_eliminate — the packed kernel: configurations as single
+//     uint64_t keys in sorted flat vectors, maximal ∀-tuples found directly
+//     by a pruned antichain search (the ∀-property is downward-closed in
+//     every coordinate), the ∃-pass as a bitmask matching DP, and both
+//     passes fanned across the shared thread pool with deterministic
+//     chunk-ordered merges — output is bit-identical at every thread count.
+//   * round_eliminate_reference — the original enumerate-then-filter
+//     prototype, kept verbatim as the differential-testing oracle.
 #pragma once
 
+#include <functional>
 #include <set>
 #include <string>
 #include <vector>
@@ -44,13 +56,41 @@ struct BipartiteProblem {
   void validate() const;
 };
 
+// Enumerates all sorted multisets of size `size` over [0, universe) in
+// colex order. `size == 0` yields exactly one (empty) multiset; a
+// `universe <= 0` with `size > 0` yields none (there is no label to place —
+// the unguarded seed version spun forever emitting out-of-range slots).
+void enumerate_multisets(int universe, int size,
+                         const std::function<void(const std::vector<int>&)>& f);
+
 // One elimination step R(Π) (roles swap: the result's active degree is Π's
 // passive degree). Throws CheckFailure if the label universe would exceed
 // `max_labels` (round elimination can blow up doubly exponentially).
-BipartiteProblem round_eliminate(const BipartiteProblem& p, int max_labels = 64);
+//
+// The packed kernel handles up to 64 labels and degrees up to 8 (the packed
+// representation is 8 one-byte slots); outside that envelope it falls back
+// to round_eliminate_reference and its ≤20-label bound. `threads <= 0`
+// means default_engine_threads(); any thread count produces bit-identical
+// output.
+BipartiteProblem round_eliminate(const BipartiteProblem& p,
+                                 int max_labels = 64, int threads = 0);
 
-// True iff a and b are identical up to a bijective relabeling (labels
-// matched by brute force; intended for the small problems of this module).
+// The seed brute-force implementation (std::set<std::vector<int>>
+// configurations, full enumerate-then-filter passes, ≤20 labels). Kept as
+// the oracle for differential tests and the bench's speedup baseline.
+BipartiteProblem round_eliminate_reference(const BipartiteProblem& p,
+                                           int max_labels = 64);
+
+// Exact structural equality — degrees, label names, and both configuration
+// sets. Stronger than isomorphism; used by the differential tests to pin
+// the packed kernel to the reference output label-for-label.
+bool problems_identical(const BipartiteProblem& a, const BipartiteProblem& b);
+
+// True iff a and b are identical up to a bijective relabeling. Labels are
+// first partitioned by invariant signatures (occurrence counts per side and
+// multiplicity); the backtracking search only matches labels with equal
+// signatures and prunes with pairwise co-occurrence counts, so the old
+// 8-label k! cap is gone (problems in the dozens of labels are fine).
 bool problems_isomorphic(const BipartiteProblem& a, const BipartiteProblem& b);
 
 // The 0-round criterion on port-numbered biregular trees: some active

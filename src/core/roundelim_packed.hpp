@@ -1,0 +1,138 @@
+// Packed configuration keys for the round-elimination kernel.
+//
+// A configuration is a sorted multiset of at most 8 label indices. The
+// kernel packs one configuration into a single uint64_t: byte j (counting
+// from the most significant byte) holds `label + 1` of the j-th smallest
+// element, unused trailing bytes are zero. The +1 offset keeps label 0
+// distinct from padding, and because all keys in one context share a size,
+// numeric order on keys equals lexicographic order on the sorted vectors —
+// so a sorted flat vector of keys enumerates configurations in exactly the
+// order `std::set<std::vector<int>>` would, and membership is one binary
+// search over a contiguous array instead of a pointer-chasing tree walk.
+//
+// All helpers are O(size) with size <= 8; none allocate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ckp {
+namespace packedcfg {
+
+using Key = std::uint64_t;
+
+// Hard representation limits of the packed kernel: 8 one-byte slots per
+// key, and label indices must fit both a byte (255 after the +1 offset)
+// and — for the subset masks the elimination step manipulates — 64 bits.
+inline constexpr int kMaxSlots = 8;
+inline constexpr int kMaxLabels = 64;
+
+inline Key pack(const int* labels, int size) {
+  CKP_CHECK(size >= 0 && size <= kMaxSlots);
+  Key key = 0;
+  for (int j = 0; j < size; ++j) {
+    CKP_CHECK(labels[j] >= 0 && labels[j] < 255);
+    key |= (static_cast<Key>(labels[j]) + 1) << (8 * (7 - j));
+  }
+  return key;
+}
+
+inline Key pack(const std::vector<int>& sorted_cfg) {
+  return pack(sorted_cfg.data(), static_cast<int>(sorted_cfg.size()));
+}
+
+// The label stored at slot `j` (0-based from the smallest element).
+inline int label_at(Key key, int j) {
+  return static_cast<int>((key >> (8 * (7 - j))) & 0xFF) - 1;
+}
+
+inline void unpack(Key key, int size, int* out) {
+  for (int j = 0; j < size; ++j) out[j] = label_at(key, j);
+}
+
+inline std::vector<int> unpack(Key key, int size) {
+  std::vector<int> out(static_cast<std::size_t>(size));
+  unpack(key, size, out.data());
+  return out;
+}
+
+// Inserts `label` into a key currently holding `size` sorted labels
+// (size < kMaxSlots) and returns the key of the size+1 multiset. This is
+// the incremental step that replaces the per-choice re-sort of the
+// reference kernel: O(size) byte shuffling, no allocation.
+inline Key insert(Key key, int size, int label) {
+  const Key b = static_cast<Key>(label) + 1;
+  int pos = 0;
+  while (pos < size && ((key >> (8 * (7 - pos))) & 0xFF) <= b) ++pos;
+  // Keep bytes [0, pos), place b at pos, shift bytes [pos, size) down one.
+  const Key high = pos == 0 ? 0 : key & (~Key{0} << (64 - 8 * pos));
+  const Key low = key & ~(pos == 0 ? Key{0} : (~Key{0} << (64 - 8 * pos)));
+  return high | (b << (8 * (7 - pos))) | (low >> 8);
+}
+
+// Multiset union of two keys of sizes `size_a` and `size_b`
+// (size_a + size_b <= kMaxSlots).
+inline Key merge(Key a, int size_a, Key b, int size_b) {
+  Key out = a;
+  int size = size_a;
+  for (int j = 0; j < size_b; ++j) out = insert(out, size++, label_at(b, j));
+  return out;
+}
+
+// Removes one occurrence of `label` from a key of `size` labels, or
+// nullopt when absent. The common inner-loop special case of subtract().
+inline std::optional<Key> erase_one(Key key, int size, int label) {
+  const Key b = static_cast<Key>(label) + 1;
+  for (int pos = 0; pos < size; ++pos) {
+    const Key byte = (key >> (8 * (7 - pos))) & 0xFF;
+    if (byte == b) {
+      const Key high = pos == 0 ? 0 : key & (~Key{0} << (64 - 8 * pos));
+      const Key low =
+          key & ~(pos == 0 ? Key{0} : (~Key{0} << (64 - 8 * pos))) &
+          ~(Key{0xFF} << (8 * (7 - pos)));
+      return high | (low << 8);
+    }
+    if (byte > b) return std::nullopt;  // sorted — label cannot follow
+  }
+  return std::nullopt;
+}
+
+// Bitmask of the distinct labels present in a key of `size` labels.
+inline std::uint64_t label_mask(Key key, int size) {
+  std::uint64_t mask = 0;
+  for (int j = 0; j < size; ++j) mask |= 1ULL << label_at(key, j);
+  return mask;
+}
+
+// Multiset difference big − small, or nullopt when small is not a
+// sub-multiset of big. The result holds size_big − size_small labels.
+inline std::optional<Key> subtract(Key big, int size_big, Key small,
+                                   int size_small) {
+  Key out = 0;
+  int emitted = 0;
+  int i = 0;
+  int j = 0;
+  while (i < size_big) {
+    const int bl = label_at(big, i);
+    if (j < size_small) {
+      const int sl = label_at(small, j);
+      if (bl == sl) {  // matched — consume both
+        ++i;
+        ++j;
+        continue;
+      }
+      if (bl > sl) return std::nullopt;  // small has a label big lacks
+    }
+    out |= (static_cast<Key>(bl) + 1) << (8 * (7 - emitted));
+    ++emitted;
+    ++i;
+  }
+  if (j < size_small) return std::nullopt;
+  return out;
+}
+
+}  // namespace packedcfg
+}  // namespace ckp

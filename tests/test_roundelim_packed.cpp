@@ -1,0 +1,158 @@
+// Unit tests for the packed configuration keys behind the round-elimination
+// kernel (src/core/roundelim_packed.hpp): pack/unpack round trips, the
+// order-equivalence guarantee the kernel's sorted flat vectors rely on, and
+// the incremental insert/erase/merge/subtract helpers — including the
+// pos == 0 edge cases where a shift-by-64 would be undefined behaviour.
+#include "core/roundelim_packed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ckp {
+namespace {
+
+using packedcfg::Key;
+
+TEST(PackedCfg, PackUnpackRoundTrip) {
+  const std::vector<std::vector<int>> cases = {
+      {},      {0},          {63},           {0, 0},
+      {0, 63}, {1, 2, 3, 4}, {5, 5, 5, 5, 5}, {0, 1, 2, 3, 4, 5, 6, 7},
+  };
+  for (const auto& cfg : cases) {
+    const Key key = packedcfg::pack(cfg);
+    EXPECT_EQ(packedcfg::unpack(key, static_cast<int>(cfg.size())), cfg);
+    for (int j = 0; j < static_cast<int>(cfg.size()); ++j) {
+      EXPECT_EQ(packedcfg::label_at(key, j), cfg[static_cast<std::size_t>(j)]);
+    }
+  }
+  EXPECT_EQ(packedcfg::pack(std::vector<int>{}), Key{0});
+}
+
+TEST(PackedCfg, NumericOrderIsLexOrderAtFixedSize) {
+  // The kernel stores same-size keys in sorted vectors and expects the
+  // numeric order to enumerate configurations exactly as
+  // std::set<std::vector<int>> would. Check exhaustively at size 3 over a
+  // small universe.
+  std::vector<std::vector<int>> cfgs;
+  for (int a = 0; a < 5; ++a)
+    for (int b = a; b < 5; ++b)
+      for (int c = b; c < 5; ++c) cfgs.push_back({a, b, c});
+  for (std::size_t i = 0; i + 1 < cfgs.size(); ++i) {
+    for (std::size_t j = i + 1; j < cfgs.size(); ++j) {
+      EXPECT_EQ(cfgs[i] < cfgs[j],
+                packedcfg::pack(cfgs[i]) < packedcfg::pack(cfgs[j]))
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(PackedCfg, InsertKeepsSortedOrder) {
+  // insert() at every position, including pos == 0 (new smallest label,
+  // where the "keep high bytes" mask must degenerate to zero rather than
+  // shift by 64).
+  const std::vector<int> base = {2, 4, 4, 6};
+  const Key key = packedcfg::pack(base);
+  for (int label : {0, 2, 3, 4, 5, 6, 7}) {
+    std::vector<int> expect = base;
+    expect.insert(std::upper_bound(expect.begin(), expect.end(), label),
+                  label);
+    EXPECT_EQ(packedcfg::unpack(
+                  packedcfg::insert(key, static_cast<int>(base.size()), label),
+                  static_cast<int>(expect.size())),
+              expect)
+        << "label=" << label;
+  }
+  // Into the empty key.
+  EXPECT_EQ(packedcfg::unpack(packedcfg::insert(Key{0}, 0, 7), 1),
+            (std::vector<int>{7}));
+  // Up to the full 8 slots.
+  Key grown = 0;
+  for (int j = 0; j < packedcfg::kMaxSlots; ++j) {
+    grown = packedcfg::insert(grown, j, packedcfg::kMaxSlots - 1 - j);
+  }
+  EXPECT_EQ(packedcfg::unpack(grown, packedcfg::kMaxSlots),
+            (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(PackedCfg, EraseOneRemovesFirstOccurrence) {
+  const std::vector<int> base = {1, 3, 3, 5};
+  const Key key = packedcfg::pack(base);
+  // Present labels, including pos == 0 (smallest element).
+  for (int label : {1, 3, 5}) {
+    std::vector<int> expect = base;
+    expect.erase(std::find(expect.begin(), expect.end(), label));
+    const auto erased =
+        packedcfg::erase_one(key, static_cast<int>(base.size()), label);
+    ASSERT_TRUE(erased.has_value()) << "label=" << label;
+    EXPECT_EQ(packedcfg::unpack(*erased, static_cast<int>(expect.size())),
+              expect)
+        << "label=" << label;
+  }
+  // Absent labels: below, between, and above the stored range.
+  for (int label : {0, 2, 4, 6}) {
+    EXPECT_FALSE(
+        packedcfg::erase_one(key, static_cast<int>(base.size()), label)
+            .has_value())
+        << "label=" << label;
+  }
+  EXPECT_FALSE(packedcfg::erase_one(Key{0}, 0, 0).has_value());
+  // Singleton: erasing the only element yields the empty key.
+  const auto single = packedcfg::erase_one(packedcfg::pack({4}), 1, 4);
+  ASSERT_TRUE(single.has_value());
+  EXPECT_EQ(*single, Key{0});
+}
+
+TEST(PackedCfg, EraseUndoesInsert) {
+  Rng rng(411);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int size = static_cast<int>(rng.next_below(packedcfg::kMaxSlots));
+    std::vector<int> cfg(static_cast<std::size_t>(size));
+    for (auto& l : cfg) l = static_cast<int>(rng.next_below(64));
+    std::sort(cfg.begin(), cfg.end());
+    const Key key = packedcfg::pack(cfg);
+    const int label = static_cast<int>(rng.next_below(64));
+    const auto back = packedcfg::erase_one(
+        packedcfg::insert(key, size, label), size + 1, label);
+    ASSERT_TRUE(back.has_value()) << "trial=" << trial;
+    EXPECT_EQ(*back, key) << "trial=" << trial;
+  }
+}
+
+TEST(PackedCfg, MergeIsMultisetUnion) {
+  const Key a = packedcfg::pack({1, 4, 4});
+  const Key b = packedcfg::pack({0, 4, 7});
+  EXPECT_EQ(packedcfg::unpack(packedcfg::merge(a, 3, b, 3), 6),
+            (std::vector<int>{0, 1, 4, 4, 4, 7}));
+  EXPECT_EQ(packedcfg::merge(a, 3, Key{0}, 0), a);
+  EXPECT_EQ(packedcfg::merge(Key{0}, 0, b, 3), b);
+}
+
+TEST(PackedCfg, SubtractIsMultisetDifference) {
+  const Key big = packedcfg::pack({0, 2, 2, 5});
+  const auto diff = packedcfg::subtract(big, 4, packedcfg::pack({2, 5}), 2);
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_EQ(packedcfg::unpack(*diff, 2), (std::vector<int>{0, 2}));
+  // Not a sub-multiset: multiplicity too high, or a label big lacks.
+  EXPECT_FALSE(
+      packedcfg::subtract(big, 4, packedcfg::pack({2, 2, 2}), 3).has_value());
+  EXPECT_FALSE(packedcfg::subtract(big, 4, packedcfg::pack({1}), 1)
+                   .has_value());
+  // Subtracting everything yields the empty key.
+  const auto all = packedcfg::subtract(big, 4, big, 4);
+  ASSERT_TRUE(all.has_value());
+  EXPECT_EQ(*all, Key{0});
+}
+
+TEST(PackedCfg, LabelMaskCollectsDistinctLabels) {
+  EXPECT_EQ(packedcfg::label_mask(Key{0}, 0), 0u);
+  EXPECT_EQ(packedcfg::label_mask(packedcfg::pack({0, 0, 3}), 3),
+            (1ULL << 0) | (1ULL << 3));
+  EXPECT_EQ(packedcfg::label_mask(packedcfg::pack({63}), 1), 1ULL << 63);
+}
+
+}  // namespace
+}  // namespace ckp
