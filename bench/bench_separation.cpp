@@ -11,6 +11,7 @@
 // column grows linearly in log n while both randomized columns stay nearly
 // flat; the ratio det/rand widens without bound.
 #include <iostream>
+#include <optional>
 
 #include "algo/be_tree_coloring.hpp"
 #include "core/delta_coloring_thm10.hpp"
@@ -20,6 +21,7 @@
 #include "local/ids.hpp"
 #include "obs/reporter.hpp"
 #include "obs/trials.hpp"
+#include "store/checkpoint.hpp"
 #include "util/check.hpp"
 #include "util/flags.hpp"
 #include "util/math.hpp"
@@ -33,7 +35,16 @@ int main(int argc, char** argv) {
   const int seeds = static_cast<int>(flags.get_int("seeds", 3));
   const int max_exp = static_cast<int>(flags.get_int("max-exp", 20));
   BenchReporter reporter(flags, "E1_separation");
+  // --store_dir caches generated graphs and commits per-seed RunRecords as
+  // trials finish; --resume additionally skips seeds already committed
+  // (their records re-emit byte-identically). See DESIGN.md §8.
+  const std::string store_dir = flags.get_string("store_dir", "");
+  const bool resume = flags.get_bool("resume", false);
   flags.check_unknown();
+  std::optional<ArtifactStore> store;
+  if (!store_dir.empty()) store.emplace(store_dir);
+  const ArtifactStore* store_ptr = store ? &*store : nullptr;
+  int seeds_cached_total = 0;
 
   std::cout << "E1: exponential separation for Δ-coloring trees\n"
             << "det = Thm 9 (q=Δ); rand10 = Thm 10; rand11 = Thm 11;"
@@ -44,7 +55,13 @@ int main(int argc, char** argv) {
   for (int delta : {16, 32, 64}) {
     for (int e = 8; e <= max_exp; e += 2) {
       const NodeId n = static_cast<NodeId>(1) << e;
-      const Graph g = make_complete_tree(n, delta);
+      const std::string instance_key =
+          "complete_tree.d" + std::to_string(delta) + ".n" + std::to_string(n);
+      const Graph g =
+          store_ptr != nullptr
+              ? store_ptr->graph(instance_key,
+                                 [&] { return make_complete_tree(n, delta); })
+              : make_complete_tree(n, delta);
 
       Rng rng(mix_seed(0xE1, static_cast<std::uint64_t>(n),
                        static_cast<std::uint64_t>(delta)));
@@ -70,8 +87,12 @@ int main(int argc, char** argv) {
 
       // Independent seeds fan out across the thread pool; records come back
       // in seed order so tables and JSONL are identical at any --threads.
-      auto trial_records = run_trials(
-          seeds, reporter.threads(), [&](int s) -> std::vector<RunRecord> {
+      // With a store, each seed's records are committed as it finishes and
+      // a resumed run skips the committed ones.
+      int seeds_cached = 0;
+      auto trial_records = run_trials_checkpointed(
+          store_ptr, "E1." + instance_key, resume, seeds, reporter.threads(),
+          [&](int s) -> std::vector<RunRecord> {
             const auto seed = static_cast<std::uint64_t>(s) + 1;
             RoundLedger l10, l11;
             Timer t10;
@@ -110,7 +131,9 @@ int main(int argc, char** argv) {
             rec11.metric("phase2_largest_component",
                          static_cast<double>(b.phase2_largest_component));
             return {std::move(rec10), std::move(rec11)};
-          });
+          },
+          &seeds_cached);
+      seeds_cached_total += seeds_cached;
       Accumulator r10, r11;
       for (RunRecord& rec : trial_records) {
         (rec.algorithm == "thm10" ? r10 : r11).add(rec.rounds);
@@ -125,6 +148,11 @@ int main(int argc, char** argv) {
     }
   }
   reporter.print(table, std::cout);
+  if (store_ptr != nullptr) {
+    std::cout << "\n[store] " << (resume ? "resume: " : "")
+              << seeds_cached_total << " seeds served from "
+              << store_ptr->dir() << '\n';
+  }
   std::cout << "\nExpected shape: det grows with log_Δ n; rand columns stay"
             << " nearly flat; det/rand widens as n grows.\n";
   return 0;

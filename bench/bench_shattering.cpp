@@ -7,6 +7,7 @@
 // Thm 11 at Δ >= 55). The Δ sweep deliberately dips below 55 to probe the
 // paper's remark that the constant cannot be made "too small".
 #include <iostream>
+#include <optional>
 
 #include "core/delta_coloring_thm10.hpp"
 #include "core/delta_coloring_thm11.hpp"
@@ -16,6 +17,7 @@
 #include "lcl/verify_coloring.hpp"
 #include "obs/reporter.hpp"
 #include "obs/trials.hpp"
+#include "store/checkpoint.hpp"
 #include "util/check.hpp"
 #include "util/flags.hpp"
 #include "util/math.hpp"
@@ -28,7 +30,15 @@ int main(int argc, char** argv) {
   const int seeds = static_cast<int>(flags.get_int("seeds", 5));
   const int max_exp = static_cast<int>(flags.get_int("max-exp", 17));
   BenchReporter reporter(flags, "E4_shattering");
+  // --store_dir caches the generated trees and commits per-seed RunRecords
+  // as trials finish; --resume skips seeds already committed (DESIGN.md §8).
+  const std::string store_dir = flags.get_string("store_dir", "");
+  const bool resume = flags.get_bool("resume", false);
   flags.check_unknown();
+  std::optional<ArtifactStore> store;
+  if (!store_dir.empty()) store.emplace(store_dir);
+  const ArtifactStore* store_ptr = store ? &*store : nullptr;
+  int seeds_cached_total = 0;
 
   std::cout << "E4/Table A: Theorem 11 Phase-2 shattering (set S)\n"
             << "mean/max over " << seeds << " seeds; bound: O(log n) for Δ>=55\n\n";
@@ -37,9 +47,19 @@ int main(int argc, char** argv) {
     for (int delta : {16, 32, 55, 96}) {
       for (int e = 13; e <= max_exp; e += 2) {
         const NodeId n = static_cast<NodeId>(1) << e;
-        const Graph g = make_complete_tree(n, delta);
-        auto trial_records = run_trials(
-            seeds, reporter.threads(), [&](int s) -> std::vector<RunRecord> {
+        const std::string instance_key = "complete_tree.d" +
+                                         std::to_string(delta) + ".n" +
+                                         std::to_string(n);
+        const Graph g =
+            store_ptr != nullptr
+                ? store_ptr->graph(
+                      instance_key,
+                      [&] { return make_complete_tree(n, delta); })
+                : make_complete_tree(n, delta);
+        int seeds_cached = 0;
+        auto trial_records = run_trials_checkpointed(
+            store_ptr, "E4A." + instance_key, resume, seeds,
+            reporter.threads(), [&](int s) -> std::vector<RunRecord> {
               RoundLedger ledger;
               const auto r = delta_coloring_thm11(
                   g, delta, static_cast<std::uint64_t>(s) + 1, ledger);
@@ -58,7 +78,9 @@ int main(int argc, char** argv) {
               rec.metric("phase2_largest_component",
                          static_cast<double>(r.phase2_largest_component));
               return {std::move(rec)};
-            });
+            },
+            &seeds_cached);
+        seeds_cached_total += seeds_cached;
         Accumulator set_size, comp, comp_max;
         for (RunRecord& rec : trial_records) {
           set_size.add(metric_or(rec, "phase2_set_size", 0.0));
@@ -83,9 +105,19 @@ int main(int argc, char** argv) {
     for (int delta : {16, 32, 64}) {
       for (int e = 13; e <= max_exp; e += 2) {
         const NodeId n = static_cast<NodeId>(1) << e;
-        const Graph g = make_complete_tree(n, delta);
-        auto trial_records = run_trials(
-            seeds, reporter.threads(), [&](int s) -> std::vector<RunRecord> {
+        const std::string instance_key = "complete_tree.d" +
+                                         std::to_string(delta) + ".n" +
+                                         std::to_string(n);
+        const Graph g =
+            store_ptr != nullptr
+                ? store_ptr->graph(
+                      instance_key,
+                      [&] { return make_complete_tree(n, delta); })
+                : make_complete_tree(n, delta);
+        int seeds_cached = 0;
+        auto trial_records = run_trials_checkpointed(
+            store_ptr, "E4B." + instance_key, resume, seeds,
+            reporter.threads(), [&](int s) -> std::vector<RunRecord> {
               RoundLedger ledger;
               const auto r = delta_coloring_thm10(
                   g, delta, static_cast<std::uint64_t>(s) + 1, ledger);
@@ -103,7 +135,9 @@ int main(int argc, char** argv) {
               rec.metric("largest_bad_component",
                          static_cast<double>(r.largest_bad_component));
               return {std::move(rec)};
-            });
+            },
+            &seeds_cached);
+        seeds_cached_total += seeds_cached;
         Accumulator bad, comp;
         for (RunRecord& rec : trial_records) {
           bad.add(metric_or(rec, "bad_vertices", 0.0));
@@ -152,6 +186,11 @@ int main(int argc, char** argv) {
     reporter.print(t, std::cout);
   }
 
+  if (store_ptr != nullptr) {
+    std::cout << "\n[store] " << (resume ? "resume: " : "")
+              << seeds_cached_total << " seeds served from "
+              << store_ptr->dir() << '\n';
+  }
   std::cout << "\nExpected shape: max component sizes grow ~ log n and stay"
             << " far below the theorem bounds; smaller Δ yields larger\n"
             << "components (the paper's 'Δ not too small' remark).\n";

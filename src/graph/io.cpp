@@ -1,11 +1,34 @@
 #include "graph/io.hpp"
 
+#include <cctype>
 #include <fstream>
+#include <limits>
 #include <vector>
 
 #include "util/check.hpp"
 
 namespace ckp {
+
+namespace {
+
+// Skips whitespace and `#` comment lines (comment runs to end of line).
+void skip_ws_and_comments(std::istream& is) {
+  while (true) {
+    const int c = is.peek();
+    if (c == std::char_traits<char>::eof()) return;
+    if (c == '#') {
+      is.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      is.get();
+      continue;
+    }
+    return;
+  }
+}
+
+}  // namespace
 
 void write_edge_list(const Graph& g, std::ostream& os) {
   os << g.num_nodes() << ' ' << g.num_edges() << '\n';
@@ -16,18 +39,50 @@ void write_edge_list(const Graph& g, std::ostream& os) {
 }
 
 Graph read_edge_list(std::istream& is) {
-  NodeId n = 0;
-  EdgeId m = 0;
-  CKP_CHECK_MSG(static_cast<bool>(is >> n >> m), "malformed edge-list header");
+  // The header is untrusted: a corrupt or hostile "n m" line must not drive
+  // a huge reserve() or let out-of-range endpoints through to from_edges
+  // with a confusing message. Values are read as 64-bit, range-checked
+  // against the 32-bit NodeId/EdgeId domain, and m is sanity-checked
+  // against the bytes actually remaining in the stream before any
+  // allocation.
+  skip_ws_and_comments(is);
+  std::int64_t n = 0;
+  std::int64_t m = 0;
+  CKP_CHECK_MSG(static_cast<bool>(is >> n), "malformed edge-list header");
+  skip_ws_and_comments(is);
+  CKP_CHECK_MSG(static_cast<bool>(is >> m), "malformed edge-list header");
+  CKP_CHECK_MSG(n >= 0 && n <= std::numeric_limits<NodeId>::max(),
+                "edge-list header: node count out of range: " << n);
+  CKP_CHECK_MSG(m >= 0 && m <= std::numeric_limits<EdgeId>::max(),
+                "edge-list header: edge count out of range: " << m);
+  // On seekable streams, every edge needs at least "u v" plus a separator
+  // (>= 4 bytes, the final one >= 3), so a header whose m cannot fit in the
+  // remaining input is rejected before the reserve below.
+  const auto pos = is.tellg();
+  if (m > 0 && pos != std::istream::pos_type(-1)) {
+    is.seekg(0, std::ios::end);
+    const auto end_pos = is.tellg();
+    is.seekg(pos);
+    if (end_pos != std::istream::pos_type(-1)) {
+      const std::int64_t remaining = end_pos - pos;
+      CKP_CHECK_MSG(remaining >= 4 * m - 1,
+                    "edge-list header claims " << m << " edges but only "
+                        << remaining << " bytes of input remain");
+    }
+  }
   std::vector<std::pair<NodeId, NodeId>> edges;
   edges.reserve(static_cast<std::size_t>(m));
-  for (EdgeId e = 0; e < m; ++e) {
-    NodeId u = 0;
-    NodeId v = 0;
+  for (std::int64_t e = 0; e < m; ++e) {
+    skip_ws_and_comments(is);
+    std::int64_t u = 0;
+    std::int64_t v = 0;
     CKP_CHECK_MSG(static_cast<bool>(is >> u >> v), "truncated edge list");
-    edges.emplace_back(u, v);
+    CKP_CHECK_MSG(u >= 0 && u < n && v >= 0 && v < n,
+                  "edge-list entry " << e << " out of range: " << u << ' '
+                                     << v << " (n = " << n << ")");
+    edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
   }
-  return Graph::from_edges(n, edges);
+  return Graph::from_edges(static_cast<NodeId>(n), edges);
 }
 
 void write_edge_list_file(const Graph& g, const std::string& path) {

@@ -1,4 +1,10 @@
 // Plain edge-list serialization ("n m" header, one "u v" pair per line).
+//
+// The reader treats the input as untrusted: `#` comment lines are skipped,
+// the header is range-checked (and an edge count that cannot fit in the
+// remaining input is rejected before anything is allocated), and every
+// endpoint is validated against [0, n) with a per-entry message. The binary
+// counterpart with checksums lives in src/store/serialize.hpp.
 #pragma once
 
 #include <iosfwd>

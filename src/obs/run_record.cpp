@@ -7,6 +7,7 @@
 namespace ckp {
 
 void RunRecord::metric(const std::string& name, double value) {
+  raw_json_.clear();
   for (auto& [k, v] : metrics_) {
     if (k == name) {
       v = value;
@@ -23,6 +24,7 @@ void RunRecord::absorb(const MetricsRegistry& registry) {
 }
 
 std::string RunRecord::to_json() const {
+  if (!raw_json_.empty()) return raw_json_;
   JsonWriter w;
   w.begin_object();
   w.key("bench").value(bench);
@@ -42,6 +44,55 @@ std::string RunRecord::to_json() const {
   }
   w.end_object();
   return w.str();
+}
+
+RunRecord RunRecord::from_json_line(const std::string& line) {
+  const JsonValue doc = json_parse(line);
+  CKP_CHECK_MSG(doc.is_object(), "run record line is not a JSON object");
+  RunRecord rec;
+  rec.bench = doc.at("bench").as_string();
+  rec.algorithm = doc.at("algorithm").as_string();
+  if (const JsonValue* v = doc.find("graph_family")) {
+    rec.graph_family = v->as_string();
+  }
+  rec.n = static_cast<std::uint64_t>(doc.at("n").as_number());
+  if (const JsonValue* v = doc.find("delta")) {
+    rec.delta = static_cast<int>(v->as_number());
+  }
+  if (const JsonValue* v = doc.find("seed")) {
+    rec.seed = static_cast<std::uint64_t>(v->as_number());
+  }
+  rec.rounds = static_cast<int>(doc.at("rounds").as_number());
+  if (const JsonValue* v = doc.find("wall_seconds")) {
+    rec.wall_seconds = v->as_number();
+  }
+  const JsonValue& verified = doc.at("verified");
+  CKP_CHECK_MSG(verified.type == JsonValue::Type::Bool,
+                "run record: 'verified' is not a boolean");
+  rec.verified = verified.boolean;
+  if (const JsonValue* v = doc.find("trace")) {
+    CKP_CHECK_MSG(v->is_array(), "run record: 'trace' is not an array");
+    for (const JsonValue& phase : v->array) {
+      CKP_CHECK_MSG(phase.is_object(),
+                    "run record: trace phase is not an object");
+      const JsonValue* detail = phase.find("detail");
+      const JsonValue* seconds = phase.find("seconds");
+      rec.trace.record(
+          phase.at("name").as_string(),
+          static_cast<int>(phase.at("rounds").as_number()),
+          detail != nullptr
+              ? static_cast<std::int64_t>(detail->as_number()) : 0,
+          seconds != nullptr ? seconds->as_number() : 0.0);
+    }
+  }
+  if (const JsonValue* v = doc.find("metrics")) {
+    CKP_CHECK_MSG(v->is_object(), "run record: 'metrics' is not an object");
+    for (const auto& [name, value] : v->object) {
+      rec.metrics_.emplace_back(name, value.as_number());
+    }
+  }
+  rec.raw_json_ = line;
+  return rec;
 }
 
 JsonlWriter::JsonlWriter(std::string path) : path_(std::move(path)) {

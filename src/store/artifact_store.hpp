@@ -1,0 +1,61 @@
+// Keyed, crash-safe artifact cache backing --store_dir.
+//
+// One artifact per key, stored as a single file in the store directory
+// (keys are sanitized to a filesystem-safe charset). Commits are atomic:
+// bytes are written to a uniquely named temp file in the same directory,
+// flushed and fsync'd, then renamed over the final path — a reader (or a
+// resumed run) therefore only ever sees absent or complete artifacts, never
+// a torn write, even across SIGKILL. commit() is safe to call concurrently
+// from pool workers (per-call unique temp names; rename is atomic).
+//
+// Corruption policy: load() returns raw bytes and leaves validation to the
+// typed decoders; the load-or-compute helpers treat a failing decode as a
+// cache miss (recompute and overwrite) so a damaged store degrades to a
+// cold one instead of bricking the run.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/roundelim.hpp"
+#include "graph/graph.hpp"
+
+namespace ckp {
+
+class ArtifactStore {
+ public:
+  // Creates `dir` (and parents) if missing.
+  explicit ArtifactStore(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  // Keys map to file names: [A-Za-z0-9._-] pass through, anything else
+  // becomes '_'. Collisions after sanitization are the caller's problem;
+  // the benches build keys from this charset only.
+  static std::string sanitize_key(const std::string& key);
+  std::string path_for(const std::string& key) const;
+
+  bool has(const std::string& key) const;
+
+  // The committed bytes for `key`, or nullopt when absent.
+  std::optional<std::string> load(const std::string& key) const;
+
+  // Atomically commits `bytes` under `key`, replacing any previous value.
+  void commit(const std::string& key, std::string_view bytes) const;
+
+  // Load-or-compute: returns the cached artifact when present and decodable,
+  // else runs `make`, commits the result, and returns it. A cache hit is
+  // byte-identical to what the original compute committed.
+  Graph graph(const std::string& key, const std::function<Graph()>& make,
+              bool* cache_hit = nullptr) const;
+  BipartiteProblem problem(const std::string& key,
+                           const std::function<BipartiteProblem()>& make,
+                           bool* cache_hit = nullptr) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace ckp

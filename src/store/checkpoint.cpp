@@ -1,0 +1,112 @@
+#include "store/checkpoint.hpp"
+
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "store/binary_io.hpp"
+#include "store/serialize.hpp"
+#include "util/check.hpp"
+
+namespace ckp {
+
+ElimSequence::ElimSequence(const ArtifactStore* store, std::string key_prefix,
+                           bool resume)
+    : store_(store), prefix_(std::move(key_prefix)), resume_(resume) {}
+
+ElimSequence::Step ElimSequence::next(
+    const std::function<BipartiteProblem()>& compute) {
+  const std::string key = prefix_ + ".step" + std::to_string(step_);
+  ++step_;
+  if (store_ == nullptr) return {compute(), false};
+  Step out;
+  if (resume_) {
+    out.problem = store_->problem(key, compute, &out.cached);
+  } else {
+    out.problem = compute();
+    store_->commit(key, problem_to_bytes(out.problem));
+  }
+  if (out.cached) ++cached_;
+  return out;
+}
+
+namespace {
+
+constexpr std::uint32_t kTrialKind = fourcc("TRLS");
+
+std::string trial_records_to_bytes(const std::vector<RunRecord>& records) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(records.size()));
+  for (const RunRecord& rec : records) w.str(rec.to_json());
+  return frame_artifact(kTrialKind, kStoreFormatVersion, w.bytes());
+}
+
+// Round-trips every committed line through the (hardened) JSON parser, so a
+// corrupt artifact fails here and falls back to recomputation.
+std::vector<RunRecord> trial_records_from_bytes(std::string_view bytes) {
+  ByteReader r(unframe_artifact(bytes, kTrialKind, kStoreFormatVersion));
+  const std::uint32_t count = r.u32();
+  std::vector<RunRecord> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    out.push_back(RunRecord::from_json_line(r.str()));
+  }
+  r.expect_done();
+  return out;
+}
+
+}  // namespace
+
+std::vector<RunRecord> run_trials_checkpointed(
+    const ArtifactStore* store, const std::string& key_prefix, bool resume,
+    int trials, int threads, const TrialFn& trial_fn, int* cached_out) {
+  CKP_CHECK_MSG(trials >= 0, "negative trial count");
+  if (cached_out != nullptr) *cached_out = 0;
+  if (store == nullptr) return run_trials(trials, threads, trial_fn);
+
+  std::vector<std::optional<std::vector<RunRecord>>> per_trial(
+      static_cast<std::size_t>(trials));
+  std::vector<int> missing;
+  for (int t = 0; t < trials; ++t) {
+    const std::string key = key_prefix + ".trial" + std::to_string(t);
+    if (resume) {
+      if (const auto bytes = store->load(key)) {
+        try {
+          per_trial[static_cast<std::size_t>(t)] =
+              trial_records_from_bytes(*bytes);
+          continue;
+        } catch (const CheckFailure& e) {
+          std::cerr << "[store] discarding corrupt trial checkpoint '" << key
+                    << "': " << e.what() << '\n';
+        }
+      }
+    }
+    missing.push_back(t);
+  }
+  const int cached = trials - static_cast<int>(missing.size());
+  if (cached_out != nullptr) *cached_out = cached;
+
+  if (!missing.empty()) {
+    // Commit on the worker thread the moment a trial finishes: a SIGKILL
+    // mid-sweep loses at most the trials still in flight.
+    std::vector<std::vector<RunRecord>> computed = run_trials_subset(
+        missing, threads, trial_fn,
+        [&](int t, const std::vector<RunRecord>& records) {
+          store->commit(key_prefix + ".trial" + std::to_string(t),
+                        trial_records_to_bytes(records));
+        });
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+      per_trial[static_cast<std::size_t>(missing[i])] =
+          std::move(computed[i]);
+    }
+  }
+
+  std::vector<RunRecord> out;
+  for (std::optional<std::vector<RunRecord>>& records : per_trial) {
+    CKP_CHECK(records.has_value());
+    for (RunRecord& record : *records) out.push_back(std::move(record));
+  }
+  return out;
+}
+
+}  // namespace ckp

@@ -1,0 +1,74 @@
+// Checkpoint/resume on top of the artifact store.
+//
+// Two long-running shapes get durable intermediates (DESIGN.md §8):
+//
+//   * ElimSequence — a round-elimination sequence Π, R(Π), R²(Π), … with
+//     each step's problem committed as a binary artifact the moment it is
+//     computed. A resumed run loads every committed step instead of
+//     recomputing it; because the step artifacts are deterministic
+//     serializations of deterministic computations, the resumed sequence is
+//     byte-identical to an uninterrupted one.
+//
+//   * run_trials_checkpointed — per-seed RunRecords committed (as the JSONL
+//     bytes the reporter would emit) as each trial finishes on its worker
+//     thread. A resumed sweep re-runs only missing seeds and merges in seed
+//     order; cached records re-emit their committed bytes verbatim
+//     (RunRecord::from_json_line keeps the raw line), so completed seeds
+//     survive a SIGKILL bit-for-bit.
+//
+// Both take a nullable store: with no --store_dir they degrade to the plain
+// compute path with zero overhead.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trials.hpp"
+#include "store/artifact_store.hpp"
+
+namespace ckp {
+
+// A resumable sequence of round-elimination steps (or any other chain of
+// BipartiteProblem → BipartiteProblem computations). Step k is stored under
+// "<key_prefix>.step<k>"; keys should bake in a digest of the sequence
+// input (problem_digest) so a changed generator can never resume from
+// stale artifacts.
+class ElimSequence {
+ public:
+  // `resume` gates reads: when false, steps are recomputed and recommitted
+  // even if artifacts exist (a fresh run overwrites; only --resume trusts
+  // prior state). Commits always happen when a store is present.
+  ElimSequence(const ArtifactStore* store, std::string key_prefix,
+               bool resume);
+
+  struct Step {
+    BipartiteProblem problem;
+    bool cached = false;  // loaded from the store instead of computed
+  };
+
+  // Computes (or, on resume, loads) the next step in the sequence.
+  Step next(const std::function<BipartiteProblem()>& compute);
+
+  int steps_taken() const { return step_; }
+  int steps_cached() const { return cached_; }
+
+ private:
+  const ArtifactStore* store_;
+  std::string prefix_;
+  bool resume_;
+  int step_ = 0;
+  int cached_ = 0;
+};
+
+// run_trials with per-seed durability. Records for trial t live under
+// "<key_prefix>.trial<t>" as framed JSONL bytes; each trial commits as it
+// finishes (worker-thread safe). With `resume`, committed trials are loaded
+// instead of re-run — trial_fn is not invoked for them — and the merge is
+// in trial order exactly like run_trials. `cached_out`, when non-null,
+// receives the number of trials served from the store.
+std::vector<RunRecord> run_trials_checkpointed(
+    const ArtifactStore* store, const std::string& key_prefix, bool resume,
+    int trials, int threads, const TrialFn& trial_fn,
+    int* cached_out = nullptr);
+
+}  // namespace ckp

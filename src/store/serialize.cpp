@@ -1,0 +1,137 @@
+#include "store/serialize.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "store/binary_io.hpp"
+#include "util/check.hpp"
+
+namespace ckp {
+
+namespace {
+
+constexpr std::uint32_t kGraphKind = fourcc("GRPH");
+constexpr std::uint32_t kProblemKind = fourcc("PROB");
+
+}  // namespace
+
+std::string graph_to_bytes(const Graph& g) {
+  ByteWriter w;
+  w.u64(static_cast<std::uint64_t>(g.num_nodes()));
+  w.u64(static_cast<std::uint64_t>(g.num_edges()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    w.i32(u);
+    w.i32(v);
+  }
+  return frame_artifact(kGraphKind, kStoreFormatVersion, w.bytes());
+}
+
+Graph graph_from_bytes(std::string_view bytes) {
+  ByteReader r(unframe_artifact(bytes, kGraphKind, kStoreFormatVersion));
+  const std::uint64_t n = r.u64();
+  const std::uint64_t m = r.u64();
+  CKP_CHECK_MSG(
+      n <= static_cast<std::uint64_t>(std::numeric_limits<NodeId>::max()),
+      "graph artifact: node count out of range: " << n);
+  CKP_CHECK_MSG(
+      m <= static_cast<std::uint64_t>(std::numeric_limits<EdgeId>::max()),
+      "graph artifact: edge count out of range: " << m);
+  // 8 bytes per edge; the frame length was already validated, so this is
+  // just a friendlier message than the reader's truncation check.
+  CKP_CHECK_MSG(r.remaining() == 8 * m,
+                "graph artifact: " << m << " edges declared but "
+                                   << r.remaining() << " payload bytes");
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  for (std::uint64_t e = 0; e < m; ++e) {
+    const NodeId u = r.i32();
+    const NodeId v = r.i32();
+    CKP_CHECK_MSG(u >= 0 && static_cast<std::uint64_t>(u) < n && v >= 0 &&
+                      static_cast<std::uint64_t>(v) < n,
+                  "graph artifact: edge " << e << " endpoint out of range");
+    edges.emplace_back(u, v);
+  }
+  r.expect_done();
+  // from_edges re-validates (no self-loops or duplicates) and rebuilds the
+  // CSR exactly as the original construction did, edge ids in input order.
+  return Graph::from_edges(static_cast<NodeId>(n), edges);
+}
+
+namespace {
+
+void write_config_set(ByteWriter& w, const std::set<std::vector<int>>& side) {
+  w.u64(side.size());
+  for (const std::vector<int>& config : side) {
+    w.u32(static_cast<std::uint32_t>(config.size()));
+    for (const int label : config) w.i32(label);
+  }
+}
+
+std::set<std::vector<int>> read_config_set(ByteReader& r, int degree,
+                                           int labels, const char* side) {
+  const std::uint64_t count = r.u64();
+  // Each configuration costs at least 4 bytes; bound count by the payload.
+  CKP_CHECK_MSG(count <= r.remaining() / 4 + 1,
+                "problem artifact: " << side << " configuration count "
+                                     << count << " exceeds payload");
+  std::set<std::vector<int>> out;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint32_t size = r.u32();
+    CKP_CHECK_MSG(size == static_cast<std::uint32_t>(degree),
+                  "problem artifact: " << side << " configuration arity "
+                                       << size << ", degree is " << degree);
+    std::vector<int> config(size);
+    for (std::uint32_t j = 0; j < size; ++j) {
+      config[j] = r.i32();
+      CKP_CHECK_MSG(config[j] >= 0 && config[j] < labels,
+                    "problem artifact: " << side << " label index "
+                                         << config[j] << " out of range");
+    }
+    CKP_CHECK_MSG(std::is_sorted(config.begin(), config.end()),
+                  "problem artifact: " << side
+                                       << " configuration not sorted");
+    CKP_CHECK_MSG(out.insert(std::move(config)).second,
+                  "problem artifact: duplicate " << side << " configuration");
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string problem_to_bytes(const BipartiteProblem& p) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(p.active_degree));
+  w.u32(static_cast<std::uint32_t>(p.passive_degree));
+  w.u32(static_cast<std::uint32_t>(p.label_names.size()));
+  for (const std::string& name : p.label_names) w.str(name);
+  write_config_set(w, p.active);
+  write_config_set(w, p.passive);
+  return frame_artifact(kProblemKind, kStoreFormatVersion, w.bytes());
+}
+
+BipartiteProblem problem_from_bytes(std::string_view bytes) {
+  ByteReader r(unframe_artifact(bytes, kProblemKind, kStoreFormatVersion));
+  BipartiteProblem p;
+  p.active_degree = static_cast<int>(r.u32());
+  p.passive_degree = static_cast<int>(r.u32());
+  CKP_CHECK_MSG(p.active_degree > 0 && p.active_degree <= 1 << 16 &&
+                    p.passive_degree > 0 && p.passive_degree <= 1 << 16,
+                "problem artifact: degrees out of range: "
+                    << p.active_degree << ", " << p.passive_degree);
+  const std::uint32_t labels = r.u32();
+  CKP_CHECK_MSG(labels <= 1 << 20,
+                "problem artifact: label count out of range: " << labels);
+  p.label_names.reserve(labels);
+  for (std::uint32_t i = 0; i < labels; ++i) p.label_names.push_back(r.str());
+  p.active = read_config_set(r, p.active_degree, static_cast<int>(labels),
+                             "active");
+  p.passive = read_config_set(r, p.passive_degree, static_cast<int>(labels),
+                              "passive");
+  r.expect_done();
+  return p;
+}
+
+}  // namespace ckp

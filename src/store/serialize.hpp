@@ -1,0 +1,29 @@
+// Versioned binary serialization for the two artifact payloads the store
+// persists: graph topologies and LCL problem descriptions.
+//
+// Both encoders are deterministic functions of their input (Graph edge ids
+// are emitted in id order; BipartiteProblem configurations iterate in
+// std::set order), so write → read → write is byte-identical — the property
+// checkpoint resume relies on. Decoders validate everything they read
+// (frame checksum via binary_io, then structural invariants: endpoint
+// ranges, configuration arities, sorted label indices) and throw
+// CheckFailure on any violation.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/roundelim.hpp"
+#include "graph/graph.hpp"
+
+namespace ckp {
+
+inline constexpr std::uint32_t kStoreFormatVersion = 1;
+
+std::string graph_to_bytes(const Graph& g);
+Graph graph_from_bytes(std::string_view bytes);
+
+std::string problem_to_bytes(const BipartiteProblem& p);
+BipartiteProblem problem_from_bytes(std::string_view bytes);
+
+}  // namespace ckp

@@ -1,12 +1,33 @@
 #include "util/flags.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ckp {
+
+namespace {
+
+// strtoll with full-token validation: rejects empty values (`--n=`), partial
+// parses, and out-of-range input (strtoll silently clamps to INT64_MIN/MAX
+// and sets ERANGE, which the seed version ignored).
+std::int64_t parse_int_value(const std::string& name, const std::string& v) {
+  CKP_CHECK_MSG(!v.empty(), "flag --" << name << " has an empty value");
+  errno = 0;
+  char* end = nullptr;
+  const std::int64_t out = std::strtoll(v.c_str(), &end, 10);
+  CKP_CHECK_MSG(end != v.c_str() && end != nullptr && *end == '\0',
+                "flag --" << name << " is not an integer: " << v);
+  CKP_CHECK_MSG(errno != ERANGE,
+                "flag --" << name << " is out of range for int64: " << v);
+  return out;
+}
+
+}  // namespace
 
 Flags::Flags(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -34,20 +55,22 @@ std::optional<std::string> Flags::raw(const std::string& name) {
 std::int64_t Flags::get_int(const std::string& name, std::int64_t def) {
   const auto v = raw(name);
   if (!v) return def;
-  char* end = nullptr;
-  const std::int64_t out = std::strtoll(v->c_str(), &end, 10);
-  CKP_CHECK_MSG(end != nullptr && *end == '\0',
-                "flag --" << name << " is not an integer: " << *v);
-  return out;
+  return parse_int_value(name, *v);
 }
 
 double Flags::get_double(const std::string& name, double def) {
   const auto v = raw(name);
   if (!v) return def;
+  CKP_CHECK_MSG(!v->empty(), "flag --" << name << " has an empty value");
+  errno = 0;
   char* end = nullptr;
   const double out = std::strtod(v->c_str(), &end);
-  CKP_CHECK_MSG(end != nullptr && *end == '\0',
+  CKP_CHECK_MSG(end != v->c_str() && end != nullptr && *end == '\0',
                 "flag --" << name << " is not a number: " << *v);
+  // Overflow clamps to ±HUGE_VAL with ERANGE; underflow-to-denormal also
+  // sets ERANGE but yields a usable value, so only overflow is rejected.
+  CKP_CHECK_MSG(!(errno == ERANGE && std::isinf(out)),
+                "flag --" << name << " is out of range for double: " << *v);
   return out;
 }
 
@@ -71,10 +94,9 @@ int Flags::get_threads(int def) {
     const int env = env_thread_count();
     return env != 0 ? env : std::max(def, 1);
   }
-  char* end = nullptr;
-  const std::int64_t out = std::strtoll(v->c_str(), &end, 10);
-  CKP_CHECK_MSG(end != nullptr && *end == '\0' && out >= 1,
-                "flag --threads is not a positive integer: " << *v);
+  const std::int64_t out = parse_int_value("threads", *v);
+  CKP_CHECK_MSG(out >= 1 && out <= 1 << 16,
+                "flag --threads is not a positive thread count: " << *v);
   return static_cast<int>(out);
 }
 

@@ -164,6 +164,11 @@ class Parser {
   }
 
  private:
+  // Containers nest on the C++ call stack; without a cap a few hundred
+  // thousand '[' characters overflow it. 256 levels is far beyond anything
+  // the writer emits.
+  static constexpr int kMaxDepth = 256;
+
   char peek() {
     CKP_CHECK_MSG(pos_ < text_.size(), "JSON: unexpected end of input");
     return text_[pos_];
@@ -219,12 +224,15 @@ class Parser {
   }
 
   JsonValue parse_object() {
+    CKP_CHECK_MSG(++depth_ <= kMaxDepth, "JSON: nesting deeper than "
+                                             << kMaxDepth << " levels");
     expect('{');
     JsonValue v;
     v.type = JsonValue::Type::Object;
     skip_ws();
     if (peek() == '}') {
       ++pos_;
+      --depth_;
       return v;
     }
     while (true) {
@@ -239,17 +247,21 @@ class Parser {
         continue;
       }
       expect('}');
+      --depth_;
       return v;
     }
   }
 
   JsonValue parse_array() {
+    CKP_CHECK_MSG(++depth_ <= kMaxDepth, "JSON: nesting deeper than "
+                                             << kMaxDepth << " levels");
     expect('[');
     JsonValue v;
     v.type = JsonValue::Type::Array;
     skip_ws();
     if (peek() == ']') {
       ++pos_;
+      --depth_;
       return v;
     }
     while (true) {
@@ -260,6 +272,7 @@ class Parser {
         continue;
       }
       expect(']');
+      --depth_;
       return v;
     }
   }
@@ -287,20 +300,71 @@ class Parser {
         case 'r': out += '\r'; break;
         case 't': out += '\t'; break;
         case 'u': {
-          CKP_CHECK_MSG(pos_ + 4 <= text_.size(), "JSON: truncated \\u");
-          const std::string hex(text_.substr(pos_, 4));
-          pos_ += 4;
-          const long code = std::strtol(hex.c_str(), nullptr, 16);
-          // Only the BMP subset the writer emits (control chars) is decoded;
-          // it is always < 0x80 here, so one byte suffices.
-          CKP_CHECK_MSG(code >= 0 && code < 0x80,
-                        "JSON: \\u escape outside ASCII unsupported");
-          out += static_cast<char>(code);
+          // Full BMP decoding plus surrogate pairs, so JSONL written by
+          // other tools (which may escape any non-ASCII character) round-
+          // trips into the UTF-8 the writer would have passed through.
+          unsigned code = parse_hex4();
+          if (code >= 0xD800 && code <= 0xDBFF) {  // high surrogate
+            CKP_CHECK_MSG(pos_ + 2 <= text_.size() && text_[pos_] == '\\' &&
+                              text_[pos_ + 1] == 'u',
+                          "JSON: high surrogate not followed by \\u escape");
+            pos_ += 2;
+            const unsigned lo = parse_hex4();
+            CKP_CHECK_MSG(lo >= 0xDC00 && lo <= 0xDFFF,
+                          "JSON: high surrogate followed by non-low-surrogate");
+            code = 0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+          } else {
+            CKP_CHECK_MSG(!(code >= 0xDC00 && code <= 0xDFFF),
+                          "JSON: unpaired low surrogate");
+          }
+          append_utf8(out, code);
           break;
         }
         default:
           CKP_CHECK_MSG(false, "JSON: bad escape \\" << esc);
       }
+    }
+  }
+
+  // Exactly four hex digits (the payload of a \u escape).
+  unsigned parse_hex4() {
+    CKP_CHECK_MSG(pos_ + 4 <= text_.size(), "JSON: truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      unsigned digit = 0;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<unsigned>(c - 'a') + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<unsigned>(c - 'A') + 10;
+      } else {
+        CKP_CHECK_MSG(false, "JSON: bad hex digit '" << c << "' in \\u escape");
+      }
+      code = code * 16 + digit;
+    }
+    pos_ += 4;
+    return code;
+  }
+
+  // Appends the UTF-8 encoding of code point `cp` (validated <= 0x10FFFF by
+  // construction: BMP scalar or combined surrogate pair).
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
     }
   }
 
@@ -326,6 +390,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

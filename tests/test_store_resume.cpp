@@ -1,0 +1,294 @@
+// Checkpoint/resume semantics: ElimSequence and run_trials_checkpointed
+// must (a) never recompute committed work on resume, (b) produce results
+// byte-identical to an uninterrupted run, and (c) degrade to plain compute
+// when no store is configured.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/roundelim.hpp"
+#include "obs/run_record.hpp"
+#include "store/checkpoint.hpp"
+#include "store/serialize.hpp"
+#include "util/check.hpp"
+
+namespace ckp {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+std::vector<BipartiteProblem> run_sequence(ElimSequence& seq,
+                                           const BipartiteProblem& start,
+                                           int steps, int* computes) {
+  std::vector<BipartiteProblem> out;
+  const BipartiteProblem* cur = &start;
+  for (int k = 0; k < steps; ++k) {
+    auto step = seq.next([&, cur] {
+      if (computes != nullptr) ++*computes;
+      return round_eliminate(*cur);
+    });
+    out.push_back(std::move(step.problem));
+    cur = &out.back();
+  }
+  return out;
+}
+
+TEST(ElimSequence, NullStoreComputesEveryStep) {
+  ElimSequence seq(nullptr, "unused", /*resume=*/true);
+  int computes = 0;
+  const auto steps =
+      run_sequence(seq, sinkless_orientation_canonical(3), 2, &computes);
+  EXPECT_EQ(computes, 2);
+  EXPECT_EQ(seq.steps_cached(), 0);
+  EXPECT_TRUE(problems_isomorphic(steps[1], sinkless_orientation_canonical(3)));
+}
+
+TEST(ElimSequence, ResumeServesAllStepsWithoutRecompute) {
+  ArtifactStore store(fresh_dir("elim_full"));
+  const auto start = sinkless_orientation_canonical(4);
+  const std::string key = "seq." + problem_digest(start);
+
+  int computes = 0;
+  ElimSequence first(&store, key, /*resume=*/false);
+  const auto fresh = run_sequence(first, start, 3, &computes);
+  EXPECT_EQ(computes, 3);
+  EXPECT_EQ(first.steps_cached(), 0);
+
+  ElimSequence resumed(&store, key, /*resume=*/true);
+  const auto cached = run_sequence(resumed, start, 3, &computes);
+  EXPECT_EQ(computes, 3) << "resume must not invoke the compute fn";
+  EXPECT_EQ(resumed.steps_cached(), 3);
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_TRUE(problems_identical(fresh[k], cached[k])) << "step " << k;
+    EXPECT_EQ(problem_to_bytes(fresh[k]), problem_to_bytes(cached[k]))
+        << "step " << k;
+  }
+}
+
+TEST(ElimSequence, PartialStoreResumesFromLastCommittedStep) {
+  ArtifactStore store(fresh_dir("elim_partial"));
+  const auto start = sinkless_orientation_canonical(3);
+  const std::string key = "seq." + problem_digest(start);
+
+  // Commit only step 0, as if the first run was killed mid-sequence.
+  {
+    ElimSequence partial(&store, key, /*resume=*/false);
+    int computes = 0;
+    run_sequence(partial, start, 1, &computes);
+    EXPECT_EQ(computes, 1);
+  }
+  EXPECT_TRUE(store.has(key + ".step0"));
+  EXPECT_FALSE(store.has(key + ".step1"));
+
+  int computes = 0;
+  ElimSequence resumed(&store, key, /*resume=*/true);
+  const auto steps = run_sequence(resumed, start, 2, &computes);
+  EXPECT_EQ(computes, 1) << "only the missing step is computed";
+  EXPECT_EQ(resumed.steps_cached(), 1);
+  EXPECT_TRUE(store.has(key + ".step1")) << "resumed step is committed";
+  EXPECT_TRUE(problems_isomorphic(steps[1], start));
+}
+
+TEST(ElimSequence, WithoutResumeFlagStepsAreRecomputed) {
+  ArtifactStore store(fresh_dir("elim_noresume"));
+  const auto start = sinkless_orientation_canonical(3);
+  const std::string key = "seq." + problem_digest(start);
+  int computes = 0;
+  {
+    ElimSequence a(&store, key, /*resume=*/false);
+    run_sequence(a, start, 2, &computes);
+  }
+  {
+    ElimSequence b(&store, key, /*resume=*/false);
+    run_sequence(b, start, 2, &computes);
+    EXPECT_EQ(b.steps_cached(), 0);
+  }
+  EXPECT_EQ(computes, 4) << "--store_dir without --resume recomputes";
+}
+
+TEST(ElimSequence, CorruptStepFallsBackToRecompute) {
+  ArtifactStore store(fresh_dir("elim_corrupt"));
+  const auto start = sinkless_orientation_canonical(3);
+  const std::string key = "seq." + problem_digest(start);
+  {
+    ElimSequence a(&store, key, /*resume=*/false);
+    run_sequence(a, start, 1, nullptr);
+  }
+  {  // Truncate the committed artifact.
+    const std::string path = store.path_for(key + ".step0");
+    fs::resize_file(path, fs::file_size(path) / 2);
+  }
+  int computes = 0;
+  ElimSequence resumed(&store, key, /*resume=*/true);
+  const auto steps = run_sequence(resumed, start, 1, &computes);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(resumed.steps_cached(), 0);
+  EXPECT_TRUE(problems_identical(steps[0], round_eliminate(start)));
+}
+
+// ---------------------------------------------------------------------------
+// run_trials_checkpointed.
+
+RunRecord make_rec(int trial, int copy) {
+  RunRecord rec;
+  rec.bench = "test_resume";
+  rec.algorithm = copy == 0 ? "alpha" : "beta";
+  rec.graph_family = "none";
+  rec.n = 100 + static_cast<std::uint64_t>(trial);
+  rec.delta = 3;
+  rec.seed = static_cast<std::uint64_t>(trial) + 1;
+  rec.rounds = 7 * trial + copy;
+  rec.wall_seconds = 0.125 * trial;  // exactly representable
+  rec.verified = true;
+  rec.metric("copy", copy);
+  return rec;
+}
+
+TrialFn two_records_per_trial(std::atomic<int>* calls) {
+  return [calls](int t) {
+    if (calls != nullptr) calls->fetch_add(1);
+    return std::vector<RunRecord>{make_rec(t, 0), make_rec(t, 1)};
+  };
+}
+
+std::vector<std::string> to_lines(const std::vector<RunRecord>& recs) {
+  std::vector<std::string> out;
+  out.reserve(recs.size());
+  for (const auto& r : recs) out.push_back(r.to_json());
+  return out;
+}
+
+TEST(TrialsCheckpoint, NullStoreMatchesRunTrials) {
+  std::atomic<int> calls{0};
+  const auto recs = run_trials_checkpointed(
+      nullptr, "unused", /*resume=*/true, 4, /*threads=*/2,
+      two_records_per_trial(&calls));
+  EXPECT_EQ(calls.load(), 4);
+  ASSERT_EQ(recs.size(), 8u);
+  // Seed order regardless of which worker finished first.
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(recs[2 * t].seed, static_cast<std::uint64_t>(t) + 1);
+    EXPECT_EQ(recs[2 * t].algorithm, "alpha");
+    EXPECT_EQ(recs[2 * t + 1].algorithm, "beta");
+  }
+}
+
+TEST(TrialsCheckpoint, ResumeSkipsCommittedTrialsAndReemitsVerbatim) {
+  ArtifactStore store(fresh_dir("trials_full"));
+  std::atomic<int> calls{0};
+  int cached = -1;
+  const auto fresh = run_trials_checkpointed(
+      &store, "sweep", /*resume=*/false, 6, /*threads=*/3,
+      two_records_per_trial(&calls), &cached);
+  EXPECT_EQ(calls.load(), 6);
+  EXPECT_EQ(cached, 0);
+
+  const auto resumed = run_trials_checkpointed(
+      &store, "sweep", /*resume=*/true, 6, /*threads=*/3,
+      two_records_per_trial(&calls), &cached);
+  EXPECT_EQ(calls.load(), 6) << "resume must not re-run committed trials";
+  EXPECT_EQ(cached, 6);
+  EXPECT_EQ(to_lines(fresh), to_lines(resumed))
+      << "resumed records must re-emit byte-identically";
+}
+
+TEST(TrialsCheckpoint, PartialStoreRunsOnlyMissingTrials) {
+  ArtifactStore store(fresh_dir("trials_partial"));
+  std::atomic<int> calls{0};
+  // Commit trials 0 and 1 only (as if killed after two completions).
+  const auto prefix_run = run_trials_checkpointed(
+      &store, "sweep", /*resume=*/false, 2, /*threads=*/1,
+      two_records_per_trial(&calls));
+  EXPECT_EQ(calls.load(), 2);
+
+  int cached = -1;
+  const auto resumed = run_trials_checkpointed(
+      &store, "sweep", /*resume=*/true, 5, /*threads=*/2,
+      two_records_per_trial(&calls), &cached);
+  EXPECT_EQ(calls.load(), 2 + 3) << "only trials 2..4 are computed";
+  EXPECT_EQ(cached, 2);
+  ASSERT_EQ(resumed.size(), 10u);
+  // Cached prefix re-emits the committed bytes; merge stays in trial order.
+  const auto lines = to_lines(resumed);
+  const auto prefix_lines = to_lines(prefix_run);
+  EXPECT_TRUE(std::equal(prefix_lines.begin(), prefix_lines.end(),
+                         lines.begin()));
+  for (int t = 0; t < 5; ++t) {
+    EXPECT_EQ(resumed[2 * t].seed, static_cast<std::uint64_t>(t) + 1);
+  }
+}
+
+TEST(TrialsCheckpoint, CorruptTrialArtifactIsRecomputed) {
+  ArtifactStore store(fresh_dir("trials_corrupt"));
+  std::atomic<int> calls{0};
+  run_trials_checkpointed(&store, "sweep", /*resume=*/false, 3, 1,
+                          two_records_per_trial(&calls));
+  {  // Destroy trial 1's artifact.
+    std::ofstream out(store.path_for("sweep.trial1"),
+                      std::ios::binary | std::ios::trunc);
+    out << "garbage";
+  }
+  int cached = -1;
+  const auto resumed = run_trials_checkpointed(
+      &store, "sweep", /*resume=*/true, 3, 1, two_records_per_trial(&calls),
+      &cached);
+  EXPECT_EQ(calls.load(), 3 + 1) << "only the corrupt trial re-runs";
+  EXPECT_EQ(cached, 2);
+  ASSERT_EQ(resumed.size(), 6u);
+  EXPECT_EQ(resumed[2].rounds, 7);  // trial 1, copy 0 recomputed correctly
+}
+
+// ---------------------------------------------------------------------------
+// RunRecord::from_json_line.
+
+TEST(RunRecordJson, RoundTripPreservesFieldsAndBytes) {
+  RunRecord rec = make_rec(3, 1);
+  rec.trace.record("phase_a", 5, 42, 0.25);
+  rec.trace.record("phase_b", 2, 0, 0.5);
+  rec.metric("extra.metric", -1.5);
+  const std::string line = rec.to_json();
+
+  const RunRecord parsed = RunRecord::from_json_line(line);
+  EXPECT_EQ(parsed.to_json(), line) << "verbatim re-emission";
+  EXPECT_EQ(parsed.bench, rec.bench);
+  EXPECT_EQ(parsed.algorithm, rec.algorithm);
+  EXPECT_EQ(parsed.graph_family, rec.graph_family);
+  EXPECT_EQ(parsed.n, rec.n);
+  EXPECT_EQ(parsed.delta, rec.delta);
+  EXPECT_EQ(parsed.seed, rec.seed);
+  EXPECT_EQ(parsed.rounds, rec.rounds);
+  EXPECT_DOUBLE_EQ(parsed.wall_seconds, rec.wall_seconds);
+  EXPECT_EQ(parsed.verified, rec.verified);
+  ASSERT_EQ(parsed.trace.phases().size(), rec.trace.phases().size());
+  EXPECT_EQ(parsed.trace.phases()[0].name, "phase_a");
+  EXPECT_EQ(parsed.trace.phases()[0].rounds, 5);
+  EXPECT_EQ(parsed.metrics(), rec.metrics());
+}
+
+TEST(RunRecordJson, MutationDropsVerbatimCache) {
+  RunRecord rec = make_rec(1, 0);
+  const std::string line = rec.to_json();
+  RunRecord parsed = RunRecord::from_json_line(line);
+  parsed.metric("copy", 99.0);
+  EXPECT_NE(parsed.to_json(), line);
+}
+
+TEST(RunRecordJson, RejectsMalformedInput) {
+  EXPECT_THROW(RunRecord::from_json_line("not json"), CheckFailure);
+  EXPECT_THROW(RunRecord::from_json_line("[1,2,3]"), CheckFailure);
+  EXPECT_THROW(RunRecord::from_json_line("{\"verified\": \"yes\"}"),
+               CheckFailure);
+}
+
+}  // namespace
+}  // namespace ckp
