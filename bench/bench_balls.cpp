@@ -1,0 +1,177 @@
+// Microbench for the BFS neighborhood-query kernel (graph/bfs_kernel.hpp):
+// kernel-backed primitives vs their seed `*_reference` implementations on
+// the same instances, with results CKP_CHECKed identical before timing is
+// reported. This is the regenerable record behind the kernel's speedup
+// claim — each row lands in --json_out as a RunRecord with ref_seconds /
+// opt_seconds / speedup plus the kernel counter deltas.
+//
+// Workloads mirror the paper's access patterns: radius-r ball queries (the
+// shattering / sinkless analyses), power-graph construction (Theorems 6/8),
+// girth measurement (Section IV harness), and a monotone-radius ViewEngine
+// sweep (the speedup transformation's charged views).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/bfs_kernel.hpp"
+#include "graph/girth.hpp"
+#include "graph/power.hpp"
+#include "graph/regular.hpp"
+#include "graph/trees.hpp"
+#include "local/context.hpp"
+#include "local/view_engine.hpp"
+#include "obs/reporter.hpp"
+#include "util/check.hpp"
+#include "util/flags.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace ckp;
+
+bool same_graph(const Graph& a, const Graph& b) {
+  if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges()) {
+    return false;
+  }
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    if (a.endpoints(e) != b.endpoints(e)) return false;
+  }
+  return true;
+}
+
+bool same_view(const BallView& a, const BallView& b) {
+  return same_graph(a.sub.graph, b.sub.graph) && a.center == b.center &&
+         a.sub.to_original == b.sub.to_original &&
+         a.sub.from_original == b.sub.from_original &&
+         a.distance == b.distance && a.radius == b.radius;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ckp;
+  Flags flags(argc, argv);
+  const int max_exp = static_cast<int>(flags.get_int("max-exp", 12));
+  const int reps = static_cast<int>(flags.get_int("reps", 3));
+  BenchReporter reporter(flags, "E9_balls");
+  flags.check_unknown();
+  CKP_CHECK(reps >= 1);
+
+  std::cout << "E9: BFS kernel vs reference — identical results, measured"
+            << " speedup\n\n";
+  Table t({"workload", "n", "Δ", "ref s", "kernel s", "speedup"});
+
+  const NodeId n = static_cast<NodeId>(1) << max_exp;
+  const int delta = 4;
+  Rng rng(mix_seed(0xE9, static_cast<std::uint64_t>(n)));
+  const Graph reg = make_random_regular(n, delta, rng);
+  const Graph tree = make_complete_tree(n, 3);
+
+  // Best-of-`reps` wall time for one workload; `run` must be idempotent.
+  const auto best_seconds = [&](const auto& run) {
+    double best = 0.0;
+    for (int r = 0; r < reps; ++r) {
+      Timer timer;
+      run();
+      const double s = timer.seconds();
+      if (r == 0 || s < best) best = s;
+    }
+    return best;
+  };
+
+  const auto report = [&](const std::string& workload, const Graph& g,
+                          double ref_s, double opt_s,
+                          const BfsKernelCounters& before) {
+    const double speedup = opt_s > 0.0 ? ref_s / opt_s : 0.0;
+    RunRecord rec = reporter.make_record();
+    rec.algorithm = workload;
+    rec.graph_family = (&g == &tree) ? "complete_tree" : "random_regular";
+    rec.n = g.num_nodes();
+    rec.delta = g.max_degree();
+    rec.verified = true;
+    rec.wall_seconds = opt_s;
+    rec.metric("ref_seconds", ref_s);
+    rec.metric("opt_seconds", opt_s);
+    rec.metric("speedup", speedup);
+    add_kernel_metrics(rec, before);
+    reporter.add(std::move(rec));
+    t.add_row({workload, Table::cell(static_cast<std::int64_t>(g.num_nodes())),
+               Table::cell(g.max_degree()), Table::cell(ref_s, 4),
+               Table::cell(opt_s, 4), Table::cell(speedup, 1)});
+  };
+
+  {
+    // Radius-2 balls from every node: the shattering/sinkless query shape.
+    const int r = 2;
+    for (NodeId v = 0; v < reg.num_nodes(); v += 997) {
+      CKP_CHECK(ball(reg, v, r) == ball_reference(reg, v, r));
+      CKP_CHECK(bfs_distances(reg, v, r) == bfs_distances_reference(reg, v, r));
+    }
+    const BfsKernelCounters before = bfs_kernel_counters();
+    const double opt_s = best_seconds([&] {
+      for (NodeId v = 0; v < reg.num_nodes(); ++v) ball(reg, v, r);
+    });
+    const double ref_s = best_seconds([&] {
+      for (NodeId v = 0; v < reg.num_nodes(); ++v) ball_reference(reg, v, r);
+    });
+    report("ball_r2_all_nodes", reg, ref_s, opt_s, before);
+  }
+
+  {
+    const int k = 2;
+    const Graph opt = power_graph(reg, k);
+    CKP_CHECK(same_graph(opt, power_graph_reference(reg, k)));
+    const BfsKernelCounters before = bfs_kernel_counters();
+    const double opt_s = best_seconds([&] { power_graph(reg, k); });
+    const double ref_s = best_seconds([&] { power_graph_reference(reg, k); });
+    report("power_graph_k2", reg, ref_s, opt_s, before);
+  }
+
+  {
+    CKP_CHECK(girth(reg) == girth_reference(reg));
+    const BfsKernelCounters before = bfs_kernel_counters();
+    const double opt_s = best_seconds([&] { girth(reg); });
+    const double ref_s = best_seconds([&] { girth_reference(reg); });
+    report("girth", reg, ref_s, opt_s, before);
+  }
+
+  {
+    // Monotone-radius view sweep on a tree — the speedup transformation's
+    // access pattern (every node, radii 1..4 ascending).
+    const int max_r = 4;
+    LocalInput in;
+    in.graph = &tree;
+    {
+      ViewEngine ve(in);
+      for (int r = 1; r <= max_r; ++r) {
+        for (NodeId v = 0; v < tree.num_nodes(); v += 499) {
+          CKP_CHECK(same_view(ve.view(v, r), ball_view_reference(tree, v, r)));
+        }
+      }
+    }
+    const BfsKernelCounters before = bfs_kernel_counters();
+    const double opt_s = best_seconds([&] {
+      ViewEngine ve(in);
+      for (int r = 1; r <= max_r; ++r) {
+        for (NodeId v = 0; v < tree.num_nodes(); ++v) ve.view(v, r);
+      }
+    });
+    const double ref_s = best_seconds([&] {
+      for (int r = 1; r <= max_r; ++r) {
+        for (NodeId v = 0; v < tree.num_nodes(); ++v) {
+          ball_view_reference(tree, v, r);
+        }
+      }
+    });
+    report("view_sweep_r1..4", tree, ref_s, opt_s, before);
+  }
+
+  reporter.print(t, std::cout);
+  std::cout << "\nExpected shape: every row identical to its reference"
+            << " (checked above); speedups grow with n since reference work"
+            << " is Θ(n) per query vs O(|ball|·Δ).\n";
+  return 0;
+}

@@ -15,6 +15,7 @@
 #include "algo/be_tree_coloring.hpp"
 #include "algo/mis_deterministic.hpp"
 #include "core/speedup.hpp"
+#include "graph/bfs_kernel.hpp"
 #include "graph/trees.hpp"
 #include "lcl/verify_coloring.hpp"
 #include "lcl/verify_mis.hpp"
@@ -52,6 +53,7 @@ int main(int argc, char** argv) {
       const auto ids =
           random_ids(n, 2 * ceil_log2(static_cast<std::uint64_t>(n)), rng);
       RoundLedger ledger;
+      const BfsKernelCounters before = bfs_kernel_counters();
       const auto r = speedup_transform(g, ids, 3, horizon, 0, inner_mis_once,
                                        ledger);
       std::vector<char> in_set(r.labels.begin(), r.labels.end());
@@ -66,6 +68,7 @@ int main(int argc, char** argv) {
         rec.verified = true;
         rec.metric("inner_rounds", static_cast<double>(r.inner_rounds));
         rec.metric("short_id_bits", static_cast<double>(r.short_id_bits));
+        add_kernel_metrics(rec, before);
         reporter.add(std::move(rec));
       }
       t.add_row({Table::cell(static_cast<std::int64_t>(n)),
@@ -93,6 +96,7 @@ int main(int argc, char** argv) {
           random_ids(n, 2 * ceil_log2(static_cast<std::uint64_t>(n)), rng);
       RoundLedger ledger;
       const int budget = 40;  // generous "f(Δ) + O(1)" class for Δ=3
+      const BfsKernelCounters before = bfs_kernel_counters();
       const auto r = speedup_transform(g, ids, 3, horizon, budget,
                                        inner_coloring, ledger);
       CKP_CHECK(verify_coloring(g, r.labels, 3).ok);
@@ -106,6 +110,7 @@ int main(int argc, char** argv) {
         rec.verified = true;
         rec.metric("inner_rounds", static_cast<double>(r.inner_rounds));
         rec.metric("within_budget", r.within_budget ? 1.0 : 0.0);
+        add_kernel_metrics(rec, before);
         reporter.add(std::move(rec));
       }
       t.add_row({Table::cell(static_cast<std::int64_t>(n)),

@@ -48,6 +48,7 @@ run_bench bench_derand --phi-samples=50
 run_bench bench_lower_bounds --trials=200
 run_bench bench_sinkless --seeds=1 --max-exp=9
 run_bench bench_roundelim --ref-max-delta=6 --min-time-ms=200
+run_bench bench_balls --max-exp=11 --reps=2
 run_bench bench_mis --seeds=1 --max-exp=10
 run_bench bench_matching --seeds=1 --max-exp=9
 run_bench bench_engine --benchmark_min_time=0.01

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <set>
 
+#include "graph/bfs_kernel.hpp"
 #include "graph/power.hpp"
 #include "util/check.hpp"
 
@@ -22,6 +23,23 @@ bool pairwise_far_and_exact_links(const Graph& g,
       const int d = dist[static_cast<std::size_t>(set[j])];
       if (d >= 0 && d < k) return false;  // closer than k
       if (d == k && links != nullptr && i < j) {
+        links->emplace_back(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+  }
+  return true;
+}
+
+// Same predicate, answered from the precomputed capped distance table (an
+// absent row entry means dist > k).
+bool pairwise_far_and_exact_links(const CappedDistanceTable& table,
+                                  const std::vector<NodeId>& set, int k,
+                                  std::vector<std::pair<int, int>>* links) {
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    for (std::size_t j = i + 1; j < set.size(); ++j) {
+      const int d = table.distance(set[i], set[j]);
+      if (d >= 0 && d < k) return false;
+      if (d == k && links != nullptr) {
         links->emplace_back(static_cast<int>(i), static_cast<int>(j));
       }
     }
@@ -68,6 +86,17 @@ std::uint64_t count_distance_k_sets(const Graph& g, int k, int t) {
   CKP_CHECK_MSG(g.num_nodes() <= 512, "exhaustive counting is for small graphs");
   if (t == 1) return static_cast<std::uint64_t>(g.num_nodes());
 
+  // All distances <= k up front — one kernel BFS per node — so growing and
+  // validating candidate sets is pure table lookups instead of a fresh BFS
+  // per member per candidate set.
+  const CappedDistanceTable table = capped_pair_distances(g, k);
+  const auto n = static_cast<std::size_t>(g.num_nodes());
+  // Epoch-stamped accumulators (same trick as BfsScratch): one O(n) clear
+  // for the whole enumeration instead of one per candidate set.
+  std::vector<std::uint32_t> seen_stamp(n, 0), exact_stamp(n, 0);
+  std::vector<int> min_dist(n, 0);
+  std::uint32_t epoch = 0;
+
   // Grow candidate sets by adding vertices at distance exactly k from some
   // member (a necessary condition for connectivity in G^{=k}); deduplicate
   // by the sorted vertex set; validate the full definition at size t.
@@ -77,27 +106,21 @@ std::uint64_t count_distance_k_sets(const Graph& g, int k, int t) {
     std::set<std::vector<NodeId>> next;
     for (const auto& set : frontier) {
       // Candidates: distance exactly k from some member, >= k from all.
-      std::vector<int> min_dist(static_cast<std::size_t>(g.num_nodes()), -1);
-      std::vector<char> exact(static_cast<std::size_t>(g.num_nodes()), 0);
-      for (NodeId m : set) {
-        const auto dist = bfs_distances(g, m, k);
-        for (NodeId u = 0; u < g.num_nodes(); ++u) {
-          const int d = dist[static_cast<std::size_t>(u)];
-          if (d < 0) continue;
-          if (min_dist[static_cast<std::size_t>(u)] < 0 ||
-              d < min_dist[static_cast<std::size_t>(u)]) {
-            min_dist[static_cast<std::size_t>(u)] = d;
-          }
-          if (d == k) exact[static_cast<std::size_t>(u)] = 1;
+      // Members stamp themselves at distance 0, so they are skipped by the
+      // min_dist < k test below without a separate membership scan.
+      ++epoch;
+      for (const NodeId m : set) {
+        for (const auto& [u, d] : table.row(m)) {
+          const auto ui = static_cast<std::size_t>(u);
+          if (seen_stamp[ui] != epoch || d < min_dist[ui]) min_dist[ui] = d;
+          seen_stamp[ui] = epoch;
+          if (d == k) exact_stamp[ui] = epoch;
         }
       }
       for (NodeId u = 0; u < g.num_nodes(); ++u) {
-        if (!exact[static_cast<std::size_t>(u)]) continue;
-        if (min_dist[static_cast<std::size_t>(u)] >= 0 &&
-            min_dist[static_cast<std::size_t>(u)] < k) {
-          continue;
-        }
-        if (std::find(set.begin(), set.end(), u) != set.end()) continue;
+        const auto ui = static_cast<std::size_t>(u);
+        if (exact_stamp[ui] != epoch) continue;
+        if (min_dist[ui] < k) continue;  // some member closer (or u itself)
         std::vector<NodeId> grown = set;
         grown.push_back(u);
         std::sort(grown.begin(), grown.end());
@@ -107,8 +130,11 @@ std::uint64_t count_distance_k_sets(const Graph& g, int k, int t) {
     frontier = std::move(next);
   }
   std::uint64_t count = 0;
+  std::vector<std::pair<int, int>> links;
   for (const auto& set : frontier) {
-    if (is_distance_k_set(g, set, k)) ++count;
+    links.clear();
+    if (!pairwise_far_and_exact_links(table, set, k, &links)) continue;
+    if (links_connected(static_cast<int>(set.size()), links)) ++count;
   }
   return count;
 }

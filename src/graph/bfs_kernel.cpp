@@ -1,0 +1,291 @@
+#include "graph/bfs_kernel.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ckp {
+
+namespace {
+
+struct KernelStats {
+  std::atomic<std::uint64_t> queries{0};
+  std::atomic<std::uint64_t> nodes_touched{0};
+  std::atomic<std::uint64_t> resumes{0};
+  std::atomic<std::uint64_t> scratch_grows{0};
+  std::atomic<std::uint64_t> scratch_reuses{0};
+  std::atomic<std::uint64_t> view_queries{0};
+  std::atomic<std::uint64_t> view_cache_hits{0};
+  std::atomic<std::uint64_t> view_cache_extends{0};
+};
+
+KernelStats& stats() {
+  static KernelStats s;
+  return s;
+}
+
+// Work below this many BFS roots runs sequentially: pool dispatch costs more
+// than the queries, and the merged result is thread-count-invariant either
+// way (the threshold is purely a latency knob).
+constexpr std::int64_t kParallelGrain = 64;
+
+bool want_parallel(std::int64_t items, int threads) {
+  return threads > 1 && items >= kParallelGrain && !in_parallel_worker();
+}
+
+int resolve_threads(int threads) {
+  return threads <= 0 ? default_engine_threads() : threads;
+}
+
+}  // namespace
+
+BfsKernelCounters bfs_kernel_counters() {
+  KernelStats& s = stats();
+  BfsKernelCounters out;
+  out.queries = s.queries.load(std::memory_order_relaxed);
+  out.nodes_touched = s.nodes_touched.load(std::memory_order_relaxed);
+  out.resumes = s.resumes.load(std::memory_order_relaxed);
+  out.scratch_grows = s.scratch_grows.load(std::memory_order_relaxed);
+  out.scratch_reuses = s.scratch_reuses.load(std::memory_order_relaxed);
+  out.view_queries = s.view_queries.load(std::memory_order_relaxed);
+  out.view_cache_hits = s.view_cache_hits.load(std::memory_order_relaxed);
+  out.view_cache_extends =
+      s.view_cache_extends.load(std::memory_order_relaxed);
+  return out;
+}
+
+void reset_bfs_kernel_counters() {
+  KernelStats& s = stats();
+  s.queries.store(0, std::memory_order_relaxed);
+  s.nodes_touched.store(0, std::memory_order_relaxed);
+  s.resumes.store(0, std::memory_order_relaxed);
+  s.scratch_grows.store(0, std::memory_order_relaxed);
+  s.scratch_reuses.store(0, std::memory_order_relaxed);
+  s.view_queries.store(0, std::memory_order_relaxed);
+  s.view_cache_hits.store(0, std::memory_order_relaxed);
+  s.view_cache_extends.store(0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void kernel_count_query(std::uint64_t touched, bool resumed, bool grew) {
+  KernelStats& s = stats();
+  s.queries.fetch_add(1, std::memory_order_relaxed);
+  s.nodes_touched.fetch_add(touched, std::memory_order_relaxed);
+  if (resumed) s.resumes.fetch_add(1, std::memory_order_relaxed);
+  (grew ? s.scratch_grows : s.scratch_reuses)
+      .fetch_add(1, std::memory_order_relaxed);
+}
+
+void kernel_count_view(bool hit, bool extended) {
+  KernelStats& s = stats();
+  s.view_queries.fetch_add(1, std::memory_order_relaxed);
+  if (hit) s.view_cache_hits.fetch_add(1, std::memory_order_relaxed);
+  if (extended) s.view_cache_extends.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+void BfsScratch::bind(NodeId n) {
+  CKP_CHECK(n >= 0);
+  if (n <= bound_) {
+    grew_last_bind_ = false;
+    return;
+  }
+  stamp_.resize(static_cast<std::size_t>(n), 0);
+  dist_.resize(static_cast<std::size_t>(n), -1);
+  parent_.resize(static_cast<std::size_t>(n), kInvalidEdge);
+  bound_ = n;
+  grew_last_bind_ = true;
+}
+
+void BfsScratch::next_epoch() {
+  if (++epoch_ == 0) {
+    // Wraparound (once per 2^32 queries): old stamps become ambiguous, so
+    // pay one O(n) clear and restart the counter.
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 1;
+  }
+  touched_.clear();
+}
+
+void BfsScratch::expand_levels(const Graph& g, int from, int cap) {
+  int depth = from;
+  while (!curr_.empty() && depth < cap) {
+    next_.clear();
+    for (const NodeId a : curr_) {
+      for (const NodeId b : g.neighbors(a)) {
+        if (!reached(b)) {
+          stamp(b, depth + 1);
+          next_.push_back(b);
+        }
+      }
+    }
+    curr_.swap(next_);
+    ++depth;
+  }
+}
+
+void BfsScratch::bfs_from(const Graph& g, NodeId v, int cap) {
+  CKP_CHECK(cap >= 0);
+  CKP_CHECK(g.num_nodes() <= bound_);
+  CKP_CHECK(static_cast<std::uint32_t>(v) <
+            static_cast<std::uint32_t>(g.num_nodes()));
+  next_epoch();
+  curr_.clear();
+  stamp(v, 0);
+  curr_.push_back(v);
+  expand_levels(g, 0, cap);
+  detail::kernel_count_query(touched_.size(), /*resumed=*/false,
+                             take_grew());
+}
+
+void BfsScratch::bfs_resume(const Graph& g, std::span<const NodeId> members,
+                            std::span<const int> dist, int from, int cap) {
+  CKP_CHECK(from >= 0 && cap >= from);
+  CKP_CHECK(g.num_nodes() <= bound_);
+  CKP_CHECK(members.size() == dist.size());
+  next_epoch();
+  curr_.clear();
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    stamp(members[i], dist[i]);
+    if (dist[i] == from) curr_.push_back(members[i]);
+  }
+  expand_levels(g, from, cap);
+  detail::kernel_count_query(touched_.size(), /*resumed=*/true,
+                             take_grew());
+}
+
+void BfsScratch::seed(std::span<const NodeId> members,
+                      std::span<const int> dist) {
+  CKP_CHECK(members.size() == dist.size());
+  next_epoch();
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    stamp(members[i], dist[i]);
+  }
+  detail::kernel_count_query(touched_.size(), /*resumed=*/false,
+                             take_grew());
+}
+
+void BfsScratch::sorted_touched(std::vector<NodeId>& out) const {
+  out.assign(touched_.begin(), touched_.end());
+  std::sort(out.begin(), out.end());
+}
+
+int BfsScratch::shortest_cycle_from(const Graph& g, NodeId v, int cutoff) {
+  CKP_CHECK(g.num_nodes() <= bound_);
+  CKP_CHECK(static_cast<std::uint32_t>(v) <
+            static_cast<std::uint32_t>(g.num_nodes()));
+  next_epoch();
+  curr_.clear();
+  stamp(v, 0);
+  parent_[static_cast<std::size_t>(v)] = kInvalidEdge;
+  curr_.push_back(v);
+  int best = cutoff;
+  int depth = 0;
+  // A non-tree edge met at depths (a_depth, b_depth) closes a cycle through
+  // v of length a_depth + b_depth + 1; candidates skipped once
+  // 2·depth >= best cannot beat it (see girth reference).
+  while (!curr_.empty() && 2 * depth < best) {
+    next_.clear();
+    for (const NodeId a : curr_) {
+      const auto nbrs = g.neighbors(a);
+      const auto edges = g.incident_edges(a);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const NodeId b = nbrs[i];
+        const EdgeId e = edges[i];
+        if (e == parent_[static_cast<std::size_t>(a)]) continue;
+        if (!reached(b)) {
+          stamp(b, depth + 1);
+          parent_[static_cast<std::size_t>(b)] = e;
+          next_.push_back(b);
+        } else {
+          best = std::min(best,
+                          depth + dist_[static_cast<std::size_t>(b)] + 1);
+        }
+      }
+    }
+    curr_.swap(next_);
+    ++depth;
+  }
+  detail::kernel_count_query(touched_.size(), /*resumed=*/false,
+                             take_grew());
+  return best;
+}
+
+BfsScratch& bfs_scratch() {
+  thread_local BfsScratch scratch;
+  return scratch;
+}
+
+int CappedDistanceTable::distance(NodeId u, NodeId v) const {
+  const auto r = row(u);
+  const auto it = std::lower_bound(
+      r.begin(), r.end(), v,
+      [](const std::pair<NodeId, int>& e, NodeId x) { return e.first < x; });
+  if (it == r.end() || it->first != v) return -1;
+  return it->second;
+}
+
+CappedDistanceTable capped_pair_distances(const Graph& g, int cap,
+                                          int threads) {
+  CKP_CHECK(cap >= 0);
+  const NodeId n = g.num_nodes();
+  CappedDistanceTable out;
+  out.cap_ = cap;
+  out.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+
+  struct ChunkRows {
+    std::vector<std::pair<NodeId, int>> entries;
+    std::vector<std::size_t> row_size;
+  };
+  const int resolved = resolve_threads(threads);
+  const int chunks =
+      want_parallel(n, resolved)
+          ? std::clamp(resolved, 1, std::max(1, static_cast<int>(n)))
+          : 1;
+  std::vector<ChunkRows> per_chunk(static_cast<std::size_t>(chunks));
+
+  const auto fill_rows = [&](std::int64_t begin, std::int64_t end,
+                             int chunk) {
+    BfsScratch& scratch = bfs_scratch();
+    scratch.bind(n);
+    ChunkRows& rows = per_chunk[static_cast<std::size_t>(chunk)];
+    std::vector<NodeId> ball;
+    for (std::int64_t i = begin; i < end; ++i) {
+      const auto v = static_cast<NodeId>(i);
+      scratch.bfs_from(g, v, cap);
+      scratch.sorted_touched(ball);
+      for (const NodeId u : ball) {
+        rows.entries.emplace_back(u, scratch.distance(u));
+      }
+      rows.row_size.push_back(ball.size());
+    }
+  };
+  if (chunks == 1) {
+    fill_rows(0, n, 0);
+  } else {
+    shared_pool(chunks).parallel_for(0, n, chunks, fill_rows);
+  }
+
+  // Chunk-ordered merge: chunks cover ascending contiguous node ranges, so
+  // concatenation is the row-major table regardless of thread count.
+  std::size_t total = 0;
+  for (const ChunkRows& rows : per_chunk) total += rows.entries.size();
+  out.entries_.reserve(total);
+  std::size_t v = 0;
+  for (const ChunkRows& rows : per_chunk) {
+    for (const std::size_t size : rows.row_size) {
+      out.offsets_[v + 1] = out.offsets_[v] + size;
+      ++v;
+    }
+    out.entries_.insert(out.entries_.end(), rows.entries.begin(),
+                        rows.entries.end());
+  }
+  CKP_CHECK(v == static_cast<std::size_t>(n));
+  return out;
+}
+
+}  // namespace ckp

@@ -1,0 +1,180 @@
+// O(ball)-work neighborhood queries: an epoch-stamped BFS scratch with flat
+// array frontiers, plus the capped all-pairs distance table built on it.
+//
+// Every distance-bounded primitive in the codebase — `bfs_distances`, `ball`,
+// `power_graph`, `girth`, `ViewEngine::view`, the distance-k-set enumerator —
+// used to pay Θ(n) time and a fresh Θ(n) allocation per query even when the
+// queried ball held a handful of nodes. BfsScratch removes both costs:
+//
+//   * visited/distance state is an array stamped with a generation counter,
+//     so "reset" is one integer increment (O(1)) instead of an O(n) fill;
+//   * the frontier is a flat level-synchronous array (two reused vectors),
+//     not a std::queue of heap-allocated blocks;
+//   * every node stamped by a query is appended to a touched list, so
+//     results are read back in O(|ball|) without rescanning [0, n).
+//
+// A query therefore costs O(|ball| · Δ) time and, once the scratch has grown
+// to the graph size, zero allocations. The scratch is also resumable: a
+// cached (members, distances) ball of radius r0 can be re-seeded and the BFS
+// continued to a larger radius — the shape ViewEngine's per-node ball cache
+// uses, because the speedup transformation queries monotonically increasing
+// radii.
+//
+// Determinism: BFS distances are a pure function of the graph, and every
+// exported ordering (sorted balls, edge-id-ordered subgraph extraction,
+// chunk-ordered parallel merges in power_graph/girth/capped_pair_distances)
+// is independent of thread count and timing, so kernel consumers are
+// bit-identical to their `*_reference` oracles at any --threads. See
+// DESIGN.md §9 for the argument.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ckp {
+
+// Monotone process-wide kernel counters (snapshot of the atomics below).
+// Benches record deltas of these into RunRecords; DESIGN.md §9 lists which
+// fields are thread-count-invariant (queries, nodes_touched, and the view
+// cache fields are; scratch_grows/scratch_reuses depend on how many worker
+// threads own a thread-local scratch, so byte-stable benches skip them).
+struct BfsKernelCounters {
+  std::uint64_t queries = 0;         // BFS runs (fresh, resumed, or seeded)
+  std::uint64_t nodes_touched = 0;   // nodes stamped across all queries
+  std::uint64_t resumes = 0;         // queries that extended cached state
+  std::uint64_t scratch_grows = 0;   // scratch (re)allocations to a new size
+  std::uint64_t scratch_reuses = 0;  // queries served by an already-sized scratch
+  std::uint64_t view_queries = 0;      // ViewEngine::view calls
+  std::uint64_t view_cache_hits = 0;   // served from a cached ball (radius <=)
+  std::uint64_t view_cache_extends = 0;  // cached ball grown incrementally
+};
+
+BfsKernelCounters bfs_kernel_counters();
+void reset_bfs_kernel_counters();
+
+namespace detail {
+// Mutation interface for the counters; kernel internals and ViewEngine bump
+// these. Cheap relaxed atomics: a handful of increments per query.
+void kernel_count_query(std::uint64_t touched, bool resumed, bool grew);
+void kernel_count_view(bool hit, bool extended);
+}  // namespace detail
+
+// Reusable BFS state for one thread. Not thread-safe; parallel consumers
+// give each pool worker its own scratch (see bfs_scratch()).
+class BfsScratch {
+ public:
+  // Sizes the scratch for an n-node graph. O(n) the first time a size is
+  // seen (arrays grow, never shrink); O(1) afterwards.
+  void bind(NodeId n);
+
+  // Level-synchronous BFS from v, capped at distance `cap` (cap >= 0).
+  // Afterwards reached()/distance() answer for every node and touched()
+  // lists the ball, grouped by level. Requires bind(g.num_nodes()).
+  void bfs_from(const Graph& g, NodeId v, int cap);
+
+  // Re-seeds the visited state from a previously computed radius-`from`
+  // ball (aligned members/dist arrays) and continues the BFS out to `cap`.
+  // Equivalent to bfs_from(g, center, cap) when (members, dist) came from a
+  // radius-`from` BFS off the same center — the incremental path only saves
+  // re-expanding the interior. touched() lists members first (given order),
+  // then newly reached nodes by level.
+  void bfs_resume(const Graph& g, std::span<const NodeId> members,
+                  std::span<const int> dist, int from, int cap);
+
+  // Stamps (members, dist) without expanding: O(|members|). Makes
+  // reached()/distance() valid for membership tests against a cached ball.
+  void seed(std::span<const NodeId> members, std::span<const int> dist);
+
+  // Length of the shortest cycle through v, computed like the girth
+  // reference (BFS with parent edges; non-tree edge at depths a, b closes a
+  // cycle of length a + b + 1) but on stamped state and with an external
+  // `cutoff`: the search stops once 2·depth >= min(best, cutoff). The
+  // return value r satisfies r >= shortest_cycle_through(g, v) and
+  // min(cutoff, r) == min(cutoff, shortest_cycle_through(g, v)), which is
+  // exactly what a running-minimum fold needs. Pass kInfiniteGirth (see
+  // girth.hpp) for the exact per-vertex value.
+  int shortest_cycle_from(const Graph& g, NodeId v, int cutoff);
+
+  bool reached(NodeId u) const {
+    return stamp_[static_cast<std::size_t>(u)] == epoch_;
+  }
+  // Distance recorded by the last query, or -1 when u was not reached.
+  int distance(NodeId u) const {
+    return reached(u) ? dist_[static_cast<std::size_t>(u)] : -1;
+  }
+
+  // Every node stamped by the last query (the capped ball), grouped by BFS
+  // level; within a level, discovery order (parent order, then adjacency
+  // order). Invalidated by the next query.
+  std::span<const NodeId> touched() const { return touched_; }
+
+  // touched() sorted ascending — the `ball` contract. Reuses `out`.
+  void sorted_touched(std::vector<NodeId>& out) const;
+
+ private:
+  void next_epoch();
+  void stamp(NodeId u, int d) {
+    stamp_[static_cast<std::size_t>(u)] = epoch_;
+    dist_[static_cast<std::size_t>(u)] = d;
+    touched_.push_back(u);
+  }
+  void expand_levels(const Graph& g, int from, int cap);
+  // Whether the last bind() reallocated; consumed by the first query after
+  // it so grows and reuses partition the query count.
+  bool take_grew() {
+    const bool grew = grew_last_bind_;
+    grew_last_bind_ = false;
+    return grew;
+  }
+
+  NodeId bound_ = 0;
+  bool grew_last_bind_ = false;
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> stamp_;  // per node: epoch of last visit
+  std::vector<int> dist_;             // valid iff stamp_ == epoch_
+  std::vector<EdgeId> parent_;        // valid iff stamp_ == epoch_
+  std::vector<NodeId> curr_, next_;   // flat level frontiers
+  std::vector<NodeId> touched_;
+};
+
+// The calling thread's scratch (thread_local): free-function wrappers and
+// pool-worker chunk bodies share it, which is what makes the steady state
+// allocation-free across queries.
+BfsScratch& bfs_scratch();
+
+// Capped all-pairs distances: row u holds (v, dist(u, v)) for every v with
+// dist <= cap, sorted by v ascending. Built with one kernel BFS per node —
+// O(Σ|ball|·Δ) total — and fanned over the shared pool with chunk-ordered
+// merges (bit-identical at any thread count). Replaces the per-member-
+// per-set BFS in the distance-k-set enumerator.
+class CappedDistanceTable {
+ public:
+  int cap() const { return cap_; }
+  NodeId num_nodes() const { return static_cast<NodeId>(offsets_.size()) - 1; }
+
+  std::span<const std::pair<NodeId, int>> row(NodeId u) const {
+    return {entries_.data() + offsets_[static_cast<std::size_t>(u)],
+            entries_.data() + offsets_[static_cast<std::size_t>(u) + 1]};
+  }
+
+  // dist(u, v) when <= cap, else -1 (binary search in row u).
+  int distance(NodeId u, NodeId v) const;
+
+ private:
+  friend CappedDistanceTable capped_pair_distances(const Graph& g, int cap,
+                                                   int threads);
+  int cap_ = 0;
+  std::vector<std::size_t> offsets_ = {0};      // size n+1
+  std::vector<std::pair<NodeId, int>> entries_;  // rows concatenated
+};
+
+// threads <= 0 means default_engine_threads(); degrades to sequential inside
+// a pool worker.
+CappedDistanceTable capped_pair_distances(const Graph& g, int cap,
+                                          int threads = 0);
+
+}  // namespace ckp

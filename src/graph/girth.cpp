@@ -1,14 +1,86 @@
 #include "graph/girth.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <queue>
 #include <vector>
 
+#include "graph/bfs_kernel.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ckp {
 
 int shortest_cycle_through(const Graph& g, NodeId v) {
+  BfsScratch& scratch = bfs_scratch();
+  scratch.bind(g.num_nodes());
+  return scratch.shortest_cycle_from(g, v, kInfiniteGirth);
+}
+
+int girth(const Graph& g, int threads) {
+  const NodeId n = g.num_nodes();
+  const int resolved = threads <= 0 ? default_engine_threads() : threads;
+  const int chunks =
+      (resolved > 1 && n >= 64 && !in_parallel_worker())
+          ? std::clamp(resolved, 1, std::max(1, static_cast<int>(n)))
+          : 1;
+
+  // Each chunk folds a running minimum and feeds it back as the search
+  // cutoff. shortest_cycle_from guarantees min(cutoff, r(v, cutoff)) ==
+  // min(cutoff, sct(v)), so by induction each chunk's fold equals the exact
+  // minimum of shortest_cycle_through over its vertices, and the merged
+  // minimum equals girth_reference regardless of how vertices are chunked.
+  std::vector<int> chunk_best(static_cast<std::size_t>(chunks),
+                              kInfiniteGirth);
+  const auto scan = [&](std::int64_t begin, std::int64_t end, int chunk) {
+    BfsScratch& scratch = bfs_scratch();
+    scratch.bind(n);
+    int best = kInfiniteGirth;
+    for (std::int64_t i = begin; i < end; ++i) {
+      best = std::min(
+          best, scratch.shortest_cycle_from(g, static_cast<NodeId>(i), best));
+      if (best == 3) break;  // cannot do better
+    }
+    chunk_best[static_cast<std::size_t>(chunk)] = best;
+  };
+  if (chunks == 1) {
+    scan(0, n, 0);
+  } else {
+    shared_pool(chunks).parallel_for(0, n, chunks, scan);
+  }
+  int best = kInfiniteGirth;
+  for (const int b : chunk_best) best = std::min(best, b);
+  return best;
+}
+
+int girth_upper_bound_sampled(const Graph& g, int samples, Rng& rng) {
+  CKP_CHECK(samples >= 1);
+  const NodeId n = g.num_nodes();
+  if (n == 0) return kInfiniteGirth;
+  if (samples >= n) return girth(g);
+
+  // Partial Fisher–Yates: the first `samples` entries of `order` are a
+  // uniform sample without replacement, so no start vertex is wasted on a
+  // repeat (the seed implementation resampled with replacement and could
+  // miss vertices even at samples == n).
+  std::vector<NodeId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), NodeId{0});
+  BfsScratch& scratch = bfs_scratch();
+  scratch.bind(n);
+  int best = kInfiniteGirth;
+  for (int s = 0; s < samples; ++s) {
+    const auto j = static_cast<std::size_t>(
+        s + static_cast<std::int64_t>(
+                rng.next_below(static_cast<std::uint64_t>(n - s))));
+    std::swap(order[static_cast<std::size_t>(s)], order[j]);
+    best = std::min(best, scratch.shortest_cycle_from(
+                              g, order[static_cast<std::size_t>(s)], best));
+    if (best == 3) break;
+  }
+  return best;
+}
+
+int shortest_cycle_through_reference(const Graph& g, NodeId v) {
   // BFS from v tracking the parent edge. The first time two BFS branches
   // touch (an edge between visited nodes that is not a tree edge), the cycle
   // through v has length dist(a) + dist(b) + 1. This finds the shortest
@@ -47,25 +119,11 @@ int shortest_cycle_through(const Graph& g, NodeId v) {
   return best;
 }
 
-int girth(const Graph& g) {
+int girth_reference(const Graph& g) {
   int best = kInfiniteGirth;
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    best = std::min(best, shortest_cycle_through(g, v));
+    best = std::min(best, shortest_cycle_through_reference(g, v));
     if (best == 3) break;  // cannot do better
-  }
-  return best;
-}
-
-int girth_upper_bound_sampled(const Graph& g, int samples, Rng& rng) {
-  CKP_CHECK(samples >= 1);
-  const NodeId n = g.num_nodes();
-  if (n == 0) return kInfiniteGirth;
-  int best = kInfiniteGirth;
-  for (int s = 0; s < samples; ++s) {
-    const auto v =
-        static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(n)));
-    best = std::min(best, shortest_cycle_through(g, v));
-    if (best == 3) break;
   }
   return best;
 }

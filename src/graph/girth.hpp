@@ -3,6 +3,13 @@
 // The lower-bound constructions of Section IV rely on graphs whose girth is
 // Ω(log_Δ n); the benchmark harness measures the girth of each sampled
 // instance instead of assuming it (see DESIGN.md substitution table).
+//
+// The per-vertex search runs on the BFS kernel (graph/bfs_kernel.hpp) —
+// O(|ball| · Δ) per vertex, allocation-free in the steady state — and
+// `girth` fans vertices over the shared pool with a chunk-local running
+// minimum as the search cutoff. The fold is exact (see
+// BfsScratch::shortest_cycle_from), so the result is identical to
+// `girth_reference` at every thread count.
 #pragma once
 
 #include <limits>
@@ -14,16 +21,22 @@ namespace ckp {
 
 inline constexpr int kInfiniteGirth = std::numeric_limits<int>::max();
 
-// Exact girth via a BFS from every vertex: O(n * m). Returns kInfiniteGirth
-// for forests.
-int girth(const Graph& g);
+// Exact girth via a BFS from every vertex; O(Σ|ball|·Δ), parallel over
+// vertices (threads <= 0 means default_engine_threads()). Returns
+// kInfiniteGirth for forests.
+int girth(const Graph& g, int threads = 0);
 
-// Upper bound on the girth obtained by BFS from `samples` random start
-// vertices — an estimate that is exact with probability growing in
-// samples/n. Cheap on large instances.
+// Upper bound on the girth from BFS at `samples` start vertices drawn
+// without replacement; exact when samples >= n (falls back to girth(g)).
+// Cheap on large instances.
 int girth_upper_bound_sampled(const Graph& g, int samples, Rng& rng);
 
 // Length of the shortest cycle through `v` (kInfiniteGirth if none).
 int shortest_cycle_through(const Graph& g, NodeId v);
+
+// Seed implementations (queue BFS, one Θ(n) allocation per vertex), kept as
+// the differential-test oracles for the kernel-backed functions above.
+int girth_reference(const Graph& g);
+int shortest_cycle_through_reference(const Graph& g, NodeId v);
 
 }  // namespace ckp

@@ -3,12 +3,83 @@
 #include <algorithm>
 #include <queue>
 
+#include "graph/bfs_kernel.hpp"
 #include "graph/builder.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ckp {
 
 std::vector<int> bfs_distances(const Graph& g, NodeId v, int k) {
+  CKP_CHECK(k >= 0);
+  BfsScratch& scratch = bfs_scratch();
+  scratch.bind(g.num_nodes());
+  scratch.bfs_from(g, v, k);
+  // Full-length output is the contract; only the touched entries need
+  // writing because the rest stay at the fill value.
+  std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()), -1);
+  for (const NodeId u : scratch.touched()) {
+    dist[static_cast<std::size_t>(u)] = scratch.distance(u);
+  }
+  return dist;
+}
+
+std::vector<NodeId> ball(const Graph& g, NodeId v, int k) {
+  CKP_CHECK(k >= 0);
+  BfsScratch& scratch = bfs_scratch();
+  scratch.bind(g.num_nodes());
+  scratch.bfs_from(g, v, k);
+  std::vector<NodeId> out;
+  scratch.sorted_touched(out);
+  return out;
+}
+
+Graph power_graph(const Graph& g, int k, int threads) {
+  CKP_CHECK(k >= 1);
+  const NodeId n = g.num_nodes();
+  const int resolved = threads <= 0 ? default_engine_threads() : threads;
+  const int chunks =
+      (resolved > 1 && n >= 64 && !in_parallel_worker())
+          ? std::clamp(resolved, 1, std::max(1, static_cast<int>(n)))
+          : 1;
+
+  // Per-chunk edge lists; chunks cover ascending contiguous node ranges, so
+  // concatenating them reproduces the sequential insertion order (v
+  // ascending, sorted ball with u > v) exactly — from_edges then assigns the
+  // same edge ids as the GraphBuilder in power_graph_reference.
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> per_chunk(
+      static_cast<std::size_t>(chunks));
+  const auto fill = [&](std::int64_t begin, std::int64_t end, int chunk) {
+    BfsScratch& scratch = bfs_scratch();
+    scratch.bind(n);
+    auto& edges = per_chunk[static_cast<std::size_t>(chunk)];
+    std::vector<NodeId> sorted;
+    for (std::int64_t i = begin; i < end; ++i) {
+      const auto v = static_cast<NodeId>(i);
+      scratch.bfs_from(g, v, k);
+      scratch.sorted_touched(sorted);
+      for (const NodeId u : sorted) {
+        if (u > v) edges.emplace_back(v, u);
+      }
+    }
+  };
+  if (chunks == 1) {
+    fill(0, n, 0);
+  } else {
+    shared_pool(chunks).parallel_for(0, n, chunks, fill);
+  }
+
+  std::size_t total = 0;
+  for (const auto& edges : per_chunk) total += edges.size();
+  std::vector<std::pair<NodeId, NodeId>> all;
+  all.reserve(total);
+  for (const auto& edges : per_chunk) {
+    all.insert(all.end(), edges.begin(), edges.end());
+  }
+  return Graph::from_edges(n, all);
+}
+
+std::vector<int> bfs_distances_reference(const Graph& g, NodeId v, int k) {
   CKP_CHECK(k >= 0);
   std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()), -1);
   std::queue<NodeId> q;
@@ -29,8 +100,8 @@ std::vector<int> bfs_distances(const Graph& g, NodeId v, int k) {
   return dist;
 }
 
-std::vector<NodeId> ball(const Graph& g, NodeId v, int k) {
-  const auto dist = bfs_distances(g, v, k);
+std::vector<NodeId> ball_reference(const Graph& g, NodeId v, int k) {
+  const auto dist = bfs_distances_reference(g, v, k);
   std::vector<NodeId> out;
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     if (dist[static_cast<std::size_t>(u)] >= 0) out.push_back(u);
@@ -38,11 +109,11 @@ std::vector<NodeId> ball(const Graph& g, NodeId v, int k) {
   return out;
 }
 
-Graph power_graph(const Graph& g, int k) {
+Graph power_graph_reference(const Graph& g, int k) {
   CKP_CHECK(k >= 1);
   GraphBuilder b(g.num_nodes());
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    for (NodeId u : ball(g, v, k)) {
+    for (NodeId u : ball_reference(g, v, k)) {
       if (u > v) b.add_edge(v, u);
     }
   }

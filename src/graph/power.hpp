@@ -3,6 +3,14 @@
 // The speedup transformation (Theorems 6 and 8) simulates Linial's coloring
 // on the power graph G' whose edges join nodes within a given distance;
 // each round on G' costs that distance in rounds on G.
+//
+// All queries run on the BFS kernel (graph/bfs_kernel.hpp): O(|ball| · Δ)
+// work per source and no steady-state allocation beyond the returned value.
+// `power_graph` additionally fans its per-node ball queries over the shared
+// pool with a chunk-ordered edge merge, so the built Graph — edge ids
+// included — is bit-identical at every thread count and to
+// `power_graph_reference`. The `*_reference` functions are the seed
+// implementations, kept as differential oracles (Θ(n) per query).
 #pragma once
 
 #include <vector>
@@ -12,13 +20,22 @@
 namespace ckp {
 
 // The graph on the same node set with an edge {u, v} whenever
-// 1 <= dist_G(u, v) <= k. Cost O(n * |ball(k)|); intended for moderate n.
-Graph power_graph(const Graph& g, int k);
+// 1 <= dist_G(u, v) <= k. O(Σ|ball(k)| · Δ) work, parallel over sources;
+// threads <= 0 means default_engine_threads().
+Graph power_graph(const Graph& g, int k, int threads = 0);
 
 // All nodes at distance <= k from v (including v), sorted ascending.
 std::vector<NodeId> ball(const Graph& g, NodeId v, int k);
 
-// BFS distances from v, capped at `k` (nodes farther than k get -1).
+// BFS distances from v, capped at `k` (nodes farther than k get -1). The
+// returned vector is full-length by contract; callers that want O(|ball|)
+// output use BfsScratch directly.
 std::vector<int> bfs_distances(const Graph& g, NodeId v, int k);
+
+// Seed implementations (queue BFS over Θ(n) arrays), kept verbatim as the
+// differential-test oracles for the kernel-backed functions above.
+Graph power_graph_reference(const Graph& g, int k);
+std::vector<NodeId> ball_reference(const Graph& g, NodeId v, int k);
+std::vector<int> bfs_distances_reference(const Graph& g, NodeId v, int k);
 
 }  // namespace ckp

@@ -95,7 +95,7 @@ std::vector<std::array<int, 4>> norm_p_quaternions(int p) {
 
 }  // namespace
 
-LpsGraph make_lps_ramanujan(int p, int q) {
+LpsGraph lps_parameters(int p, int q) {
   CKP_CHECK_MSG(is_prime(static_cast<std::uint64_t>(p)) && p % 4 == 1,
                 "p must be a prime ≡ 1 mod 4");
   CKP_CHECK_MSG(is_prime(static_cast<std::uint64_t>(q)) && q % 4 == 1,
@@ -103,6 +103,20 @@ LpsGraph make_lps_ramanujan(int p, int q) {
   CKP_CHECK(p != q);
   CKP_CHECK_MSG(static_cast<long long>(q) * q > 4LL * p,
                 "need q > 2·sqrt(p) for a simple graph");
+  LpsGraph out;
+  out.p = p;
+  out.q = q;
+  out.bipartite = !is_quadratic_residue(p, q);
+  const double logp_q = std::log(static_cast<double>(q)) /
+                        std::log(static_cast<double>(p));
+  out.girth_lower_bound =
+      out.bipartite ? 4.0 * logp_q - std::log(4.0) / std::log(static_cast<double>(p))
+                    : 2.0 * logp_q;
+  return out;
+}
+
+LpsGraph make_lps_ramanujan(int p, int q) {
+  LpsGraph out = lps_parameters(p, q);
 
   const auto quaternions = norm_p_quaternions(p);
   CKP_CHECK_MSG(static_cast<int>(quaternions.size()) == p + 1,
@@ -150,18 +164,9 @@ LpsGraph make_lps_ramanujan(int p, int q) {
   GraphBuilder builder(static_cast<NodeId>(elements.size()));
   for (const auto& [u, v] : edges) builder.add_edge(u, v);
 
-  LpsGraph out;
   out.graph = builder.build();
-  out.p = p;
-  out.q = q;
-  out.bipartite = !is_quadratic_residue(p, q);
   CKP_CHECK_MSG(out.graph.is_regular(p + 1),
                 "LPS construction is not (p+1)-regular — invalid (p,q)?");
-  const double logp_q = std::log(static_cast<double>(q)) /
-                        std::log(static_cast<double>(p));
-  out.girth_lower_bound =
-      out.bipartite ? 4.0 * logp_q - std::log(4.0) / std::log(static_cast<double>(p))
-                    : 2.0 * logp_q;
   return out;
 }
 

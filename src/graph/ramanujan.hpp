@@ -32,4 +32,10 @@ struct LpsGraph {
 // q ∈ {13, 17, 29, 37}.
 LpsGraph make_lps_ramanujan(int p, int q);
 
+// The (p, q) metadata of X^{p,q} — validation, bipartiteness, certified
+// girth bound — with `graph` left empty. O(q) arithmetic; lets a cached
+// topology (artifact store) be paired with its certified bound without
+// re-running the Cayley closure.
+LpsGraph lps_parameters(int p, int q);
+
 }  // namespace ckp

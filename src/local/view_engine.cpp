@@ -7,19 +7,14 @@
 
 namespace ckp {
 
-ViewEngine::ViewEngine(const LocalInput& input) : input_(&input) {
-  input.validate();
-  per_node_.assign(static_cast<std::size_t>(input.graph->num_nodes()), 0);
-}
-
-BallView ViewEngine::view(NodeId v, int r) {
+BallView ball_view_reference(const Graph& g, NodeId v, int r) {
   CKP_CHECK(r >= 0);
-  charge(v, r);
-  const Graph& g = *input_->graph;
-  const auto dist = bfs_distances(g, v, r);
+  const auto dist = bfs_distances_reference(g, v, r);
   std::vector<char> include(static_cast<std::size_t>(g.num_nodes()), 0);
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    if (dist[static_cast<std::size_t>(u)] >= 0) include[static_cast<std::size_t>(u)] = 1;
+    if (dist[static_cast<std::size_t>(u)] >= 0) {
+      include[static_cast<std::size_t>(u)] = 1;
+    }
   }
   BallView out;
   out.sub = induced_subgraph(g, include);
@@ -32,8 +27,94 @@ BallView ViewEngine::view(NodeId v, int r) {
   return out;
 }
 
+ViewEngine::ViewEngine(const LocalInput& input) : input_(&input) {
+  input.validate();
+  const auto n = static_cast<std::size_t>(input.graph->num_nodes());
+  per_node_.assign(n, 0);
+  cache_.resize(n);
+  scratch_.bind(input.graph->num_nodes());
+}
+
+BallView ViewEngine::view(NodeId v, int r) {
+  CKP_CHECK(r >= 0);
+  charge(v, r);
+  const Graph& g = *input_->graph;
+  CachedBall& entry = cache_[static_cast<std::size_t>(v)];
+
+  const bool hit = entry.radius >= r;
+  bool extended = false;
+  if (hit) {
+    // Cached ball covers the request: stamp it so reached()/distance()
+    // answer below; members beyond r are filtered by the distance check.
+    scratch_.seed(entry.members, entry.dist);
+  } else {
+    if (entry.radius < 0) {
+      scratch_.bfs_from(g, v, r);
+    } else {
+      // Monotone radius growth (the speedup transformation's access
+      // pattern): continue the BFS from the cached frontier instead of
+      // re-expanding the interior.
+      scratch_.bfs_resume(g, entry.members, entry.dist, entry.radius, r);
+      extended = true;
+    }
+    scratch_.sorted_touched(entry.members);
+    entry.dist.resize(entry.members.size());
+    for (std::size_t i = 0; i < entry.members.size(); ++i) {
+      entry.dist[i] = scratch_.distance(entry.members[i]);
+    }
+    entry.radius = r;
+  }
+  detail::kernel_count_view(hit, extended);
+
+  // Assemble the view from the cached ball. Members are sorted ascending,
+  // so subgraph ids and the distance array come out in the same order as
+  // induced_subgraph's ascending scan in ball_view_reference.
+  BallView out;
+  out.radius = r;
+  out.sub.from_original.assign(static_cast<std::size_t>(g.num_nodes()),
+                               kInvalidNode);
+  for (std::size_t i = 0; i < entry.members.size(); ++i) {
+    if (entry.dist[i] > r) continue;
+    out.sub.from_original[static_cast<std::size_t>(entry.members[i])] =
+        static_cast<NodeId>(out.sub.to_original.size());
+    out.sub.to_original.push_back(entry.members[i]);
+    out.distance.push_back(entry.dist[i]);
+  }
+
+  // Collect ball edges by scanning member adjacencies — O(|ball| · Δ), not
+  // O(m) — then sort by original EdgeId: from_edges assigns ids in input
+  // order, and ball_view_reference feeds edges in EdgeId order.
+  edge_buf_.clear();
+  for (const NodeId u : out.sub.to_original) {
+    const auto nbrs = g.neighbors(u);
+    const auto edges = g.incident_edges(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId w = nbrs[i];
+      if (u < w && scratch_.reached(w) && scratch_.distance(w) <= r) {
+        edge_buf_.push_back(edges[i]);
+      }
+    }
+  }
+  std::sort(edge_buf_.begin(), edge_buf_.end());
+  std::vector<std::pair<NodeId, NodeId>> sub_edges;
+  sub_edges.reserve(edge_buf_.size());
+  for (const EdgeId e : edge_buf_) {
+    const auto [a, b] = g.endpoints(e);
+    // from_original is monotone on members, so the pair stays ordered.
+    sub_edges.emplace_back(out.sub.from_original[static_cast<std::size_t>(a)],
+                           out.sub.from_original[static_cast<std::size_t>(b)]);
+  }
+  out.sub.graph = Graph::from_edges(
+      static_cast<NodeId>(out.sub.to_original.size()), sub_edges);
+  out.center = out.sub.from_original[static_cast<std::size_t>(v)];
+  return out;
+}
+
 void ViewEngine::charge(NodeId v, int r) {
-  CKP_CHECK(v >= 0 && v < input_->graph->num_nodes());
+  // Single unsigned comparison covers both bounds: a negative v wraps to a
+  // value above any valid node count (see the check audit in DESIGN.md §9).
+  CKP_CHECK(static_cast<std::uint32_t>(v) <
+            static_cast<std::uint32_t>(input_->graph->num_nodes()));
   CKP_CHECK(r >= 0);
   auto& cur = per_node_[static_cast<std::size_t>(v)];
   cur = std::max(cur, r);

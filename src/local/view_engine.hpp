@@ -8,10 +8,20 @@
 // The engine reports rounds = max over nodes of the largest radius queried
 // for that node, exactly the round complexity of the corresponding
 // message-passing execution.
+//
+// Views are computed on the BFS kernel (graph/bfs_kernel.hpp) with a
+// per-node ball cache: the speedup transformation queries monotonically
+// increasing radii, so a repeat query re-seeds the cached (members,
+// distances) ball in O(|ball|) and a larger radius resumes the BFS from the
+// cached frontier instead of restarting at the center. Extraction touches
+// only ball edges (sorted by original EdgeId), so the returned BallView is
+// bit-identical to `ball_view_reference` — the Θ(n + m)-per-query seed
+// implementation kept as the differential-test oracle.
 #pragma once
 
 #include <vector>
 
+#include "graph/bfs_kernel.hpp"
 #include "graph/graph.hpp"
 #include "graph/subgraph.hpp"
 #include "local/context.hpp"
@@ -26,6 +36,11 @@ struct BallView {
   std::vector<int> distance;      // in subgraph coordinates
   int radius = 0;
 };
+
+// The radius-r view of v computed from scratch with full-graph BFS and
+// `induced_subgraph` (the seed implementation): the oracle the kernel-backed
+// ViewEngine::view is differentially tested against.
+BallView ball_view_reference(const Graph& g, NodeId v, int r);
 
 class ViewEngine {
  public:
@@ -48,9 +63,21 @@ class ViewEngine {
   int rounds() const;
 
  private:
+  // Cached ball for one node: members sorted ascending with aligned
+  // center-distances, valid out to `radius` (-1 = never queried). A larger
+  // query resumes the BFS from here; a smaller one filters by distance.
+  struct CachedBall {
+    int radius = -1;
+    std::vector<NodeId> members;
+    std::vector<int> dist;
+  };
+
   const LocalInput* input_;
   std::vector<int> per_node_;
   int global_ = 0;
+  std::vector<CachedBall> cache_;
+  BfsScratch scratch_;
+  std::vector<EdgeId> edge_buf_;  // reused per view() call
 };
 
 }  // namespace ckp

@@ -3,10 +3,28 @@
 #include <iostream>
 #include <utility>
 
+#include "graph/bfs_kernel.hpp"
 #include "util/flags.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ckp {
+
+void add_kernel_metrics(RunRecord& record, const BfsKernelCounters& before) {
+  const BfsKernelCounters now = bfs_kernel_counters();
+  const auto delta = [](std::uint64_t a, std::uint64_t b) {
+    return static_cast<double>(a - b);
+  };
+  record.metric("bfs_kernel.queries", delta(now.queries, before.queries));
+  record.metric("bfs_kernel.nodes_touched",
+                delta(now.nodes_touched, before.nodes_touched));
+  record.metric("bfs_kernel.resumes", delta(now.resumes, before.resumes));
+  record.metric("bfs_kernel.view_queries",
+                delta(now.view_queries, before.view_queries));
+  record.metric("bfs_kernel.view_cache_hits",
+                delta(now.view_cache_hits, before.view_cache_hits));
+  record.metric("bfs_kernel.view_cache_extends",
+                delta(now.view_cache_extends, before.view_cache_extends));
+}
 
 BenchReporter::BenchReporter(Flags& flags, std::string bench_name)
     : bench_name_(std::move(bench_name)),

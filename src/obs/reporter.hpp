@@ -30,6 +30,15 @@
 namespace ckp {
 
 class Flags;
+struct BfsKernelCounters;
+
+// Folds the BFS-kernel counter delta (now − before) into `record` as
+// bfs_kernel.* metrics. Only the thread-count-invariant fields are recorded
+// (queries, nodes_touched, resumes, and the view-cache trio) so --json_out
+// stays byte-stable across --threads; scratch_grows/reuses scale with how
+// many workers own a thread_local scratch and are deliberately left out.
+// See DESIGN.md §9.
+void add_kernel_metrics(RunRecord& record, const BfsKernelCounters& before);
 
 class BenchReporter {
  public:

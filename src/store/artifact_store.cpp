@@ -139,4 +139,12 @@ BipartiteProblem ArtifactStore::problem(
                                            &problem_to_bytes, cache_hit);
 }
 
+EdgeColoredGraph ArtifactStore::edge_colored_graph(
+    const std::string& key, const std::function<EdgeColoredGraph()>& make,
+    bool* cache_hit) const {
+  return load_or_compute<EdgeColoredGraph>(
+      *this, key, make, &edge_colored_graph_from_bytes,
+      &edge_colored_graph_to_bytes, cache_hit);
+}
+
 }  // namespace ckp

@@ -21,6 +21,7 @@
 
 #include "core/roundelim.hpp"
 #include "graph/graph.hpp"
+#include "graph/regular.hpp"
 
 namespace ckp {
 
@@ -53,6 +54,9 @@ class ArtifactStore {
   BipartiteProblem problem(const std::string& key,
                            const std::function<BipartiteProblem()>& make,
                            bool* cache_hit = nullptr) const;
+  EdgeColoredGraph edge_colored_graph(
+      const std::string& key, const std::function<EdgeColoredGraph()>& make,
+      bool* cache_hit = nullptr) const;
 
  private:
   std::string dir_;

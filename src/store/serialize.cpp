@@ -14,6 +14,7 @@ namespace {
 
 constexpr std::uint32_t kGraphKind = fourcc("GRPH");
 constexpr std::uint32_t kProblemKind = fourcc("PROB");
+constexpr std::uint32_t kEdgeColoredGraphKind = fourcc("ECGR");
 
 }  // namespace
 
@@ -58,6 +59,40 @@ Graph graph_from_bytes(std::string_view bytes) {
   // from_edges re-validates (no self-loops or duplicates) and rebuilds the
   // CSR exactly as the original construction did, edge ids in input order.
   return Graph::from_edges(static_cast<NodeId>(n), edges);
+}
+
+std::string edge_colored_graph_to_bytes(const EdgeColoredGraph& g) {
+  ByteWriter w;
+  w.str(graph_to_bytes(g.graph));  // nested frame, length-prefixed
+  w.u32(static_cast<std::uint32_t>(g.num_colors));
+  w.u64(g.edge_color.size());
+  for (const int c : g.edge_color) w.i32(c);
+  return frame_artifact(kEdgeColoredGraphKind, kStoreFormatVersion,
+                        w.bytes());
+}
+
+EdgeColoredGraph edge_colored_graph_from_bytes(std::string_view bytes) {
+  ByteReader r(
+      unframe_artifact(bytes, kEdgeColoredGraphKind, kStoreFormatVersion));
+  EdgeColoredGraph out;
+  out.graph = graph_from_bytes(r.str());
+  out.num_colors = static_cast<int>(r.u32());
+  const std::uint64_t m = r.u64();
+  CKP_CHECK_MSG(m == static_cast<std::uint64_t>(out.graph.num_edges()),
+                "edge-colored graph artifact: " << m << " colors for "
+                                                << out.graph.num_edges()
+                                                << " edges");
+  CKP_CHECK_MSG(r.remaining() == 4 * m,
+                "edge-colored graph artifact: " << m << " colors declared but "
+                                                << r.remaining()
+                                                << " payload bytes");
+  out.edge_color.reserve(static_cast<std::size_t>(m));
+  for (std::uint64_t e = 0; e < m; ++e) out.edge_color.push_back(r.i32());
+  r.expect_done();
+  CKP_CHECK_MSG(
+      is_proper_edge_coloring(out.graph, out.edge_color, out.num_colors),
+      "edge-colored graph artifact: coloring is not proper");
+  return out;
 }
 
 namespace {

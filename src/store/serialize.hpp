@@ -1,13 +1,14 @@
-// Versioned binary serialization for the two artifact payloads the store
-// persists: graph topologies and LCL problem descriptions.
+// Versioned binary serialization for the artifact payloads the store
+// persists: graph topologies (plain and edge-colored) and LCL problem
+// descriptions.
 //
-// Both encoders are deterministic functions of their input (Graph edge ids
+// All encoders are deterministic functions of their input (Graph edge ids
 // are emitted in id order; BipartiteProblem configurations iterate in
 // std::set order), so write → read → write is byte-identical — the property
 // checkpoint resume relies on. Decoders validate everything they read
 // (frame checksum via binary_io, then structural invariants: endpoint
-// ranges, configuration arities, sorted label indices) and throw
-// CheckFailure on any violation.
+// ranges, color ranges, configuration arities, sorted label indices) and
+// throw CheckFailure on any violation.
 #pragma once
 
 #include <string>
@@ -15,6 +16,7 @@
 
 #include "core/roundelim.hpp"
 #include "graph/graph.hpp"
+#include "graph/regular.hpp"
 
 namespace ckp {
 
@@ -25,5 +27,11 @@ Graph graph_from_bytes(std::string_view bytes);
 
 std::string problem_to_bytes(const BipartiteProblem& p);
 BipartiteProblem problem_from_bytes(std::string_view bytes);
+
+// Edge-colored graph: the graph frame embedded as a nested payload, then the
+// color count and per-edge colors. Decoding re-checks that the coloring is a
+// proper edge coloring (the contract every producer guarantees).
+std::string edge_colored_graph_to_bytes(const EdgeColoredGraph& g);
+EdgeColoredGraph edge_colored_graph_from_bytes(std::string_view bytes);
 
 }  // namespace ckp

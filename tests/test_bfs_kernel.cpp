@@ -1,0 +1,265 @@
+// Differential tests for the BFS neighborhood-query kernel
+// (graph/bfs_kernel.hpp): every kernel-backed primitive against its seed
+// `*_reference` oracle over the structural zoo plus regular / Ramanujan
+// instances, thread-count invariance of the parallel fan-outs, the
+// ViewEngine ball cache (hits, incremental extension, shrinking radii), and
+// the capped distance table against pairwise reference BFS.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/distance_sets.hpp"
+#include "graph/bfs_kernel.hpp"
+#include "graph/girth.hpp"
+#include "graph/power.hpp"
+#include "graph/ramanujan.hpp"
+#include "graph/regular.hpp"
+#include "local/context.hpp"
+#include "local/view_engine.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ckp {
+namespace {
+
+using testing::NamedGraph;
+using testing::small_graph_zoo;
+
+// Instances that exercise the kernel at less-tiny scale: random regular,
+// random bipartite regular (edge-colored), and the explicit LPS Ramanujan
+// graph X^{5,13} (n=1092, Δ=6).
+std::vector<NamedGraph> kernel_zoo() {
+  Rng rng(0xbf5);
+  std::vector<NamedGraph> zoo = small_graph_zoo();
+  zoo.push_back({"regular3_200", make_random_regular(200, 3, rng)});
+  zoo.push_back(
+      {"bipartite4_128", make_random_bipartite_regular(64, 4, rng).graph});
+  zoo.push_back({"lps_5_13", make_lps_ramanujan(5, 13).graph});
+  return zoo;
+}
+
+void expect_same_graph(const Graph& a, const Graph& b, const char* what) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes()) << what;
+  ASSERT_EQ(a.num_edges(), b.num_edges()) << what;
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    ASSERT_EQ(a.endpoints(e), b.endpoints(e)) << what << " edge " << e;
+  }
+}
+
+TEST(BfsKernel, BallAndDistancesMatchReference) {
+  for (const auto& [name, g] : kernel_zoo()) {
+    for (const int r : {0, 1, 2, 3, 7}) {
+      for (NodeId v = 0; v < g.num_nodes();
+           v += std::max(NodeId{1}, g.num_nodes() / 37)) {
+        EXPECT_EQ(ball(g, v, r), ball_reference(g, v, r))
+            << name << " v=" << v << " r=" << r;
+        EXPECT_EQ(bfs_distances(g, v, r), bfs_distances_reference(g, v, r))
+            << name << " v=" << v << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(BfsKernel, PowerGraphMatchesReferenceBitIdentically) {
+  for (const auto& [name, g] : kernel_zoo()) {
+    for (const int k : {1, 2, 3}) {
+      const Graph ref = power_graph_reference(g, k);
+      for (const int threads : {1, 2, 8}) {
+        const Graph got = power_graph(g, k, threads);
+        expect_same_graph(got, ref, name.c_str());
+      }
+    }
+  }
+}
+
+TEST(BfsKernel, GirthMatchesReferenceAtEveryThreadCount) {
+  for (const auto& [name, g] : kernel_zoo()) {
+    const int ref = girth_reference(g);
+    for (const int threads : {1, 2, 8}) {
+      EXPECT_EQ(girth(g, threads), ref) << name << " threads=" << threads;
+    }
+    for (NodeId v = 0; v < g.num_nodes();
+         v += std::max(NodeId{1}, g.num_nodes() / 23)) {
+      EXPECT_EQ(shortest_cycle_through(g, v),
+                shortest_cycle_through_reference(g, v))
+          << name << " v=" << v;
+    }
+  }
+}
+
+TEST(BfsKernel, CappedPairDistancesMatchReference) {
+  for (const auto& [name, g] : kernel_zoo()) {
+    if (g.num_nodes() > 300) continue;  // quadratic check below
+    for (const int cap : {1, 3}) {
+      const CappedDistanceTable ref_table = capped_pair_distances(g, cap, 1);
+      for (const int threads : {2, 8}) {
+        const CappedDistanceTable table = capped_pair_distances(g, cap, threads);
+        ASSERT_EQ(table.num_nodes(), ref_table.num_nodes()) << name;
+        for (NodeId u = 0; u < g.num_nodes(); ++u) {
+          const auto a = table.row(u);
+          const auto b = ref_table.row(u);
+          ASSERT_EQ(std::vector(a.begin(), a.end()),
+                    std::vector(b.begin(), b.end()))
+              << name << " u=" << u << " threads=" << threads;
+        }
+      }
+      for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        const auto dist = bfs_distances_reference(g, u, cap);
+        for (NodeId v = 0; v < g.num_nodes(); ++v) {
+          EXPECT_EQ(ref_table.distance(u, v),
+                    dist[static_cast<std::size_t>(v)])
+              << name << " u=" << u << " v=" << v;
+        }
+      }
+    }
+  }
+}
+
+void expect_same_view(const BallView& got, const BallView& want,
+                      const std::string& what) {
+  ASSERT_EQ(got.radius, want.radius) << what;
+  ASSERT_EQ(got.center, want.center) << what;
+  ASSERT_EQ(got.sub.to_original, want.sub.to_original) << what;
+  ASSERT_EQ(got.sub.from_original, want.sub.from_original) << what;
+  ASSERT_EQ(got.distance, want.distance) << what;
+  expect_same_graph(got.sub.graph, want.sub.graph, what.c_str());
+}
+
+TEST(BfsKernel, ViewEngineMatchesReferenceOnMonotoneRadii) {
+  for (const auto& [name, g] : kernel_zoo()) {
+    LocalInput in;
+    in.graph = &g;
+    ViewEngine ve(in);
+    for (const int r : {0, 1, 2, 4}) {  // ascending: exercises bfs_resume
+      for (NodeId v = 0; v < g.num_nodes();
+           v += std::max(NodeId{1}, g.num_nodes() / 19)) {
+        expect_same_view(ve.view(v, r), ball_view_reference(g, v, r),
+                         name + " v=" + std::to_string(v) +
+                             " r=" + std::to_string(r));
+      }
+    }
+  }
+}
+
+TEST(BfsKernel, ViewEngineMatchesReferenceOnShrinkingRadii) {
+  // A smaller radius after a larger one must filter the cached ball, not
+  // return the cached (larger) one.
+  for (const auto& [name, g] : kernel_zoo()) {
+    LocalInput in;
+    in.graph = &g;
+    ViewEngine ve(in);
+    for (const int r : {5, 2, 3, 0, 1}) {
+      for (NodeId v = 0; v < g.num_nodes();
+           v += std::max(NodeId{1}, g.num_nodes() / 11)) {
+        expect_same_view(ve.view(v, r), ball_view_reference(g, v, r),
+                         name + " v=" + std::to_string(v) +
+                             " r=" + std::to_string(r));
+      }
+    }
+  }
+}
+
+TEST(BfsKernel, ViewCacheCountersTrackHitsAndExtends) {
+  const Graph g = make_complete_tree(40, 3);
+  LocalInput in;
+  in.graph = &g;
+  ViewEngine ve(in);
+  const BfsKernelCounters t0 = bfs_kernel_counters();
+  ve.view(0, 2);  // cold: fresh BFS
+  const BfsKernelCounters t1 = bfs_kernel_counters();
+  EXPECT_EQ(t1.view_queries - t0.view_queries, 1u);
+  EXPECT_EQ(t1.view_cache_hits - t0.view_cache_hits, 0u);
+  EXPECT_EQ(t1.view_cache_extends - t0.view_cache_extends, 0u);
+  ve.view(0, 2);  // exact repeat: hit
+  ve.view(0, 1);  // smaller radius: hit (filtered)
+  const BfsKernelCounters t2 = bfs_kernel_counters();
+  EXPECT_EQ(t2.view_cache_hits - t1.view_cache_hits, 2u);
+  ve.view(0, 3);  // larger radius: incremental extension
+  const BfsKernelCounters t3 = bfs_kernel_counters();
+  EXPECT_EQ(t3.view_cache_extends - t2.view_cache_extends, 1u);
+  EXPECT_EQ(t3.resumes - t2.resumes, 1u);
+}
+
+TEST(BfsKernel, QueryCountersAdvance) {
+  const Graph g = make_cycle(32);
+  BfsScratch scratch;
+  scratch.bind(g.num_nodes());
+  const BfsKernelCounters t0 = bfs_kernel_counters();
+  scratch.bfs_from(g, 0, 3);
+  const BfsKernelCounters t1 = bfs_kernel_counters();
+  EXPECT_EQ(t1.queries - t0.queries, 1u);
+  EXPECT_EQ(t1.nodes_touched - t0.nodes_touched, 7u);  // ball of radius 3
+  // Re-binding to the same size is a reuse, not a grow.
+  scratch.bind(g.num_nodes());
+  scratch.bfs_from(g, 1, 1);
+  const BfsKernelCounters t2 = bfs_kernel_counters();
+  EXPECT_EQ(t2.scratch_reuses - t1.scratch_reuses, 1u);
+  EXPECT_EQ(t2.scratch_grows - t1.scratch_grows, 0u);
+}
+
+TEST(BfsKernel, ScratchStateAnswersQueries) {
+  const Graph g = make_path(10);
+  BfsScratch scratch;
+  scratch.bind(g.num_nodes());
+  scratch.bfs_from(g, 4, 2);
+  EXPECT_TRUE(scratch.reached(2));
+  EXPECT_TRUE(scratch.reached(6));
+  EXPECT_FALSE(scratch.reached(1));
+  EXPECT_FALSE(scratch.reached(8));
+  EXPECT_EQ(scratch.distance(4), 0);
+  EXPECT_EQ(scratch.distance(3), 1);
+  EXPECT_EQ(scratch.distance(6), 2);
+  EXPECT_EQ(scratch.distance(9), -1);
+  EXPECT_EQ(scratch.touched().size(), 5u);
+  std::vector<NodeId> sorted;
+  scratch.sorted_touched(sorted);
+  EXPECT_EQ(sorted, (std::vector<NodeId>{2, 3, 4, 5, 6}));
+  // The next query invalidates the last one in O(1): node 9's ball.
+  scratch.bfs_from(g, 9, 1);
+  EXPECT_FALSE(scratch.reached(4));
+  EXPECT_TRUE(scratch.reached(8));
+}
+
+TEST(BfsKernel, ResumeEqualsFreshBfs) {
+  for (const auto& [name, g] : kernel_zoo()) {
+    if (g.num_nodes() < 2) continue;
+    BfsScratch a, b;
+    a.bind(g.num_nodes());
+    b.bind(g.num_nodes());
+    const NodeId v = g.num_nodes() / 2;
+    a.bfs_from(g, v, 1);
+    std::vector<NodeId> members;
+    a.sorted_touched(members);
+    std::vector<int> dist(members.size());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      dist[i] = a.distance(members[i]);
+    }
+    a.bfs_resume(g, members, dist, 1, 3);
+    b.bfs_from(g, v, 3);
+    std::vector<NodeId> resumed, fresh;
+    a.sorted_touched(resumed);
+    b.sorted_touched(fresh);
+    ASSERT_EQ(resumed, fresh) << name;
+    for (const NodeId u : fresh) {
+      EXPECT_EQ(a.distance(u), b.distance(u)) << name << " u=" << u;
+    }
+  }
+}
+
+TEST(BfsKernel, DistanceSetCountsUnchanged) {
+  // count_distance_k_sets now runs on the capped distance table; pin a few
+  // closed-form counts (path/cycle) so the rewrite is checked against math,
+  // not against itself.
+  const Graph path = make_path(8);
+  // Pairs at distance exactly 2 on a path of 8: (0,2)..(5,7) = 6.
+  EXPECT_EQ(count_distance_k_sets(path, 2, 2), 6u);
+  const Graph cycle = make_cycle(9);
+  // On C9, distance-3 pairs: 9; triples {v, v+3, v+6}: 3.
+  EXPECT_EQ(count_distance_k_sets(cycle, 3, 2), 9u);
+  EXPECT_EQ(count_distance_k_sets(cycle, 3, 3), 3u);
+}
+
+}  // namespace
+}  // namespace ckp

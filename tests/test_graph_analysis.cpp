@@ -46,6 +46,28 @@ TEST(Girth, SampledUpperBoundConsistent) {
   EXPECT_GE(full_sample, exact);  // an upper bound, usually equal
 }
 
+TEST(Girth, SampledFindsFarAwayCycleWithoutReplacement) {
+  // A long path with a single triangle at the far end. Sampling with
+  // replacement (the old implementation) could draw the same start vertices
+  // repeatedly and miss the triangle even at samples == n; sampling without
+  // replacement plus the exact fallback at samples >= n makes detection
+  // certain, for every seed.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  const NodeId n = 30;
+  for (NodeId v = 0; v + 1 < n; ++v) edges.emplace_back(v, v + 1);
+  edges.emplace_back(n - 3, n - 1);  // closes the triangle {27, 28, 29}
+  const Graph g = Graph::from_edges(n, edges);
+  ASSERT_EQ(girth(g), 3);
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed);
+    EXPECT_EQ(girth_upper_bound_sampled(g, n, rng), 3) << seed;
+    // Even one short of n: at most one vertex goes unsampled, and the
+    // triangle has three, so some triangle vertex is always a start.
+    Rng rng2(seed);
+    EXPECT_EQ(girth_upper_bound_sampled(g, n - 1, rng2), 3) << seed;
+  }
+}
+
 TEST(ShortestCycleThrough, PathHasNone) {
   const Graph g = make_path(6);
   for (NodeId v = 0; v < 6; ++v) {

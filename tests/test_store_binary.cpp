@@ -10,6 +10,7 @@
 
 #include "core/roundelim.hpp"
 #include "graph/generators.hpp"
+#include "graph/regular.hpp"
 #include "graph/trees.hpp"
 #include "store/artifact_store.hpp"
 #include "store/binary_io.hpp"
@@ -266,6 +267,53 @@ TEST(ArtifactStore, ProblemLoadOrCompute) {
   const BipartiteProblem b = store.problem("r", make);
   EXPECT_EQ(computes, 1);
   EXPECT_TRUE(problems_identical(a, b));
+}
+
+// ---------------------------------------------------------------------------
+// Edge-colored graph serialization (bipartite regular instances).
+
+TEST(EdgeColoredGraphSerialize, RoundTripsByteIdentically) {
+  Rng rng(0xec6);
+  const EdgeColoredGraph g = make_random_bipartite_regular(16, 4, rng);
+  const std::string bytes = edge_colored_graph_to_bytes(g);
+  const EdgeColoredGraph reread = edge_colored_graph_from_bytes(bytes);
+  ASSERT_EQ(reread.graph.num_nodes(), g.graph.num_nodes());
+  ASSERT_EQ(reread.graph.num_edges(), g.graph.num_edges());
+  for (EdgeId e = 0; e < g.graph.num_edges(); ++e) {
+    EXPECT_EQ(reread.graph.endpoints(e), g.graph.endpoints(e));
+  }
+  EXPECT_EQ(reread.edge_color, g.edge_color);
+  EXPECT_EQ(reread.num_colors, g.num_colors);
+  EXPECT_EQ(edge_colored_graph_to_bytes(reread), bytes);
+}
+
+TEST(EdgeColoredGraphSerialize, RejectsImproperColoring) {
+  // A consistent frame whose coloring is not proper (both edges at node 1
+  // get color 0) must fail the structural validation on decode.
+  EdgeColoredGraph g;
+  g.graph = Graph::from_edges(3, {{0, 1}, {1, 2}});
+  g.edge_color = {0, 0};
+  g.num_colors = 1;
+  EXPECT_THROW(edge_colored_graph_from_bytes(edge_colored_graph_to_bytes(g)),
+               CheckFailure);
+}
+
+TEST(ArtifactStore, EdgeColoredGraphLoadOrCompute) {
+  ArtifactStore store(fresh_dir("store_ecgr"));
+  int computes = 0;
+  const auto make = [&] {
+    ++computes;
+    Rng rng(7);
+    return make_random_bipartite_regular(12, 3, rng);
+  };
+  bool hit = true;
+  const EdgeColoredGraph first = store.edge_colored_graph("b", make, &hit);
+  EXPECT_FALSE(hit);
+  const EdgeColoredGraph second = store.edge_colored_graph("b", make, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(edge_colored_graph_to_bytes(first),
+            edge_colored_graph_to_bytes(second));
 }
 
 }  // namespace
