@@ -11,6 +11,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <string_view>
@@ -23,8 +24,11 @@
 #include "graph/trees.hpp"
 #include "local/engine.hpp"
 #include "local/ids.hpp"
+#include "obs/metrics.hpp"
+#include "obs/resource.hpp"
 #include "obs/run_record.hpp"
 #include "obs/trials.hpp"
+#include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -197,13 +201,17 @@ class CaptureReporter : public benchmark::ConsoleReporter {
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string metrics_path;
   std::vector<char*> bargs;
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     constexpr std::string_view kJsonOut = "--json_out=";
+    constexpr std::string_view kMetricsOut = "--metrics_out=";
     constexpr std::string_view kThreads = "--threads=";
     if (arg.rfind(kJsonOut, 0) == 0) {
       json_path = std::string(arg.substr(kJsonOut.size()));
+    } else if (arg.rfind(kMetricsOut, 0) == 0) {
+      metrics_path = std::string(arg.substr(kMetricsOut.size()));
     } else if (arg.rfind(kThreads, 0) == 0) {
       // Default for runs that don't sweep threads explicitly (the
       // comparison cases pass their own count to run_local).
@@ -226,6 +234,15 @@ int main(int argc, char** argv) {
     for (const ckp::RunRecord& rec : reporter.records) out.write(rec);
     std::cout << "[obs] wrote " << out.rows_written() << " run records to "
               << json_path << "\n";
+  }
+  if (!metrics_path.empty()) {
+    ckp::MetricsRegistry metrics;
+    ckp::record_resource_metrics(metrics);
+    std::ofstream out(metrics_path, std::ios::trunc);
+    CKP_CHECK_MSG(out.good(),
+                  "cannot open metrics output file " << metrics_path);
+    out << metrics.to_json() << '\n';
+    std::cout << "[obs] wrote metrics snapshot to " << metrics_path << "\n";
   }
   return 0;
 }

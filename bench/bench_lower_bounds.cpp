@@ -14,6 +14,7 @@
 #include "core/lower_bounds.hpp"
 #include "graph/bfs_kernel.hpp"
 #include "graph/girth.hpp"
+#include "obs/progress.hpp"
 #include "obs/reporter.hpp"
 #include "obs/trials.hpp"
 #include "store/artifact_store.hpp"
@@ -40,6 +41,10 @@ int main(int argc, char** argv) {
   {
     Table t({"Δ", "side", "girth(sampled)", "measured", "1/Δ²"});
     const std::vector<int> deltas{3, 4, 6, 8};
+    // Table A dominates E7's wall time (--trials failure samples per Δ);
+    // heartbeat per finished Δ. step() is thread-safe, so calling it from
+    // the fanned-out trial bodies is fine.
+    ProgressMeter meter("E7_lower_bounds.tableA", deltas.size());
     // Each Δ samples its instance from its own derived stream (rather than
     // one shared sequential Rng), which makes the trials independent and
     // lets them fan out across the pool.
@@ -75,8 +80,10 @@ int main(int argc, char** argv) {
           rec.metric("measured_failure", measured);
           rec.metric("floor", 1.0 / (static_cast<double>(delta) * delta));
           rec.metric("girth_upper_bound", static_cast<double>(girth_bound));
+          meter.step();
           return {std::move(rec)};
         });
+    meter.finish();
     for (RunRecord& rec : trial_records) {
       t.add_row({Table::cell(rec.delta), Table::cell(std::int64_t{512}),
                  Table::cell(static_cast<int>(

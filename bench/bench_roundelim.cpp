@@ -23,6 +23,7 @@
 #include <optional>
 
 #include "core/roundelim.hpp"
+#include "obs/progress.hpp"
 #include "obs/reporter.hpp"
 #include "store/checkpoint.hpp"
 #include "util/flags.hpp"
@@ -76,6 +77,11 @@ int main(int argc, char** argv) {
   std::cout << "E9: round-elimination fixed point for sinkless orientation\n\n";
   Table t({"Δ", "form", "|Σ|", "|A|", "|P|", "RR≅canonical", "0-round",
            "opt µs", "ref µs", "speedup"});
+  // Elimination cost grows sharply with Δ, so the large-Δ tail of this loop
+  // is where --progress_every heartbeats earn their keep.
+  ProgressMeter meter("E9_roundelim.sweep",
+                      static_cast<std::uint64_t>(
+                          max_delta >= 3 ? (max_delta - 2) * 2 : 0));
   for (int delta = 3; delta <= max_delta; ++delta) {
     const auto canonical = sinkless_orientation_canonical(delta);
     for (const bool natural_form : {false, true}) {
@@ -162,8 +168,10 @@ int main(int argc, char** argv) {
                  cached ? "cached" : micros(opt_seconds),
                  have_ref ? micros(ref_seconds) : "-",
                  have_ref ? Table::cell(ref_seconds / opt_seconds, 1) : "-"});
+      meter.step();
     }
   }
+  meter.finish();
   reporter.print(t, std::cout);
   if (store_ptr != nullptr) {
     std::cout << "\n[store] " << (resume ? "resume: " : "")

@@ -19,6 +19,7 @@
 #include "graph/trees.hpp"
 #include "lcl/verify_coloring.hpp"
 #include "local/ids.hpp"
+#include "obs/progress.hpp"
 #include "obs/reporter.hpp"
 #include "obs/trials.hpp"
 #include "store/checkpoint.hpp"
@@ -52,6 +53,11 @@ int main(int argc, char** argv) {
 
   Table table({"Δ", "n", "log_Δ n", "det", "rand10", "rand11",
                "det/rand10"});
+  // One unit per (Δ, n) instance; per-seed heartbeats inside an instance
+  // come from run_trials_checkpointed when a store is configured.
+  ProgressMeter meter("E1_separation.sweep",
+                      static_cast<std::uint64_t>(
+                          3 * (max_exp >= 8 ? (max_exp - 8) / 2 + 1 : 0)));
   for (int delta : {16, 32, 64}) {
     for (int e = 8; e <= max_exp; e += 2) {
       const NodeId n = static_cast<NodeId>(1) << e;
@@ -145,8 +151,10 @@ int main(int argc, char** argv) {
                      Table::cell(det_ledger.rounds()), Table::cell(r10.mean(), 1),
                      Table::cell(r11.mean(), 1),
                      Table::cell(det_ledger.rounds() / r10.mean(), 2)});
+      meter.step();
     }
   }
+  meter.finish();
   reporter.print(table, std::cout);
   if (store_ptr != nullptr) {
     std::cout << "\n[store] " << (resume ? "resume: " : "")

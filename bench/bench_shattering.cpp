@@ -15,6 +15,7 @@
 #include "graph/generators.hpp"
 #include "graph/trees.hpp"
 #include "lcl/verify_coloring.hpp"
+#include "obs/progress.hpp"
 #include "obs/reporter.hpp"
 #include "obs/trials.hpp"
 #include "store/checkpoint.hpp"
@@ -42,6 +43,12 @@ int main(int argc, char** argv) {
 
   std::cout << "E4/Table A: Theorem 11 Phase-2 shattering (set S)\n"
             << "mean/max over " << seeds << " seeds; bound: O(log n) for Δ>=55\n\n";
+  // One unit per (Δ, n) instance across both shattering tables; per-seed
+  // heartbeats inside an instance come from run_trials_checkpointed when a
+  // store is configured.
+  const std::uint64_t exps = static_cast<std::uint64_t>(
+      max_exp >= 13 ? (max_exp - 13) / 2 + 1 : 0);
+  ProgressMeter meter("E4_shattering.sweep", (4 + 3) * exps);
   {
     Table t({"Δ", "n", "|S| mean", "maxcomp mean", "maxcomp max", "log2 n"});
     for (int delta : {16, 32, 55, 96}) {
@@ -92,6 +99,7 @@ int main(int argc, char** argv) {
                    Table::cell(set_size.mean(), 1), Table::cell(comp.mean(), 1),
                    Table::cell(comp_max.max(), 0),
                    Table::cell(ilog2(static_cast<std::uint64_t>(n)))});
+        meter.step();
       }
     }
     reporter.print(t, std::cout);
@@ -150,10 +158,12 @@ int main(int argc, char** argv) {
         t.add_row({Table::cell(delta), Table::cell(static_cast<std::int64_t>(n)),
                    Table::cell(bad.mean(), 1), Table::cell(comp.mean(), 1),
                    Table::cell(comp.max(), 0), Table::cell(bound, 0)});
+        meter.step();
       }
     }
     reporter.print(t, std::cout);
   }
+  meter.finish();
   std::cout << "\nE4/Table C: Lemma 3 — exhaustive distance-k set counts vs"
             << " the 4^t·n·Δ^{k(t-1)} bound\n\n";
   {

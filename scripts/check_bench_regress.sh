@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Benchmark regression gate: joins two BENCH_*.json JSONL files on
+# (bench, algorithm, graph_family, n, delta, threads) via tools/ckp_bench_diff
+# and fails when any joined metric slowed down beyond the threshold.
+#
+#   scripts/check_bench_regress.sh BASELINE CURRENT [BUILD_DIR]
+#   scripts/check_bench_regress.sh --selftest [BUILD_DIR]
+#
+# Environment knobs (forwarded to ckp_bench_diff):
+#   MAX_RATIO  slowdown budget per metric (default 1.25 = 25% slower fails)
+#   MIN_ABS    ignore rows whose current value is below this floor
+#              (default 0.001 — sub-millisecond rows are timer noise)
+#   METRICS    comma list of lower-is-better metrics (default wall_seconds)
+#
+# --selftest exercises the gate itself: a self-compare of the committed
+# BENCH_PR.json must exit 0, and a synthetic 10x wall-time inflation of the
+# same file must exit nonzero and name the offending records.
+set -euo pipefail
+
+SELFTEST=0
+if [[ "${1:-}" == "--selftest" ]]; then
+  SELFTEST=1
+  shift
+fi
+
+if [[ "$SELFTEST" == 1 ]]; then
+  BUILD_DIR="${1:-build}"
+else
+  BASELINE="${1:?usage: check_bench_regress.sh BASELINE CURRENT [BUILD_DIR] (or --selftest)}"
+  CURRENT="${2:?usage: check_bench_regress.sh BASELINE CURRENT [BUILD_DIR]}"
+  BUILD_DIR="${3:-build}"
+fi
+
+MAX_RATIO="${MAX_RATIO:-1.25}"
+MIN_ABS="${MIN_ABS:-0.001}"
+METRICS="${METRICS:-wall_seconds}"
+
+DIFF_BIN="$BUILD_DIR/tools/ckp_bench_diff"
+if [[ ! -x "$DIFF_BIN" ]]; then
+  cmake --build "$BUILD_DIR" -j --target ckp_bench_diff >/dev/null
+fi
+
+run_diff() {
+  "$DIFF_BIN" --baseline="$1" --current="$2" --metrics="$METRICS" \
+    --max-ratio="$MAX_RATIO" --min-abs="$MIN_ABS"
+}
+
+if [[ "$SELFTEST" == 1 ]]; then
+  REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+  BASE="$REPO_ROOT/BENCH_PR.json"
+  [[ -f "$BASE" ]] || { echo "FAIL: $BASE not found"; exit 1; }
+  WORK="$(mktemp -d)"
+  trap 'rm -rf "$WORK"' EXIT
+
+  echo "== selftest 1/2: self-compare must pass"
+  run_diff "$BASE" "$BASE" || {
+    echo "FAIL: self-compare of $BASE flagged a regression"; exit 1; }
+
+  echo "== selftest 2/2: synthetic 10x slowdown must fail and name records"
+  python3 - "$BASE" "$WORK/slow.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as src, open(sys.argv[2], "w") as dst:
+    for line in src:
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        if rec.get("wall_seconds"):
+            rec["wall_seconds"] *= 10
+        dst.write(json.dumps(rec) + "\n")
+EOF
+  OUT="$WORK/slow_report.txt"
+  if run_diff "$BASE" "$WORK/slow.json" >"$OUT" 2>&1; then
+    cat "$OUT"
+    echo "FAIL: synthetic slowdown was not flagged"; exit 1
+  fi
+  grep -q "REGRESSED" "$OUT" || {
+    cat "$OUT"; echo "FAIL: regression report names no records"; exit 1; }
+  grep -q "wall_seconds" "$OUT" || {
+    cat "$OUT"; echo "FAIL: regression report names no metric"; exit 1; }
+  echo "   flagged $(grep -c REGRESSED "$OUT") inflated records"
+  echo "check_bench_regress selftest OK"
+  exit 0
+fi
+
+run_diff "$BASELINE" "$CURRENT"
+echo "check_bench_regress OK: $CURRENT within ${MAX_RATIO}x of $BASELINE"

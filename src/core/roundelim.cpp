@@ -772,7 +772,53 @@ BipartiteProblem round_eliminate_packed(const BipartiteProblem& p,
   return out;
 }
 
+// Packs p's passive side and OR's up the label support — the shared setup
+// of both test seams below.
+std::uint64_t pack_passive_support(const BipartiteProblem& p,
+                                   PackedSet& passive) {
+  CKP_CHECK_MSG(p.num_labels() <= packedcfg::kMaxLabels &&
+                    p.active_degree <= packedcfg::kMaxSlots &&
+                    p.passive_degree <= packedcfg::kMaxSlots,
+                "roundelim_detail seams need the packed envelope");
+  pack_set(p.passive, passive);
+  std::uint64_t support = 0;
+  for (const Key key : passive.keys) {
+    support |= packedcfg::label_mask(key, p.passive_degree);
+  }
+  return support;
+}
+
 }  // namespace
+
+namespace roundelim_detail {
+
+std::size_t forall_pass_tuple_count(const BipartiteProblem& p) {
+  thread_local PackedSet passive;
+  thread_local std::vector<std::uint64_t> flat;
+  const std::uint64_t support = pack_passive_support(p, passive);
+  find_maximal_tuples(passive, p.passive_degree, support, /*threads=*/1,
+                      flat);
+  return flat.size() / static_cast<std::size_t>(p.passive_degree);
+}
+
+std::size_t exists_pass_hit_count(const BipartiteProblem& p) {
+  thread_local PackedSet passive;
+  thread_local PackedSet active;
+  thread_local std::vector<std::uint64_t> flat;
+  thread_local std::vector<std::uint64_t> used;
+  thread_local std::vector<Key> hits;
+  const std::uint64_t support = pack_passive_support(p, passive);
+  pack_set(p.active, active);
+  find_maximal_tuples(passive, p.passive_degree, support, /*threads=*/1,
+                      flat);
+  used.assign(flat.begin(), flat.end());
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+  exists_pass(active, p.active_degree, used, /*threads=*/1, hits);
+  return hits.size();
+}
+
+}  // namespace roundelim_detail
 
 BipartiteProblem round_eliminate(const BipartiteProblem& p, int max_labels,
                                  int threads) {

@@ -124,4 +124,20 @@ BipartiteProblem sinkless_orientation_canonical(int delta);
 BipartiteProblem free_problem(int active_degree, int passive_degree,
                               int labels);
 
+// Test seams into the packed kernel's inner passes. Each reruns one pass of
+// R(p) sequentially on the same thread_local scratch the kernel itself uses
+// and returns only a count, so a caller can warm the buffers with one call
+// and then certify — via AssertNoAlloc — that a repeat performs zero heap
+// allocations (the "allocation-free inner passes" claim of DESIGN.md §7).
+// `p` must fit the packed envelope (≤64 labels, degrees ≤8).
+namespace roundelim_detail {
+
+// Maximal ∀-tuple count of one elimination step == |R(p).active|.
+std::size_t forall_pass_tuple_count(const BipartiteProblem& p);
+
+// ∃-pass hit count over the surviving labels == |R(p).passive|.
+std::size_t exists_pass_hit_count(const BipartiteProblem& p);
+
+}  // namespace roundelim_detail
+
 }  // namespace ckp

@@ -275,6 +275,7 @@ EngineResult<A> run_local_impl(const LocalInput& input, A& algo,
     if constexpr (kObserved) {
       RoundStats stats;
       stats.round = result.rounds;
+      stats.max_rounds = max_rounds;
       stats.n = n;
       stats.active_nodes = static_cast<NodeId>(active_count);
       stats.halted_total = num_halted;

@@ -32,9 +32,30 @@ void MetricsObserver::on_round_end(const RoundStats& stats) {
   // Per-chunk step times expose the parallel load balance: with T threads a
   // perfectly balanced round has T near-equal entries well below the round
   // wall time.
+  double chunk_sum = 0.0;
+  double chunk_min = 0.0;
+  double chunk_max = 0.0;
+  bool first_chunk = true;
   for (const double chunk : stats.chunk_seconds) {
     registry_->histogram("engine.chunk_seconds", round_seconds_bounds())
         .add(chunk);
+    chunk_sum += chunk;
+    chunk_min = first_chunk ? chunk : (chunk < chunk_min ? chunk : chunk_min);
+    chunk_max = chunk > chunk_max ? chunk : chunk_max;
+    first_chunk = false;
+  }
+  if (!first_chunk) {
+    // The skew histogram and the utilization gauge summarize the same
+    // spread two ways: skew is the absolute max−min gap per round;
+    // utilization is the fraction of the round's thread-seconds spent in
+    // chunk bodies (1.0 = perfectly balanced, no dispatch overhead).
+    registry_->histogram("engine.chunk_skew", round_seconds_bounds())
+        .add(chunk_max - chunk_min);
+    if (stats.seconds > 0.0 && stats.threads > 0) {
+      registry_->set("engine.thread_utilization",
+                     chunk_sum / (static_cast<double>(stats.threads) *
+                                  stats.seconds));
+    }
   }
 }
 

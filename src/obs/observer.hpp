@@ -19,6 +19,7 @@ class MetricsRegistry;
 // Everything the engine knows at the end of one synchronous round.
 struct RoundStats {
   int round = 0;             // 1-based index of the round that just ran
+  int max_rounds = 0;        // the run's round budget (progress/ETA context)
   NodeId n = 0;              // nodes in the simulation
   NodeId active_nodes = 0;   // nodes that executed step() this round
   NodeId halted_total = 0;   // cumulative halted count after the round
@@ -68,10 +69,13 @@ class EngineObserver {
 // EngineObserver that folds every round into a MetricsRegistry (not owned):
 //   counters   engine.rounds, engine.steps, engine.halts, engine.state_copies
 //   gauges     engine.halted_fraction, engine.run_rounds, engine.all_halted,
-//              engine.run_seconds, engine.threads
+//              engine.run_seconds, engine.threads, engine.thread_utilization
+//              (Σ chunk time / (threads × round time) of the last round)
 //   histograms engine.active_nodes (power-of-two buckets),
-//              engine.round_seconds, engine.chunk_seconds (decade buckets
-//              1µs..10s)
+//              engine.round_seconds, engine.chunk_seconds and
+//              engine.chunk_skew — the per-round max−min chunk-time spread,
+//              i.e. the load imbalance of the static partition — (decade
+//              buckets 1µs..10s)
 class MetricsObserver : public EngineObserver {
  public:
   explicit MetricsObserver(MetricsRegistry* registry);

@@ -1,0 +1,149 @@
+#include "obs/progress.hpp"
+
+#include <atomic>
+#include <iostream>
+
+#include "obs/resource.hpp"
+#include "util/json.hpp"
+
+namespace ckp {
+
+namespace {
+
+// Interval is read from worker threads (trial completion hooks) while the
+// main thread may still be parsing flags in another bench's ctor; keep it
+// atomic so that is well-defined even if misused.
+std::atomic<double> g_progress_interval{0.0};
+
+std::ostream& resolve_sink(std::ostream* sink) {
+  return sink != nullptr ? *sink : std::cerr;
+}
+
+void write_common_tail(JsonWriter& w, double elapsed) {
+  w.key("elapsed_seconds").value(elapsed);
+  w.key("rss_bytes").value(static_cast<std::uint64_t>(current_rss_bytes()));
+}
+
+}  // namespace
+
+void set_progress_interval(double seconds) {
+  g_progress_interval.store(seconds > 0.0 ? seconds : 0.0,
+                            std::memory_order_relaxed);
+}
+
+double progress_interval() {
+  return g_progress_interval.load(std::memory_order_relaxed);
+}
+
+ProgressMeter::ProgressMeter(std::string label, std::uint64_t total,
+                             double every_seconds, std::ostream* sink)
+    : label_(std::move(label)),
+      total_(total),
+      every_(every_seconds == kGlobalInterval ? progress_interval()
+                                              : every_seconds),
+      sink_(sink) {}
+
+ProgressMeter::~ProgressMeter() {
+  try {
+    finish();
+  } catch (...) {
+    // A sink with exceptions enabled must not escape a destructor.
+  }
+}
+
+void ProgressMeter::step(std::uint64_t delta) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  done_ += delta;
+  const double now = timer_.seconds();
+  if (!emitted_any_ || now - last_emit_seconds_ >= every_) {
+    emit(done_, /*final=*/false);
+  }
+}
+
+void ProgressMeter::finish() {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_ || !emitted_any_) {
+    finished_ = true;
+    return;
+  }
+  finished_ = true;
+  emit(done_, /*final=*/true);
+}
+
+std::uint64_t ProgressMeter::position() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+void ProgressMeter::emit(std::uint64_t done, bool final) {
+  const double elapsed = timer_.seconds();
+  JsonWriter w;
+  w.begin_object();
+  w.key("progress").value(label_);
+  w.key("done").value(done);
+  if (total_ > 0) {
+    w.key("total").value(total_);
+    if (done > 0 && done < total_) {
+      w.key("eta_seconds")
+          .value(elapsed * static_cast<double>(total_ - done) /
+                 static_cast<double>(done));
+    }
+  }
+  write_common_tail(w, elapsed);
+  if (final) w.key("final").value(true);
+  w.end_object();
+  resolve_sink(sink_) << w.str() << '\n' << std::flush;
+  last_emit_seconds_ = elapsed;
+  emitted_any_ = true;
+}
+
+ProgressObserver::ProgressObserver(std::string label, double every_seconds,
+                                   std::ostream* sink, EngineObserver* next)
+    : label_(std::move(label)),
+      every_(every_seconds == kGlobalInterval ? progress_interval()
+                                              : every_seconds),
+      sink_(sink),
+      next_(next) {}
+
+void ProgressObserver::on_round_begin(int round) {
+  if (next_ != nullptr) next_->on_round_begin(round);
+}
+
+void ProgressObserver::on_round_end(const RoundStats& stats) {
+  if (next_ != nullptr) next_->on_round_end(stats);
+  if (!enabled()) return;
+  const double elapsed = timer_.seconds();
+  if (elapsed - last_emit_seconds_ < every_) return;
+  last_emit_seconds_ = elapsed;
+  JsonWriter w;
+  w.begin_object();
+  w.key("progress").value(label_);
+  w.key("round").value(stats.round);
+  if (stats.max_rounds > 0) w.key("max_rounds").value(stats.max_rounds);
+  w.key("halted_fraction").value(stats.halted_fraction());
+  write_common_tail(w, elapsed);
+  w.end_object();
+  resolve_sink(sink_) << w.str() << '\n' << std::flush;
+}
+
+void ProgressObserver::on_node_halt(NodeId v, int round) {
+  if (next_ != nullptr) next_->on_node_halt(v, round);
+}
+
+void ProgressObserver::on_run_end(const RunStats& stats) {
+  if (next_ != nullptr) next_->on_run_end(stats);
+  if (!enabled() || last_emit_seconds_ == 0.0) return;
+  JsonWriter w;
+  w.begin_object();
+  w.key("progress").value(label_);
+  w.key("round").value(stats.rounds);
+  w.key("all_halted").value(stats.all_halted);
+  write_common_tail(w, timer_.seconds());
+  w.key("final").value(true);
+  w.end_object();
+  resolve_sink(sink_) << w.str() << '\n' << std::flush;
+}
+
+}  // namespace ckp

@@ -1,9 +1,13 @@
 #include "obs/reporter.hpp"
 
+#include <fstream>
 #include <iostream>
 #include <utility>
 
 #include "graph/bfs_kernel.hpp"
+#include "obs/progress.hpp"
+#include "obs/resource.hpp"
+#include "util/check.hpp"
 #include "util/flags.hpp"
 #include "util/thread_pool.hpp"
 
@@ -31,8 +35,12 @@ BenchReporter::BenchReporter(Flags& flags, std::string bench_name)
       csv_(flags.get_bool("csv", false)),
       threads_(flags.get_threads()),
       trace_path_(flags.get_string("trace_out", "")),
+      metrics_path_(flags.get_string("metrics_out", "")),
+      provenance_enabled_(flags.get_bool("provenance", false)),
       jsonl_(flags.get_string("json_out", "")) {
   set_default_engine_threads(threads_);
+  set_progress_interval(flags.get_double("progress_every", 0.0));
+  if (provenance_enabled_) provenance_ = collect_provenance();
 }
 
 BenchReporter::~BenchReporter() { finish(); }
@@ -46,8 +54,20 @@ RunRecord BenchReporter::make_record() const {
 
 void BenchReporter::add(RunRecord record) {
   if (record.bench.empty()) record.bench = bench_name_;
+  // Stamp fresh records only: records parsed from a checkpoint keep their
+  // raw line (and therefore their original provenance, or lack of one).
+  if (provenance_enabled_ && record.provenance.empty()) {
+    record.provenance = provenance_;
+  }
   jsonl_.write(record);
   ++records_;
+  metrics_.add("bench.records");
+  if (record.wall_seconds > 0.0) {
+    metrics_
+        .histogram("bench.wall_seconds",
+                   {1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0})
+        .add(record.wall_seconds);
+  }
   if (trace_path_.empty()) return;
   if (!have_phase_trace_ && !record.trace.empty()) {
     have_phase_trace_ = true;
@@ -77,6 +97,15 @@ void BenchReporter::finish() {
   if (jsonl_.enabled() && jsonl_.rows_written() > 0) {
     std::cout << "[obs] wrote " << jsonl_.rows_written()
               << " run records to " << jsonl_.path() << '\n';
+  }
+  if (!metrics_path_.empty()) {
+    record_resource_metrics(metrics_);
+    std::ofstream out(metrics_path_, std::ios::trunc);
+    CKP_CHECK_MSG(out.good(), "cannot open metrics output file "
+                                  << metrics_path_);
+    out << metrics_.to_json() << '\n';
+    CKP_CHECK_MSG(out.good(), "metrics write failed for " << metrics_path_);
+    std::cout << "[obs] wrote metrics snapshot to " << metrics_path_ << '\n';
   }
   if (trace_path_.empty()) return;
   if (have_phase_trace_) {

@@ -14,8 +14,18 @@
 //                      per-bench plumbing: the constructor installs T as the
 //                      process default and every record carries a "threads"
 //                      metric, so BENCH_PR.json records the thread count.
+//   --metrics_out=PATH dump the reporter's MetricsRegistry (per-run wall-time
+//                      histogram plus the process resource/pool/kernel
+//                      counters from record_resource_metrics) as one JSON
+//                      document when the bench finishes
+//   --progress_every=S emit JSONL heartbeats to stderr at most every S
+//                      seconds (installs the process-wide ProgressMeter
+//                      interval; 0 = off, the default)
+//   --provenance       stamp every record with git SHA, timestamp, host and
+//                      build flags. Off by default so --json_out stays
+//                      byte-stable run-to-run.
 //
-// Construct it right after Flags (it consumes the four flags, so construct
+// Construct it right after Flags (it consumes these flags, so construct
 // before flags.check_unknown()), call add() for every measured run, print()
 // for every table, and the destructor writes the deferred outputs.
 #pragma once
@@ -23,6 +33,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "obs/run_record.hpp"
 #include "obs/trace_span.hpp"
 #include "util/table.hpp"
@@ -42,7 +53,8 @@ void add_kernel_metrics(RunRecord& record, const BfsKernelCounters& before);
 
 class BenchReporter {
  public:
-  // Consumes --csv, --json_out, --trace_out and --threads from `flags`.
+  // Consumes --csv, --json_out, --trace_out, --threads, --metrics_out,
+  // --progress_every and --provenance from `flags`.
   BenchReporter(Flags& flags, std::string bench_name);
   ~BenchReporter();
 
@@ -53,6 +65,12 @@ class BenchReporter {
   bool csv() const { return csv_; }
   bool json_enabled() const { return jsonl_.enabled(); }
   int threads() const { return threads_; }
+  bool provenance_enabled() const { return provenance_enabled_; }
+
+  // The bench-local registry --metrics_out snapshots. Benches may fold their
+  // own counters in; the reporter adds bench.records and a bench.wall_seconds
+  // histogram per add(), plus the process resource metrics at finish().
+  MetricsRegistry& metrics() { return metrics_; }
 
   // A record pre-filled with the bench name.
   RunRecord make_record() const;
@@ -75,6 +93,10 @@ class BenchReporter {
   bool csv_ = false;
   int threads_ = 1;
   std::string trace_path_;
+  std::string metrics_path_;
+  bool provenance_enabled_ = false;
+  RunProvenance provenance_;  // collected once; stamped onto every record
+  MetricsRegistry metrics_;
   JsonlWriter jsonl_;
   std::size_t records_ = 0;
 

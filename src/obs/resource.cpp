@@ -1,0 +1,265 @@
+#include "obs/resource.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <new>
+
+#include "graph/bfs_kernel.hpp"
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ckp {
+namespace {
+
+// Per-thread counters: plain integers, constant-initialized so they are
+// usable from allocations that happen before any dynamic initializer runs.
+thread_local AllocCounts tls_alloc_counts;
+
+// Process-wide totals. Relaxed is enough — these are statistics, not
+// synchronization; readers only ever see a slightly stale sum.
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_bytes{0};
+std::atomic<std::uint64_t> g_frees{0};
+
+inline void count_alloc(std::size_t size) {
+  tls_alloc_counts.allocs += 1;
+  tls_alloc_counts.bytes += size;
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+}
+
+inline void count_free() {
+  tls_alloc_counts.frees += 1;
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+}
+
+void* counted_alloc(std::size_t size) noexcept {
+  count_alloc(size);
+  // malloc(0) may return nullptr; operator new must return a unique pointer.
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) noexcept {
+  count_alloc(size);
+  if (align < alignof(void*)) align = alignof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size == 0 ? align : size) != 0) return nullptr;
+  return p;
+}
+
+// Reads one "Vm...:  <n> kB" field from /proc/self/status. stdio, not
+// iostreams, so sampling itself allocates nothing worth measuring.
+std::uint64_t proc_status_kb(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  const std::size_t field_len = std::strlen(field);
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0 && line[field_len] == ':') {
+      kb = std::strtoull(line + field_len + 1, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+AllocCounts thread_alloc_counts() { return tls_alloc_counts; }
+
+AllocCounts process_alloc_counts() {
+  AllocCounts out;
+  out.allocs = g_allocs.load(std::memory_order_relaxed);
+  out.bytes = g_bytes.load(std::memory_order_relaxed);
+  out.frees = g_frees.load(std::memory_order_relaxed);
+  return out;
+}
+
+bool alloc_counting_active() {
+  const std::uint64_t before = tls_alloc_counts.allocs;
+  volatile char* p = new char('x');
+  delete p;
+  return tls_alloc_counts.allocs == before + 1;
+}
+
+AssertNoAlloc::AssertNoAlloc(const char* label)
+    : label_(label), uncaught_on_entry_(std::uncaught_exceptions()) {
+  CKP_CHECK_MSG(alloc_counting_active(),
+                "AssertNoAlloc without interposed allocation counters — the "
+                "binary did not link obs/resource.cpp's operator new");
+  // scope_ snapshots during member init, *before* the probe above runs its
+  // counted allocation. Re-snapshot so the guard measures only the caller's
+  // scope, not the guard's own construction.
+  scope_ = AllocScope();
+}
+
+void AssertNoAlloc::check() {
+  armed_ = false;
+  const std::uint64_t n = scope_.allocations();
+  CKP_CHECK_MSG(n == 0, "AssertNoAlloc '" << label_ << "': " << n
+                                          << " allocation(s) ("
+                                          << scope_.bytes() << " bytes)");
+}
+
+AssertNoAlloc::~AssertNoAlloc() noexcept(false) {
+  if (!armed_) return;
+  armed_ = false;
+  const std::uint64_t n = scope_.allocations();
+  if (n == 0) return;
+  if (std::uncaught_exceptions() > uncaught_on_entry_) {
+    // Already unwinding: report instead of terminating via a second throw.
+    std::fprintf(stderr, "AssertNoAlloc '%s' violated during unwinding: %llu allocation(s)\n",
+                 label_, static_cast<unsigned long long>(n));
+    return;
+  }
+  CKP_CHECK_MSG(false, "AssertNoAlloc '" << label_ << "': " << n
+                                         << " allocation(s) ("
+                                         << scope_.bytes() << " bytes)");
+}
+
+std::uint64_t current_rss_bytes() { return proc_status_kb("VmRSS") * 1024; }
+std::uint64_t peak_rss_bytes() { return proc_status_kb("VmHWM") * 1024; }
+
+void record_resource_metrics(MetricsRegistry& registry) {
+  const AllocCounts a = process_alloc_counts();
+  registry.add("resource.allocs",
+               static_cast<double>(a.allocs) - registry.counter("resource.allocs"));
+  registry.add("resource.alloc_bytes",
+               static_cast<double>(a.bytes) - registry.counter("resource.alloc_bytes"));
+  registry.add("resource.frees",
+               static_cast<double>(a.frees) - registry.counter("resource.frees"));
+  registry.set("resource.live_allocs", static_cast<double>(a.allocs - a.frees));
+  registry.set("resource.rss_bytes", static_cast<double>(current_rss_bytes()));
+  registry.set("resource.peak_rss_bytes",
+               static_cast<double>(peak_rss_bytes()));
+
+  const ThreadPoolStats pool = shared_pool_stats();
+  if (pool.threads > 0) {
+    registry.add("pool.jobs",
+                 static_cast<double>(pool.jobs) - registry.counter("pool.jobs"));
+    registry.set("pool.threads", static_cast<double>(pool.threads));
+    double busy = 0.0;
+    for (const double s : pool.busy_seconds) busy += s;
+    double wait = 0.0;
+    for (const double s : pool.wait_seconds) wait += s;
+    registry.set("pool.busy_seconds", busy);
+    registry.set("pool.wait_seconds", wait);
+    if (pool.dispatch_seconds > 0.0) {
+      registry.set("pool.utilization",
+                   busy / (static_cast<double>(pool.threads) *
+                           pool.dispatch_seconds));
+    }
+  }
+
+  const BfsKernelCounters k = bfs_kernel_counters();
+  const auto set_counter = [&registry](const char* name, std::uint64_t v) {
+    registry.add(name, static_cast<double>(v) - registry.counter(name));
+  };
+  set_counter("bfs_kernel.queries", k.queries);
+  set_counter("bfs_kernel.nodes_touched", k.nodes_touched);
+  set_counter("bfs_kernel.resumes", k.resumes);
+  set_counter("bfs_kernel.scratch_grows", k.scratch_grows);
+  set_counter("bfs_kernel.scratch_reuses", k.scratch_reuses);
+  set_counter("bfs_kernel.view_queries", k.view_queries);
+  set_counter("bfs_kernel.view_cache_hits", k.view_cache_hits);
+  set_counter("bfs_kernel.view_cache_extends", k.view_cache_extends);
+}
+
+}  // namespace ckp
+
+// ---------------------------------------------------------------------------
+// Global operator new/delete interposition. Replacing the allocation
+// functions is sanctioned by [replacement.functions]; every form forwards to
+// malloc/free after bumping the counters, so ASan/TSan (which intercept
+// malloc) still see every allocation. Link-time: these definitions live in
+// the same object as the counter accessors above, so any binary using the
+// telemetry API pulls them in and routes all its allocations through here.
+// ---------------------------------------------------------------------------
+
+void* operator new(std::size_t size) {
+  void* p = ckp::counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = ckp::counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return ckp::counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return ckp::counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = ckp::counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = ckp::counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return ckp::counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return ckp::counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept {
+  if (p == nullptr) return;
+  ckp::count_free();
+  std::free(p);
+}
+
+void operator delete[](void* p) noexcept {
+  if (p == nullptr) return;
+  ckp::count_free();
+  std::free(p);
+}
+
+void operator delete(void* p, std::size_t) noexcept { operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { operator delete[](p); }
+
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  operator delete(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  operator delete[](p);
+}
+
+void operator delete(void* p, std::align_val_t) noexcept { operator delete(p); }
+void operator delete[](void* p, std::align_val_t) noexcept {
+  operator delete[](p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  operator delete(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  operator delete[](p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  operator delete(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  operator delete[](p);
+}

@@ -1,0 +1,119 @@
+// Process resource telemetry: allocation accounting, RSS sampling, and the
+// thread-pool utilization feed.
+//
+// PR 3's packed round-elimination passes and PR 5's BFS kernel both claim
+// "allocation-free after warm-up" hot paths. Until now those claims lived in
+// comments; this module makes them runtime-checkable. resource.cpp replaces
+// the global `operator new`/`operator delete` family with thin wrappers that
+// bump two sets of counters — per-thread (plain `thread_local` integers, so
+// a guard on one thread is never tripped by a pool worker allocating
+// elsewhere) and process-wide (relaxed atomics, for the metrics dump) — and
+// then forward to malloc/free. The interposition is link-time: any binary
+// that links an object from this library routes every allocation through it
+// (see DESIGN.md §10 on why this is safe under ASan/TSan and adds only two
+// counter increments per allocation).
+//
+// On top of the counters:
+//
+//   * AllocScope        — measures allocations/bytes on the current thread
+//                         between construction and inspection;
+//   * AssertNoAlloc     — RAII guard that throws CheckFailure if the scope
+//                         allocated (the runtime form of "this hot path is
+//                         allocation-free"); tests/test_obs_resource.cpp
+//                         certifies the BfsScratch query path and the packed
+//                         round-elimination inner passes with it;
+//   * current/peak RSS  — /proc/self/status sampling (VmRSS / VmHWM);
+//   * record_resource_metrics — folds everything (plus ThreadPool busy/wait
+//                         accounting and the BFS-kernel counters) into a
+//                         MetricsRegistry for the --metrics_out dump.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ckp {
+
+class MetricsRegistry;
+
+// Monotone allocation counters. `allocs`/`bytes` count operator-new calls
+// and their requested sizes; `frees` counts operator-delete calls of a
+// non-null pointer.
+struct AllocCounts {
+  std::uint64_t allocs = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t frees = 0;
+};
+
+// Counters of the calling thread only (cheapest; what the guards use).
+AllocCounts thread_alloc_counts();
+// Process-wide totals across all threads.
+AllocCounts process_alloc_counts();
+
+// True when the interposed operator new has been linked into this binary
+// (an archive member is only pulled in when referenced; every user of this
+// header references this TU, so in practice: true wherever it matters).
+// Guards CKP_CHECK this so a mis-linked binary fails loudly instead of
+// vacuously passing its no-alloc assertions.
+bool alloc_counting_active();
+
+// Measures the current thread's allocation activity since construction.
+class AllocScope {
+ public:
+  AllocScope() : start_(thread_alloc_counts()) {}
+
+  std::uint64_t allocations() const {
+    return thread_alloc_counts().allocs - start_.allocs;
+  }
+  std::uint64_t bytes() const {
+    return thread_alloc_counts().bytes - start_.bytes;
+  }
+  std::uint64_t frees() const {
+    return thread_alloc_counts().frees - start_.frees;
+  }
+
+ private:
+  AllocCounts start_;
+};
+
+// RAII assertion that a scope performs no heap allocation on the current
+// thread. The destructor throws CheckFailure (via CKP_CHECK) when the scope
+// allocated — unless it is already unwinding another exception, in which
+// case the violation is swallowed rather than terminating the process.
+// `check()` reports early and disarms the destructor, for call sites that
+// want the failure attributed to a specific line.
+class AssertNoAlloc {
+ public:
+  explicit AssertNoAlloc(const char* label);
+  ~AssertNoAlloc() noexcept(false);
+
+  AssertNoAlloc(const AssertNoAlloc&) = delete;
+  AssertNoAlloc& operator=(const AssertNoAlloc&) = delete;
+
+  // Throws CheckFailure if the scope has allocated so far; disarms the
+  // destructor either way.
+  void check();
+
+ private:
+  const char* label_;
+  AllocScope scope_;
+  int uncaught_on_entry_;
+  bool armed_ = true;
+};
+
+// Resident-set sampling from /proc/self/status. Returns 0 when the field
+// is unavailable (non-Linux or a restricted /proc).
+std::uint64_t current_rss_bytes();  // VmRSS
+std::uint64_t peak_rss_bytes();     // VmHWM
+
+// Folds the process resource state into `registry`:
+//   counters  resource.allocs, resource.alloc_bytes, resource.frees,
+//             pool.jobs, plus the bfs_kernel.* counter family
+//   gauges    resource.rss_bytes, resource.peak_rss_bytes,
+//             resource.live_allocs (allocs - frees),
+//             pool.threads, pool.busy_seconds, pool.wait_seconds,
+//             pool.utilization (busy / (threads × dispatch wall time))
+// Used by BenchReporter for the --metrics_out dump; callable anywhere a
+// registry snapshot should carry the cost side of a run.
+void record_resource_metrics(MetricsRegistry& registry);
+
+}  // namespace ckp

@@ -1,10 +1,80 @@
 #include "obs/run_record.hpp"
 
+#include <ctime>
+
+#include <unistd.h>
+
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/json.hpp"
 
 namespace ckp {
+
+namespace {
+
+// Reads one line of `path`, stripped of trailing whitespace; "" on failure.
+std::string read_first_line(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return "";
+  std::string line;
+  std::getline(in, line);
+  while (!line.empty() &&
+         (line.back() == '\n' || line.back() == '\r' || line.back() == ' ')) {
+    line.pop_back();
+  }
+  return line;
+}
+
+// Resolves .git/HEAD without shelling out to git: follow the "ref: " pointer
+// to the loose ref file, fall back to packed-refs, and accept a detached
+// HEAD (the sha itself) as-is.
+std::string resolve_git_head(const std::string& repo_root) {
+  const std::string head = read_first_line(repo_root + "/.git/HEAD");
+  if (head.empty()) return "unknown";
+  if (head.rfind("ref: ", 0) != 0) return head;  // detached HEAD
+  const std::string ref = head.substr(5);
+  const std::string loose = read_first_line(repo_root + "/.git/" + ref);
+  if (!loose.empty()) return loose;
+  std::ifstream packed(repo_root + "/.git/packed-refs");
+  std::string line;
+  while (std::getline(packed, line)) {
+    // "<40-hex-sha> <refname>"; '^' peel lines and comments never match.
+    if (line.size() > 41 && line[40] == ' ' && line.compare(41, std::string::npos, ref) == 0) {
+      return line.substr(0, 40);
+    }
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+RunProvenance collect_provenance() {
+  RunProvenance p;
+#ifdef CKP_SOURCE_DIR
+  p.git_sha = resolve_git_head(CKP_SOURCE_DIR);
+#else
+  p.git_sha = "unknown";
+#endif
+  std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  char stamp[32];
+  if (gmtime_r(&now, &utc) != nullptr &&
+      std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &utc) > 0) {
+    p.timestamp = stamp;
+  } else {
+    p.timestamp = "unknown";
+  }
+  char host[256] = {0};
+  p.host = gethostname(host, sizeof host - 1) == 0 && host[0] != '\0'
+               ? host
+               : "unknown";
+#ifdef CKP_BUILD_FLAGS
+  p.build_flags = CKP_BUILD_FLAGS;
+#else
+  p.build_flags = "unknown";
+#endif
+  return p;
+}
 
 void RunRecord::metric(const std::string& name, double value) {
   raw_json_.clear();
@@ -36,6 +106,18 @@ std::string RunRecord::to_json() const {
   w.key("rounds").value(rounds);
   if (wall_seconds != 0.0) w.key("wall_seconds").value(wall_seconds);
   w.key("verified").value(verified);
+  if (!provenance.empty()) {
+    w.key("provenance").begin_object();
+    if (!provenance.git_sha.empty()) w.key("git_sha").value(provenance.git_sha);
+    if (!provenance.timestamp.empty()) {
+      w.key("timestamp").value(provenance.timestamp);
+    }
+    if (!provenance.host.empty()) w.key("host").value(provenance.host);
+    if (!provenance.build_flags.empty()) {
+      w.key("build_flags").value(provenance.build_flags);
+    }
+    w.end_object();
+  }
   if (!trace.empty()) w.key("trace").raw(trace.to_json());
   if (!metrics_.empty()) {
     w.key("metrics").begin_object();
@@ -70,6 +152,21 @@ RunRecord RunRecord::from_json_line(const std::string& line) {
   CKP_CHECK_MSG(verified.type == JsonValue::Type::Bool,
                 "run record: 'verified' is not a boolean");
   rec.verified = verified.boolean;
+  if (const JsonValue* v = doc.find("provenance")) {
+    CKP_CHECK_MSG(v->is_object(), "run record: 'provenance' is not an object");
+    if (const JsonValue* f = v->find("git_sha")) {
+      rec.provenance.git_sha = f->as_string();
+    }
+    if (const JsonValue* f = v->find("timestamp")) {
+      rec.provenance.timestamp = f->as_string();
+    }
+    if (const JsonValue* f = v->find("host")) {
+      rec.provenance.host = f->as_string();
+    }
+    if (const JsonValue* f = v->find("build_flags")) {
+      rec.provenance.build_flags = f->as_string();
+    }
+  }
   if (const JsonValue* v = doc.find("trace")) {
     CKP_CHECK_MSG(v->is_array(), "run record: 'trace' is not an array");
     for (const JsonValue& phase : v->array) {

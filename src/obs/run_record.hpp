@@ -20,6 +20,28 @@ namespace ckp {
 
 class MetricsRegistry;
 
+// Optional origin stamp for a measured run: which commit of this repo
+// produced the number, when, on which machine, built how. Empty fields are
+// omitted from JSON; an all-empty provenance emits nothing at all, so the
+// default --json_out stream stays byte-identical unless --provenance is on.
+struct RunProvenance {
+  std::string git_sha;      // HEAD of the source tree, or "unknown"
+  std::string timestamp;    // ISO-8601 UTC, e.g. "2026-08-09T12:00:00Z"
+  std::string host;         // gethostname()
+  std::string build_flags;  // CMAKE_BUILD_TYPE + CXX flags baked at build
+
+  bool empty() const {
+    return git_sha.empty() && timestamp.empty() && host.empty() &&
+           build_flags.empty();
+  }
+};
+
+// Best-effort snapshot of the current build/process origin: resolves the
+// repo's .git/HEAD (following refs, then packed-refs) without invoking git,
+// so it works in minimal containers. Never throws; unresolvable fields come
+// back as "unknown".
+RunProvenance collect_provenance();
+
 struct RunRecord {
   std::string bench;         // experiment id, e.g. "E1_separation"
   std::string algorithm;     // e.g. "thm10", "be_tree_coloring"
@@ -31,6 +53,7 @@ struct RunRecord {
   double wall_seconds = 0.0;
   bool verified = false;     // output checked by an LCL verifier
   Trace trace;               // optional per-phase structure
+  RunProvenance provenance;  // emitted only when non-empty (--provenance)
 
   // Appends (or overwrites) a named scalar metric.
   void metric(const std::string& name, double value);

@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "obs/progress.hpp"
 #include "store/binary_io.hpp"
 #include "store/serialize.hpp"
 #include "util/check.hpp"
@@ -87,6 +88,10 @@ std::vector<RunRecord> run_trials_checkpointed(
   if (cached_out != nullptr) *cached_out = cached;
 
   if (!missing.empty()) {
+    // Heartbeat per committed trial (stderr, --progress_every). Cached
+    // trials are excluded from the total so ETA reflects remaining work.
+    ProgressMeter meter(key_prefix,
+                        static_cast<std::uint64_t>(missing.size()));
     // Commit on the worker thread the moment a trial finishes: a SIGKILL
     // mid-sweep loses at most the trials still in flight.
     std::vector<std::vector<RunRecord>> computed = run_trials_subset(
@@ -94,6 +99,7 @@ std::vector<RunRecord> run_trials_checkpointed(
         [&](int t, const std::vector<RunRecord>& records) {
           store->commit(key_prefix + ".trial" + std::to_string(t),
                         trial_records_to_bytes(records));
+          meter.step();
         });
     for (std::size_t i = 0; i < missing.size(); ++i) {
       per_trial[static_cast<std::size_t>(missing[i])] =

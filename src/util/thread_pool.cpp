@@ -23,6 +23,8 @@ bool in_parallel_worker() { return tls_in_parallel_worker; }
 
 ThreadPool::ThreadPool(int threads) : num_threads_(threads) {
   CKP_CHECK_MSG(threads >= 1, "thread pool needs at least one thread");
+  busy_seconds_.assign(static_cast<std::size_t>(threads), 0.0);
+  wait_seconds_.assign(static_cast<std::size_t>(threads), 0.0);
   workers_.reserve(static_cast<std::size_t>(threads - 1));
   for (int i = 1; i < threads; ++i) {
     workers_.emplace_back([this, i] { worker_main(i); });
@@ -49,16 +51,20 @@ std::pair<std::int64_t, std::int64_t> ThreadPool::chunk_range(
   return {lo, hi};
 }
 
-void ThreadPool::run_chunk(const ChunkFn& body, std::int64_t begin,
-                           std::int64_t end, int chunks, int index) {
+double ThreadPool::run_chunk(const ChunkFn& body, std::int64_t begin,
+                             std::int64_t end, int chunks, int index) {
   const auto [lo, hi] = chunk_range(begin, end, chunks, index);
   WorkerScope scope;
+  const auto start = std::chrono::steady_clock::now();
   try {
     body(lo, hi, index);
   } catch (...) {
     std::lock_guard<std::mutex> lock(mu_);
     if (!first_error_) first_error_ = std::current_exception();
   }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
 }
 
 void ThreadPool::worker_main(int my_index) {
@@ -67,6 +73,7 @@ void ThreadPool::worker_main(int my_index) {
     const ChunkFn* body = nullptr;
     std::int64_t begin = 0, end = 0;
     int chunks = 0;
+    double wait = 0.0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&] {
@@ -78,10 +85,20 @@ void ThreadPool::worker_main(int my_index) {
       begin = job_begin_;
       end = job_end_;
       chunks = job_chunks_;
+      wait = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           job_post_)
+                 .count();
     }
-    if (my_index < chunks) run_chunk(*body, begin, end, chunks, my_index);
+    double busy = 0.0;
+    if (my_index < chunks) {
+      busy = run_chunk(*body, begin, end, chunks, my_index);
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (my_index < chunks) {
+        busy_seconds_[static_cast<std::size_t>(my_index)] += busy;
+        wait_seconds_[static_cast<std::size_t>(my_index)] += wait;
+      }
       if (--workers_pending_ == 0) done_cv_.notify_one();
     }
   }
@@ -105,6 +122,7 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, int chunks,
     return;
   }
   std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  const auto submit_time = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_body_ = &body;
@@ -113,18 +131,36 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, int chunks,
     job_chunks_ = chunks;
     workers_pending_ = num_threads_ - 1;
     first_error_ = nullptr;
+    job_post_ = submit_time;
+    ++jobs_;
     ++job_generation_;
   }
   work_cv_.notify_all();
-  run_chunk(body, begin, end, chunks, 0);
+  const double caller_busy = run_chunk(body, begin, end, chunks, 0);
   std::exception_ptr err;
   {
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock, [&] { return workers_pending_ == 0; });
     err = first_error_;
     first_error_ = nullptr;
+    busy_seconds_[0] += caller_busy;
+    dispatch_seconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      submit_time)
+            .count();
   }
   if (err) std::rethrow_exception(err);
+}
+
+ThreadPoolStats ThreadPool::stats() {
+  ThreadPoolStats out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.threads = num_threads_;
+  out.jobs = jobs_;
+  out.dispatch_seconds = dispatch_seconds_;
+  out.busy_seconds = busy_seconds_;
+  out.wait_seconds = wait_seconds_;
+  return out;
 }
 
 namespace {
@@ -142,6 +178,15 @@ ThreadPool& shared_pool(int threads) {
     g_pool = std::make_unique<ThreadPool>(threads);
   }
   return *g_pool;
+}
+
+ThreadPoolStats shared_pool_stats() {
+  ThreadPool* pool = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    pool = g_pool.get();
+  }
+  return pool != nullptr ? pool->stats() : ThreadPoolStats{};
 }
 
 int env_thread_count() {

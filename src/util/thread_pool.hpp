@@ -16,6 +16,7 @@
 // the outermost fan-out — the right granularity — parallel.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -27,6 +28,21 @@ namespace ckp {
 
 // Chunk body: receives [chunk_begin, chunk_end) and the chunk index.
 using ChunkFn = std::function<void(std::int64_t, std::int64_t, int)>;
+
+// Cumulative utilization accounting of one pool (snapshot of counters that
+// only pooled dispatches update; the inline chunks==1 path costs nothing).
+// busy_seconds[i] is the time thread slot i (0 = the calling thread) spent
+// inside chunk bodies; wait_seconds[i] is the queue wait of worker i — job
+// posted until its chunk started (slot 0 never waits). utilization of a
+// workload is Σ busy / (threads × dispatch_seconds); the busy spread across
+// slots is the load skew of the static partition.
+struct ThreadPoolStats {
+  int threads = 0;
+  std::uint64_t jobs = 0;          // pooled parallel_for dispatches
+  double dispatch_seconds = 0.0;   // summed submit→barrier wall time
+  std::vector<double> busy_seconds;  // size == threads
+  std::vector<double> wait_seconds;  // size == threads
+};
 
 class ThreadPool {
  public:
@@ -56,10 +72,15 @@ class ThreadPool {
                                                            int chunks,
                                                            int index);
 
+  // Snapshot of the cumulative busy/wait accounting. Thread-safe; callable
+  // while a job is in flight (counters fold in at each job's barrier).
+  ThreadPoolStats stats();
+
  private:
   void worker_main(int my_index);
-  void run_chunk(const ChunkFn& body, std::int64_t begin, std::int64_t end,
-                 int chunks, int index);
+  // Returns the wall time spent inside the chunk body.
+  double run_chunk(const ChunkFn& body, std::int64_t begin, std::int64_t end,
+                   int chunks, int index);
 
   const int num_threads_;
   std::vector<std::thread> workers_;
@@ -76,6 +97,14 @@ class ThreadPool {
   std::exception_ptr first_error_;
   bool stopping_ = false;
 
+  // Utilization accounting, all guarded by mu_: workers fold their chunk's
+  // busy/wait time in under the lock they already take at the barrier.
+  std::chrono::steady_clock::time_point job_post_;
+  std::uint64_t jobs_ = 0;
+  double dispatch_seconds_ = 0.0;
+  std::vector<double> busy_seconds_;
+  std::vector<double> wait_seconds_;
+
   std::mutex submit_mu_;  // serializes concurrent top-level parallel_for calls
 };
 
@@ -88,6 +117,11 @@ bool in_parallel_worker();
 // lazily and grown (never shrunk) to satisfy the largest request. Returns a
 // pool with num_threads() >= threads.
 ThreadPool& shared_pool(int threads);
+
+// stats() of the process-wide pool, or a default-constructed snapshot
+// (threads == 0) when no shared pool has been created yet. Growing the pool
+// replaces it, so cumulative counters restart from the largest request.
+ThreadPoolStats shared_pool_stats();
 
 // CKP_THREADS environment override, or 0 when unset/invalid.
 int env_thread_count();

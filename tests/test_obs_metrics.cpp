@@ -92,6 +92,82 @@ TEST(Histogram, PowersOfTwoShape) {
   EXPECT_EQ(bounds, (std::vector<double>{1.0, 2.0, 4.0, 8.0, 16.0}));
 }
 
+// ---- Histogram serialization alignment ----
+//
+// The serialized form is read back by ckp_bench_diff and ad-hoc analysis
+// scripts, which index counts[i] against bounds[i]. These tests pin the
+// alignment contract: counts has exactly one more entry than bounds (the
+// overflow bucket), the pairing survives a write→parse round trip, and the
+// bucket totals reconcile with the summary count.
+
+TEST(Histogram, SerializedBoundsAndCountsStayAligned) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.add(0.5);
+  h.add(1.0);
+  h.add(3.0);
+  h.add(99.0);  // overflow
+
+  JsonWriter w;
+  h.write_json(w);
+  const JsonValue v = json_parse(w.str());
+  ASSERT_TRUE(v.is_object());
+  const auto& bounds = v.at("bounds").array;
+  const auto& counts = v.at("counts").array;
+  ASSERT_EQ(bounds.size(), 3u);
+  ASSERT_EQ(counts.size(), bounds.size() + 1);  // trailing overflow bucket
+
+  // Every serialized bucket pairs with the in-memory one, index for index.
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(bounds[i].as_number(), h.upper_bounds()[i]);
+  }
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const auto c = static_cast<std::uint64_t>(counts[i].as_number());
+    EXPECT_EQ(c, h.counts()[i]) << "bucket " << i;
+    total += c;
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(v.at("count").as_number()));
+  EXPECT_DOUBLE_EQ(v.at("min").as_number(), 0.5);
+  EXPECT_DOUBLE_EQ(v.at("max").as_number(), 99.0);
+}
+
+TEST(Histogram, EmptyHistogramSerializesAlignedAndWithoutSummary) {
+  Histogram h({1.0, 10.0});
+  JsonWriter w;
+  h.write_json(w);
+  const JsonValue v = json_parse(w.str());
+  ASSERT_EQ(v.at("counts").array.size(), v.at("bounds").array.size() + 1);
+  for (const JsonValue& c : v.at("counts").array) {
+    EXPECT_EQ(c.as_number(), 0.0);
+  }
+  EXPECT_EQ(v.at("count").as_number(), 0.0);
+  // min/mean/max of zero samples are meaningless; the writer must omit them
+  // rather than emit NaN-turned-null.
+  EXPECT_EQ(v.find("mean"), nullptr);
+  EXPECT_EQ(v.find("min"), nullptr);
+  EXPECT_EQ(v.find("max"), nullptr);
+}
+
+TEST(Histogram, ParsedBoundsRebuildAnIdenticallyBucketingHistogram) {
+  // Alignment across a serialize→parse→reconstruct cycle: a histogram built
+  // from the parsed bounds places boundary samples into the same buckets.
+  Histogram original(Histogram::powers_of_two(4));  // {1,2,4,8}
+  JsonWriter w;
+  original.write_json(w);
+  const JsonValue v = json_parse(w.str());
+  std::vector<double> parsed_bounds;
+  for (const JsonValue& b : v.at("bounds").array) {
+    parsed_bounds.push_back(b.as_number());
+  }
+  Histogram rebuilt(parsed_bounds);
+  const double samples[] = {0.0, 1.0, 2.0, 4.0, 8.0, 8.5};
+  for (const double s : samples) {
+    original.add(s);
+    rebuilt.add(s);
+  }
+  EXPECT_EQ(rebuilt.counts(), original.counts());
+}
+
 // ---- MetricsRegistry semantics ----
 
 TEST(MetricsRegistry, CountersAccumulateGaugesOverwrite) {

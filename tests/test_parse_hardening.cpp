@@ -89,6 +89,58 @@ TEST(JsonUnicode, EscapedStringRoundTripsThroughWriter) {
 }
 
 // ---------------------------------------------------------------------------
+// JsonWriter escaping round trips. The writer's contract: the named C
+// escapes for \n \r \t " \, \u00XX for every other control byte, and raw
+// UTF-8 passthrough for everything >= 0x20 — and whatever it emits must
+// parse back to the original bytes.
+
+TEST(JsonEscape, ControlCharsEscapeAsU00XX) {
+  const std::string raw("\x01\x08\x0c\x1f", 4);
+  const std::string escaped = json_escape(raw);
+  // \b and \f have no short form in this writer; all four become \u00XX.
+  EXPECT_EQ(escaped, "\\u0001\\u0008\\u000c\\u001f");
+  EXPECT_EQ(json_parse("\"" + escaped + "\"").as_string(), raw);
+}
+
+TEST(JsonEscape, NamedEscapesRoundTrip) {
+  const std::string raw = "line1\nline2\r\ttabbed \"quoted\" back\\slash";
+  EXPECT_EQ(json_escape(raw),
+            "line1\\nline2\\r\\ttabbed \\\"quoted\\\" back\\\\slash");
+  JsonWriter w;
+  w.value(raw);
+  EXPECT_EQ(json_parse(w.str()).as_string(), raw);
+}
+
+TEST(JsonEscape, Utf8PassesThroughUnescaped) {
+  // 2-byte (é), 3-byte (snowman), and 4-byte (astral) sequences all pass
+  // through the writer verbatim — no \uXXXX re-encoding.
+  const std::string raw = "caf\xc3\xa9 \xe2\x98\x83 \xf0\x9f\x8c\x8d";
+  const std::string escaped = json_escape(raw);
+  EXPECT_EQ(escaped, raw);
+  JsonWriter w;
+  w.value(raw);
+  EXPECT_EQ(json_parse(w.str()).as_string(), raw);
+}
+
+TEST(JsonEscape, SurrogatePairWriterParserSymmetry) {
+  // Parser decodes a surrogate pair to 4-byte UTF-8; the writer re-emits
+  // those bytes raw; parsing the writer's output returns the same string.
+  // The two encodings of U+1F600 are interchangeable through the seam.
+  const std::string from_pair = json_parse("\"\\ud83d\\ude00\"").as_string();
+  EXPECT_EQ(from_pair, "\xf0\x9f\x98\x80");
+  JsonWriter w;
+  w.value(from_pair);
+  EXPECT_EQ(w.str().find("\\u"), std::string::npos);
+  EXPECT_EQ(json_parse(w.str()).as_string(), from_pair);
+
+  // An embedded control char next to the astral char keeps both contracts.
+  const std::string mixed = from_pair + '\n' + '\x02' + from_pair;
+  JsonWriter w2;
+  w2.value(mixed);
+  EXPECT_EQ(json_parse(w2.str()).as_string(), mixed);
+}
+
+// ---------------------------------------------------------------------------
 // JSON recursion cap.
 
 TEST(JsonDepth, DeeplyNestedInputFailsCleanly) {
