@@ -25,6 +25,7 @@
 #include "local/engine.hpp"
 #include "local/ids.hpp"
 #include "obs/metrics.hpp"
+#include "obs/reporter.hpp"
 #include "obs/resource.hpp"
 #include "obs/run_record.hpp"
 #include "obs/trials.hpp"
@@ -192,9 +193,16 @@ class CaptureReporter : public benchmark::ConsoleReporter {
       for (const auto& kv : run.counters) {
         rec.metric(kv.first, static_cast<double>(kv.second));
       }
+      // Resource telemetry per record: peak RSS so far and the pool
+      // utilization of the benchmarks since the previous report batch.
+      add_resource_run_metrics(rec, pool_before_);
       records.push_back(std::move(rec));
     }
+    pool_before_ = shared_pool_stats();
   }
+
+ private:
+  ThreadPoolStats pool_before_;
 };
 
 }  // namespace

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Memory-lean scale smoke: one 10^6-node (n = 2^20) Δ-regular run of
+# bench_scale on the packed fast path, with two hard gates:
+#
+#   * --assert-budget     — the DetLOCAL flagship (greedy_color_local) must
+#                           stay within the engine-side byte budget
+#                           (CKP_BUDGET_BYTES, default 48 bytes/node);
+#   * peak-RSS ceiling    — the whole process (graph + generator + every
+#                           engine run) must finish under CKP_RSS_CEILING_MB
+#                           (default 512 MB), read back from the
+#                           --metrics_out snapshot. At 10^6 nodes a
+#                           regression to per-node pointer tables or cached
+#                           environments blows through this immediately.
+#
+# The generic-path comparison runs are skipped (--generic-max-exp=0): they
+# exist to measure the packed speedup, and their deliberately heavier
+# footprint would dominate the peak-RSS reading this script gates on.
+#
+#   scripts/check_scale.sh [BUILD_DIR]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+BIN="$BUILD_DIR/bench/bench_scale"
+if [[ ! -x "$BIN" ]]; then
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+  cmake --build "$BUILD_DIR" -j --target bench_scale
+fi
+
+EXP="${CKP_SCALE_EXP:-20}"
+D="${CKP_SCALE_D:-3}"
+THREADS="${CKP_THREADS:-$(nproc)}"
+BUDGET="${CKP_BUDGET_BYTES:-48}"
+CEILING_MB="${CKP_RSS_CEILING_MB:-512}"
+
+METRICS="$(mktemp /tmp/scale_metrics.XXXXXX.json)"
+trap 'rm -f "$METRICS"' EXIT
+
+echo "== bench_scale n=2^$EXP d=$D threads=$THREADS (budget ${BUDGET} B/node, RSS ceiling ${CEILING_MB} MB)"
+"$BIN" --min-exp="$EXP" --max-exp="$EXP" --d="$D" --seeds=1 \
+  --generic-max-exp=0 --assert-budget --budget-bytes="$BUDGET" \
+  --threads="$THREADS" --metrics_out="$METRICS"
+
+python3 - "$METRICS" "$CEILING_MB" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    snapshot = json.load(f)
+peak = snapshot["gauges"]["resource.peak_rss_bytes"]
+ceiling = float(sys.argv[2]) * 1024 * 1024
+print(f"peak RSS: {peak / 1e6:.1f} MB (ceiling {float(sys.argv[2]):.0f} MB)")
+if peak <= 0:
+    print("warning: peak RSS unavailable on this platform; skipping ceiling")
+elif peak > ceiling:
+    sys.exit(f"peak RSS {peak / 1e6:.1f} MB exceeds the ceiling")
+EOF
+
+echo "check_scale OK"

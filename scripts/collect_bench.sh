@@ -50,6 +50,7 @@ run_bench bench_sinkless --seeds=1 --max-exp=9
 run_bench bench_roundelim --ref-max-delta=6 --min-time-ms=200
 run_bench bench_balls --max-exp=11 --reps=2
 run_bench bench_mis --seeds=1 --max-exp=10
+run_bench bench_scale --min-exp=16 --max-exp=20 --exp-step=2 --d=3 --seeds=1 --assert-budget
 run_bench bench_matching --seeds=1 --max-exp=9
 run_bench bench_engine --benchmark_min_time=0.01
 run_bench bench_lll --seeds=1 --max-exp=10

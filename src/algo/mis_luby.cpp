@@ -8,70 +8,85 @@
 namespace ckp {
 namespace {
 
-enum class Status : std::uint8_t { kUndecided, kInMis, kRetired };
+// Single 64-bit word per node: [60:0] the current draw, [61] whether the
+// draw belongs to the current iteration, [63:62] status (0 = undecided,
+// 1 = in MIS, 2 = retired). One word halves the state traffic of the
+// 16-byte layout — per round the engine copies and gathers these words, so
+// width is the dominant cost at 10^7+ nodes. Draws compare at 61 bits; a
+// tie (probability 2^-61 per adjacent pair per iteration) keeps both nodes
+// out of this iteration, which is safe.
+constexpr std::uint64_t kDrawMask = (1ULL << 61) - 1;
+constexpr std::uint64_t kValidBit = 1ULL << 61;
+constexpr int kStatusShift = 62;
+constexpr std::uint64_t kInMis = 1;
+constexpr std::uint64_t kRetired = 2;
 
 struct LubyAlgo {
+  // Trivially-copyable POD state: selects the engine's packed fast path
+  // (flat state buffers, no cached environments or neighbor-pointer tables;
+  // see local/engine.hpp).
+  static constexpr bool packed_state = true;
+
   struct State {
-    Status status = Status::kUndecided;
-    std::uint64_t draw = 0;
-    bool draw_valid = false;  // whether `draw` belongs to the current iteration
+    std::uint64_t word = 0;
   };
 
   State init(const NodeEnv& env) {
-    State s;
     // First exchange happens in step(); draw now so round 1 can compare.
-    s.draw = env.random()();
-    s.draw_valid = true;
-    return s;
+    return {kValidBit | (env.random()() & kDrawMask)};
   }
 
   bool step(State& self, const NodeEnv& env,
             std::span<const State* const> nbrs) {
-    if (self.status != Status::kUndecided) return true;
-    if (self.draw_valid) {
-      // Decision sub-round: compare with neighbor draws published last round.
+    const std::uint64_t w = self.word;
+    if ((w >> kStatusShift) != 0) return true;
+    if (w & kValidBit) {
+      // Decision sub-round: compare with neighbor draws published last
+      // round. Bits [63:61] == 001 is exactly "undecided with a live draw".
+      const std::uint64_t my_draw = w & kDrawMask;
       bool local_min = true;
       for (const State* nb : nbrs) {
-        if (nb->status == Status::kUndecided && nb->draw_valid &&
-            nb->draw <= self.draw) {
-          // Ties keep both out this iteration — safe, and vanishingly rare.
+        const std::uint64_t nw = nb->word;
+        if ((nw >> 61) == 1 && (nw & kDrawMask) <= my_draw) {
           local_min = false;
           break;
         }
       }
       if (local_min) {
-        self.status = Status::kInMis;
+        self.word = kInMis << kStatusShift;
         return true;
       }
-      self.draw_valid = false;  // publish "no draw" so neighbors resync
+      self.word = my_draw;  // publish "no draw" so neighbors resync
       return false;
     }
     // Reaction sub-round: retire next to a new MIS member, else redraw.
     for (const State* nb : nbrs) {
-      if (nb->status == Status::kInMis) {
-        self.status = Status::kRetired;
+      if ((nb->word >> kStatusShift) == kInMis) {
+        self.word = kRetired << kStatusShift;
         return true;
       }
     }
-    self.draw = env.random()();
-    self.draw_valid = true;
+    self.word = kValidBit | (env.random()() & kDrawMask);
     return false;
   }
 };
 
 }  // namespace
 
-MisResult mis_luby(const LocalInput& input, int max_rounds) {
+MisResult mis_luby(const LocalInput& input, int max_rounds,
+                   const EngineOptions& options) {
   LubyAlgo algo;
-  const auto run = run_local(input, algo, max_rounds);
+  const auto run = run_local(input, algo, max_rounds, nullptr, options);
   MisResult out;
   out.rounds = run.rounds;
   out.completed = run.all_halted;
+  out.engine_bytes = run.engine_bytes;
   out.in_set.resize(run.states.size());
   for (std::size_t i = 0; i < run.states.size(); ++i) {
-    CKP_CHECK_MSG(!out.completed || run.states[i].status != Status::kUndecided,
+    const std::uint64_t status = run.states[i].word >> kStatusShift;
+    CKP_CHECK_MSG(!out.completed || status != 0,
                   "completed run left an undecided node");
-    out.in_set[i] = run.states[i].status == Status::kInMis ? 1 : 0;
+    out.in_set[i] = status == kInMis ? 1 : 0;
   }
   return out;
 }

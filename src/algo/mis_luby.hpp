@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "local/context.hpp"
+#include "local/engine.hpp"
 
 namespace ckp {
 
@@ -19,10 +20,14 @@ struct MisResult {
   std::vector<char> in_set;
   int rounds = 0;
   bool completed = true;  // false if the round cap was hit
+  std::uint64_t engine_bytes = 0;  // EngineResult::engine_bytes of the run
 };
 
 // Runs Luby's algorithm under `input` (RandLOCAL: ids may be empty).
-// `max_rounds` caps engine rounds (2 per Luby iteration).
-MisResult mis_luby(const LocalInput& input, int max_rounds = 1 << 20);
+// `max_rounds` caps engine rounds (2 per Luby iteration). `options` selects
+// threads/scheduler/engine path; results are bit-identical across all of
+// them (the state is packed, so the default is the engine's fast path).
+MisResult mis_luby(const LocalInput& input, int max_rounds = 1 << 20,
+                   const EngineOptions& options = {});
 
 }  // namespace ckp

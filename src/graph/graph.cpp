@@ -1,6 +1,7 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 #include "util/check.hpp"
@@ -64,6 +65,53 @@ Graph Graph::from_edges(NodeId n,
     }
     g.max_degree_ = std::max(g.max_degree_, static_cast<int>(hi - lo));
   }
+  return g;
+}
+
+Graph Graph::from_regular_csr(NodeId n, int d, std::vector<NodeId> adjacency,
+                              std::vector<EdgeId> incident,
+                              std::vector<std::pair<NodeId, NodeId>> endpoints) {
+  CKP_CHECK(n >= 0 && d >= 0);
+  const auto slots = static_cast<std::size_t>(n) * static_cast<std::size_t>(d);
+  CKP_CHECK_MSG((slots / 2) <= static_cast<std::size_t>(
+                                   std::numeric_limits<EdgeId>::max()),
+                "edge count overflows EdgeId");
+  const auto m = static_cast<EdgeId>(slots / 2);
+  CKP_CHECK_MSG(slots % 2 == 0, "n*d must be even");
+  CKP_CHECK(adjacency.size() == slots);
+  CKP_CHECK(incident.size() == slots);
+  CKP_CHECK(endpoints.size() == static_cast<std::size_t>(m));
+
+  // Strictly ascending rows rule out duplicate neighbors; endpoint
+  // consistency per slot plus the slot count then pins every edge to exactly
+  // one reference from each of its two endpoints.
+  for (NodeId v = 0; v < n; ++v) {
+    const std::size_t lo = static_cast<std::size_t>(v) * d;
+    for (int k = 0; k < d; ++k) {
+      const NodeId u = adjacency[lo + static_cast<std::size_t>(k)];
+      CKP_CHECK_MSG(u >= 0 && u < n && u != v,
+                    "bad neighbor " << u << " in row of node " << v);
+      CKP_CHECK_MSG(k == 0 || adjacency[lo + static_cast<std::size_t>(k) - 1] < u,
+                    "row of node " << v << " not strictly ascending");
+      const EdgeId e = incident[lo + static_cast<std::size_t>(k)];
+      CKP_CHECK_MSG(e >= 0 && e < m, "bad edge id " << e);
+      const auto [a, b] = endpoints[static_cast<std::size_t>(e)];
+      CKP_CHECK_MSG(a == std::min(v, u) && b == std::max(v, u),
+                    "edge " << e << " endpoints disagree with slot {" << v
+                            << "," << u << "}");
+    }
+  }
+
+  Graph g;
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    g.offsets_[static_cast<std::size_t>(v) + 1] =
+        static_cast<std::size_t>(v + 1) * static_cast<std::size_t>(d);
+  }
+  g.adjacency_ = std::move(adjacency);
+  g.incident_ = std::move(incident);
+  g.endpoints_ = std::move(endpoints);
+  g.max_degree_ = n > 0 ? d : 0;
   return g;
 }
 

@@ -32,6 +32,17 @@ class Graph {
   static Graph from_edges(NodeId n,
                           const std::vector<std::pair<NodeId, NodeId>>& edges);
 
+  // Adopts prebuilt CSR arrays for a d-regular graph without the edge-list
+  // round trip of from_edges (the streaming generators write adjacency in
+  // its final layout; re-expanding 10^8 nodes into a pair vector would
+  // double peak memory). Node v's row is [v*d, (v+1)*d): `adjacency` sorted
+  // strictly ascending per row, `incident` aligned with it, `endpoints`
+  // with first < second. The layout is fully validated (CheckFailure on any
+  // inconsistency); one O(n*d) pass, no auxiliary structures.
+  static Graph from_regular_csr(NodeId n, int d, std::vector<NodeId> adjacency,
+                                std::vector<EdgeId> incident,
+                                std::vector<std::pair<NodeId, NodeId>> endpoints);
+
   NodeId num_nodes() const { return static_cast<NodeId>(offsets_.size()) - 1; }
   EdgeId num_edges() const { return static_cast<EdgeId>(endpoints_.size()); }
 

@@ -1,11 +1,14 @@
 #include "graph/regular.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 #include <unordered_set>
+#include <utility>
 
 #include "graph/builder.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ckp {
 
@@ -140,6 +143,160 @@ EdgeColoredGraph make_random_bipartite_regular(NodeId side, int d, Rng& rng) {
     out.edge_color[static_cast<std::size_t>(e)] = colors[i];
   }
   CKP_CHECK(is_proper_edge_coloring(out.graph, out.edge_color, d));
+  return out;
+}
+
+namespace {
+
+// Runs `body(chunk_begin, chunk_end, chunk)` over `chunks` deterministic
+// slices of [begin, end), on the shared pool when threads > 1 (work-stealing
+// — the slices carry no RNG, so schedule and thread count cannot affect the
+// output) and inline otherwise.
+template <typename Body>
+void for_each_shard(std::int64_t begin, std::int64_t end, int chunks,
+                    int threads, const Body& body) {
+  if (threads > 1 && !in_parallel_worker()) {
+    shared_pool(threads).parallel_for_dynamic(begin, end, threads, chunks,
+                                              body);
+    return;
+  }
+  for (int c = 0; c < chunks; ++c) {
+    const auto [lo, hi] = ThreadPool::chunk_range(begin, end, chunks, c);
+    body(lo, hi, c);
+  }
+}
+
+}  // namespace
+
+EdgeColoredGraph make_random_bipartite_regular_streamed(NodeId side, int d,
+                                                        Rng& rng,
+                                                        NodeId shard_nodes,
+                                                        int threads) {
+  CKP_CHECK(side >= 1);
+  CKP_CHECK(d >= 1 && d <= side);
+  CKP_CHECK_MSG(shard_nodes >= 1, "shard_nodes must be >= 1");
+  CKP_CHECK_MSG(side <= (std::numeric_limits<NodeId>::max() - 1) / 2,
+                "2*side overflows NodeId");
+  const auto m = static_cast<std::size_t>(side) * static_cast<std::size_t>(d);
+  CKP_CHECK_MSG(m <= static_cast<std::size_t>(
+                         std::numeric_limits<EdgeId>::max()),
+                "side*d overflows EdgeId");
+  const NodeId n = 2 * side;
+  if (threads <= 0) threads = default_engine_threads();
+
+  // Final CSR storage, written in place: node v's row is [v*d, (v+1)*d) and
+  // color c of every row lives at stride-d offset c. Left rows double as the
+  // permutation arrays while a color is being generated.
+  std::vector<NodeId> adjacency(2 * m);
+  std::vector<EdgeId> incident(2 * m);
+  std::vector<std::pair<NodeId, NodeId>> endpoints(m);
+  const auto stride = static_cast<std::size_t>(d);
+  auto slot = [&](NodeId v, int c) -> NodeId& {
+    return adjacency[static_cast<std::size_t>(v) * stride +
+                     static_cast<std::size_t>(c)];
+  };
+
+  for (int c = 0; c < d; ++c) {
+    // Permutation for matching c, in the strided left-row slots. While raw
+    // it holds right indices in [0, side); finished colors hold side + r,
+    // so the two phases cannot be confused.
+    for (NodeId i = 0; i < side; ++i) slot(i, c) = i;
+    for (std::size_t i = static_cast<std::size_t>(side) - 1; i > 0; --i) {
+      const auto j = static_cast<NodeId>(rng.next_below(i + 1));
+      std::swap(slot(static_cast<NodeId>(i), c), slot(j, c));
+    }
+    // Collision repair, as in make_random_bipartite_regular but with the
+    // builder's hash probe replaced by a scan of the <= d-1 finished color
+    // slots of the row — O(d) per probe, no auxiliary memory.
+    auto taken = [&](NodeId i) {
+      const NodeId want = side + slot(i, c);
+      for (int cc = 0; cc < c; ++cc) {
+        if (slot(i, cc) == want) return true;
+      }
+      return false;
+    };
+    std::size_t guard = 0;
+    const std::size_t max_guard =
+        1000 * static_cast<std::size_t>(side) + 100000;
+    for (bool any = true; any;) {
+      any = false;
+      for (NodeId i = 0; i < side; ++i) {
+        if (!taken(i)) continue;
+        any = true;
+        CKP_CHECK_MSG(++guard < max_guard, "matching repair did not converge");
+        const auto j = static_cast<NodeId>(
+            rng.next_below(static_cast<std::uint64_t>(side)));
+        if (j == i) continue;
+        std::swap(slot(i, c), slot(j, c));
+        if (taken(i) || taken(j)) std::swap(slot(i, c), slot(j, c));
+      }
+    }
+    // Finalize the color: convert raw right indices to node ids, mirror the
+    // matching into the right-side rows, and record edge ids/endpoints
+    // (edge c*side + i joins left i with its color-c partner). Shards are
+    // independent — the permutation is a bijection, so every write lands in
+    // a distinct slot — and consume no randomness.
+    const int shards = static_cast<int>(
+        (static_cast<std::int64_t>(side) + shard_nodes - 1) / shard_nodes);
+    for_each_shard(
+        0, side, shards, threads,
+        [&](std::int64_t lo, std::int64_t hi, int) {
+          for (std::int64_t ii = lo; ii < hi; ++ii) {
+            const auto i = static_cast<NodeId>(ii);
+            const NodeId r = slot(i, c);
+            const auto e = static_cast<EdgeId>(
+                static_cast<std::size_t>(c) * static_cast<std::size_t>(side) +
+                static_cast<std::size_t>(i));
+            slot(i, c) = side + r;
+            incident[static_cast<std::size_t>(i) * stride +
+                     static_cast<std::size_t>(c)] = e;
+            slot(side + r, c) = i;
+            incident[static_cast<std::size_t>(side + r) * stride +
+                     static_cast<std::size_t>(c)] = e;
+            endpoints[static_cast<std::size_t>(e)] = {i, side + r};
+          }
+        });
+  }
+
+  // Sort every row by neighbor id (incident stays aligned). Blocked by
+  // shard_nodes rows; the per-shard scratch of d pairs is the only working
+  // memory.
+  {
+    const int shards = static_cast<int>(
+        (static_cast<std::int64_t>(n) + shard_nodes - 1) / shard_nodes);
+    for_each_shard(
+        0, n, shards, threads, [&](std::int64_t lo, std::int64_t hi, int) {
+          std::vector<std::pair<NodeId, EdgeId>> seg(stride);
+          for (std::int64_t v = lo; v < hi; ++v) {
+            const std::size_t base = static_cast<std::size_t>(v) * stride;
+            for (std::size_t k = 0; k < stride; ++k) {
+              seg[k] = {adjacency[base + k], incident[base + k]};
+            }
+            std::sort(seg.begin(), seg.end());
+            for (std::size_t k = 0; k < stride; ++k) {
+              adjacency[base + k] = seg[k].first;
+              incident[base + k] = seg[k].second;
+            }
+          }
+        });
+  }
+
+  EdgeColoredGraph out;
+  out.graph = Graph::from_regular_csr(n, d, std::move(adjacency),
+                                      std::move(incident),
+                                      std::move(endpoints));
+  out.num_colors = d;
+  // edge_color is e / side by construction; materialized color block by
+  // color block (the coloring is proper because each color is a matching —
+  // from_regular_csr has already validated the topology).
+  out.edge_color.resize(m);
+  for (int c = 0; c < d; ++c) {
+    const auto lo = static_cast<std::size_t>(c) * static_cast<std::size_t>(side);
+    std::fill(out.edge_color.begin() + static_cast<std::ptrdiff_t>(lo),
+              out.edge_color.begin() +
+                  static_cast<std::ptrdiff_t>(lo + static_cast<std::size_t>(side)),
+              c);
+  }
   return out;
 }
 

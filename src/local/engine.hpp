@@ -35,10 +35,37 @@
 // algorithms: step must not mutate shared members of the algorithm object
 // (all in-repo algorithms keep their per-node data in State and are
 // stateless as objects).
+//
+// Scheduling. By default each round dispatches one contiguous chunk per
+// thread (static partition). EngineOptions::schedule selects work-stealing
+// instead: the round splits into ~8× more chunks than threads and idle
+// workers claim the next unstarted chunk, which keeps the pool busy when the
+// active set is skewed (a few expensive chunks after shattering). The chunk
+// *boundaries* are a pure function of (active count, chunk count), per-chunk
+// results land in per-chunk slots, and the barrier merges them in ascending
+// chunk order — so the scheduler changes who computes a chunk, never what
+// any chunk computes, and results stay bit-identical across schedulers and
+// thread counts (DESIGN.md §11).
+//
+// Packed fast path. Algorithms that declare `static constexpr bool
+// packed_state = true` (their State must be trivially copyable; bit-field
+// PODs by convention) run on a memory-lean variant of the same loop: no
+// cached per-node NodeEnv array, no 2m-entry neighbor-pointer tables — the
+// environment is rebuilt in-register per step and neighbor views are
+// assembled into a per-chunk scratch row — and per-round bookkeeping
+// (active-list compaction, halt recording/merge) is branch-free. The
+// steady-state round loop of an unobserved packed run is certified
+// allocation-free on the dispatching thread with an AssertNoAlloc guard, so
+// a packed algorithm whose step allocates fails loudly. Semantics are
+// identical to the generic path (same init/step contract, same RNG streams,
+// same halt order); EngineOptions::force_generic runs a packed algorithm on
+// the generic path for differential tests.
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <numeric>
+#include <optional>
 #include <span>
 #include <type_traits>
 #include <vector>
@@ -46,6 +73,7 @@
 #include "graph/graph.hpp"
 #include "local/context.hpp"
 #include "obs/observer.hpp"
+#include "obs/resource.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -75,11 +103,32 @@ struct NodeEnv {
   }
 };
 
+// How the per-round node loop is split across the thread pool. Both
+// schedulers produce bit-identical results (see header comment); stealing
+// only helps when per-chunk costs are skewed.
+enum class EngineSchedule {
+  kStatic,        // one contiguous chunk per thread
+  kWorkStealing,  // ~8 chunks per thread, idle workers claim the next
+};
+
+struct EngineOptions {
+  int threads = 0;  // 0 = default_engine_threads(); clamped to [1, n]
+  EngineSchedule schedule = EngineSchedule::kStatic;
+  // Run the generic path even for packed algorithms (packed-vs-generic
+  // differential tests and benches; results are bit-identical either way).
+  bool force_generic = false;
+};
+
 template <typename A>
 struct EngineResult {
   std::vector<typename A::State> states;
   int rounds = 0;
   bool all_halted = false;
+  // Heap bytes the engine allocated for this run (state buffers, RNG
+  // streams, active/halt bookkeeping, cached environments...). Exact — summed
+  // from container capacities, not sampled from RSS — so benches can report
+  // engine-side bytes/node deterministically.
+  std::uint64_t engine_bytes = 0;
 };
 
 namespace detail {
@@ -90,21 +139,59 @@ namespace detail {
 // timers, no per-round bookkeeping.
 struct NullEngineObserver {};
 
+// Work-stealing granularity: chunks per participating thread. More chunks
+// bound the tail latency of a skewed round by 1/kStealChunksPerThread of the
+// worst thread's work at the cost of proportionally more dispatch overhead.
+inline constexpr int kStealChunksPerThread = 8;
+
+// True for algorithms that opt into the packed fast path by declaring
+// `static constexpr bool packed_state = true`.
+template <typename A, typename = void>
+struct DeclaresPackedState : std::false_type {};
+template <typename A>
+struct DeclaresPackedState<A, std::void_t<decltype(A::packed_state)>>
+    : std::bool_constant<static_cast<bool>(A::packed_state)> {};
+
+template <typename A>
+inline constexpr bool is_packed_algorithm_v = DeclaresPackedState<A>::value;
+
+// Chunk count of one round: the static schedule always uses one chunk per
+// thread; stealing targets kStealChunksPerThread × threads but never more
+// chunks than active nodes. Depends only on deterministic inputs.
+inline int round_chunk_count(std::int64_t active_count, int threads,
+                             bool stealing) {
+  if (!stealing) return threads;
+  const auto target =
+      static_cast<std::int64_t>(threads) * kStealChunksPerThread;
+  return static_cast<int>(std::clamp<std::int64_t>(active_count, 1, target));
+}
+
+// Capacity footprint of a vector, for EngineResult::engine_bytes.
+template <typename T>
+std::uint64_t vec_bytes(const std::vector<T>& v) {
+  return static_cast<std::uint64_t>(v.capacity()) * sizeof(T);
+}
+
 template <typename A, typename Obs>
 EngineResult<A> run_local_impl(const LocalInput& input, A& algo,
-                               int max_rounds, Obs* obs, int threads) {
+                               int max_rounds, Obs* obs,
+                               const EngineOptions& opts) {
   using State = typename A::State;
   constexpr bool kObserved = !std::is_same_v<Obs, NullEngineObserver>;
   input.validate();
   const Graph& g = *input.graph;
   const NodeId n = g.num_nodes();
 
-  if (threads <= 0) threads = default_engine_threads();
+  int threads = opts.threads > 0 ? opts.threads : default_engine_threads();
   // No nested parallelism: inside a trial fan-out (or any parallel_for
   // body) the engine degrades to sequential; the outer fan-out keeps the
   // hardware busy at the better granularity.
   if (in_parallel_worker()) threads = 1;
   threads = std::clamp<int>(threads, 1, std::max<NodeId>(n, 1));
+  const bool stealing =
+      opts.schedule == EngineSchedule::kWorkStealing && threads > 1;
+  const int max_chunks =
+      stealing ? threads * kStealChunksPerThread : threads;
 
   // Per-node private randomness. RandLOCAL is defined by the *absence* of
   // IDs; the seed value is irrelevant to the mode, so a DetLOCAL input with
@@ -199,7 +286,7 @@ EngineResult<A> run_local_impl(const LocalInput& input, A& algo,
   // their final state forever.
   std::vector<NodeId> fresh_halts;
   std::vector<std::vector<NodeId>> chunk_halts(
-      static_cast<std::size_t>(threads));
+      static_cast<std::size_t>(max_chunks));
   [[maybe_unused]] std::vector<double> chunk_seconds;
 
   ThreadPool* pool = threads > 1 ? &shared_pool(threads) : nullptr;
@@ -209,9 +296,12 @@ EngineResult<A> run_local_impl(const LocalInput& input, A& algo,
     [[maybe_unused]] Timer round_timer;
     [[maybe_unused]] std::uint64_t copies_this_round = 0;
     const auto active_count = static_cast<std::int64_t>(active.size());
+    const int chunks =
+        pool == nullptr ? 1 : round_chunk_count(active_count, threads,
+                                                stealing);
     if constexpr (kObserved) {
       obs->on_round_begin(result.rounds + 1);
-      chunk_seconds.assign(static_cast<std::size_t>(threads), 0.0);
+      chunk_seconds.assign(static_cast<std::size_t>(chunks), 0.0);
       copies_this_round =
           static_cast<std::uint64_t>(active_count) + fresh_halts.size();
     }
@@ -243,16 +333,19 @@ EngineResult<A> run_local_impl(const LocalInput& input, A& algo,
         chunk_seconds[static_cast<std::size_t>(chunk)] = chunk_timer.seconds();
       }
     };
-    if (pool != nullptr) {
-      pool->parallel_for(0, active_count, threads, step_chunk);
-    } else {
+    if (pool == nullptr) {
       step_chunk(0, active_count, 0);
+    } else if (stealing) {
+      pool->parallel_for_dynamic(0, active_count, threads, chunks, step_chunk);
+    } else {
+      pool->parallel_for(0, active_count, chunks, step_chunk);
     }
 
     // Round barrier: merge per-chunk halt lists in chunk order, which is
     // ascending node order (chunks are contiguous slices of the sorted
     // active list) — the same order the sequential engine reports.
-    for (std::vector<NodeId>& halts : chunk_halts) {
+    for (int c = 0; c < chunks; ++c) {
+      std::vector<NodeId>& halts = chunk_halts[static_cast<std::size_t>(c)];
       for (NodeId v : halts) {
         halted[static_cast<std::size_t>(v)] = 1;
         ++num_halted;
@@ -286,7 +379,254 @@ EngineResult<A> run_local_impl(const LocalInput& input, A& algo,
       obs->on_round_end(stats);
     }
   }
+  result.engine_bytes = vec_bytes(buf_a) + vec_bytes(buf_b) +
+                        vec_bytes(rngs) + vec_bytes(envs) +
+                        vec_bytes(offsets) + vec_bytes(nbrs_a) +
+                        vec_bytes(nbrs_b) + vec_bytes(halted) +
+                        vec_bytes(active) + vec_bytes(fresh_halts) +
+                        vec_bytes(chunk_halts);
+  for (const std::vector<int>& labels : edge_labels) {
+    result.engine_bytes += vec_bytes(labels);
+  }
+  for (const std::vector<NodeId>& halts : chunk_halts) {
+    result.engine_bytes += vec_bytes(halts);
+  }
   result.states = std::move(*cur);
+  result.all_halted = (num_halted == n);
+  if constexpr (kObserved) {
+    RunStats stats;
+    stats.rounds = result.rounds;
+    stats.all_halted = result.all_halted;
+    stats.n = n;
+    stats.seconds = run_timer.seconds();
+    stats.threads = threads;
+    obs->on_run_end(stats);
+  }
+  return result;
+}
+
+// The packed fast path (see header comment). Same observable semantics as
+// run_local_impl; the differences are purely in storage and bookkeeping:
+//
+//   * no cached NodeEnv array (~80 B/node) — the environment is a handful of
+//     loads rebuilt per step;
+//   * no per-buffer neighbor-pointer tables (16 B per adjacency slot) —
+//     neighbor views are assembled into a per-chunk scratch row of at most
+//     Δ pointers, which stays L1-resident;
+//   * halts are recorded branch-free into a slab indexed by active-list
+//     position (chunk c owns slab[chunk_begin..), so regions are disjoint
+//     and the chunk-order merge reads them back in ascending node order);
+//   * active-list compaction is a branch-free stream compaction;
+//   * a halted node's stale entry in the other buffer is refreshed at merge
+//     time, eliminating the fresh_halts list.
+//
+// When unobserved, the whole round loop runs under AssertNoAlloc on the
+// dispatching thread: the engine's own steady state allocates nothing, and a
+// packed algorithm whose step allocates fails loudly (worker-thread
+// allocations are certified separately by the threads=1 tests, where the
+// dispatching thread runs every chunk).
+template <typename A, typename Obs>
+EngineResult<A> run_local_packed_impl(const LocalInput& input, A& algo,
+                                      int max_rounds, Obs* obs,
+                                      const EngineOptions& opts) {
+  using State = typename A::State;
+  static_assert(std::is_trivially_copyable_v<State>,
+                "packed_state algorithms need a trivially copyable State");
+  constexpr bool kObserved = !std::is_same_v<Obs, NullEngineObserver>;
+  input.validate();
+  const Graph& g = *input.graph;
+  const NodeId n = g.num_nodes();
+
+  int threads = opts.threads > 0 ? opts.threads : default_engine_threads();
+  if (in_parallel_worker()) threads = 1;
+  threads = std::clamp<int>(threads, 1, std::max<NodeId>(n, 1));
+  const bool stealing =
+      opts.schedule == EngineSchedule::kWorkStealing && threads > 1;
+  const int max_chunks =
+      stealing ? threads * kStealChunksPerThread : threads;
+
+  std::vector<Rng> rngs;
+  const bool randomized = !input.has_ids();
+  if (randomized) {
+    rngs.reserve(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) {
+      rngs.push_back(node_rng(input.seed, static_cast<std::uint64_t>(v)));
+    }
+  }
+
+  // Incident edge labels flattened onto the graph's adjacency slots: the
+  // label of port k of node v lives at the same index as adjacency entry k
+  // of v, so a node's port-aligned label span is recovered from the offset
+  // of its neighbor span — no per-node offset table.
+  std::vector<int> labels_flat;
+  if (!input.edge_labels.empty()) {
+    labels_flat.resize(2 * static_cast<std::size_t>(g.num_edges()));
+    std::size_t k = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      for (EdgeId e : g.incident_edges(v)) {
+        labels_flat[k++] = input.edge_labels[static_cast<std::size_t>(e)];
+      }
+    }
+  }
+  const NodeId* adj_base = n > 0 ? g.neighbors(0).data() : nullptr;
+
+  const std::uint64_t declared_n = input.effective_n();
+  const int declared_delta = input.effective_delta();
+  const bool has_ids = input.has_ids();
+  auto env_of = [&](NodeId v, std::span<const NodeId> nbrs) {
+    NodeEnv env;
+    env.index = v;
+    env.degree = static_cast<int>(nbrs.size());
+    env.declared_n = declared_n;
+    env.declared_delta = declared_delta;
+    env.id = has_ids ? input.id_of(v) : kNoId;
+    env.rng = randomized ? &rngs[static_cast<std::size_t>(v)] : nullptr;
+    if (!labels_flat.empty()) {
+      env.incident_edge_labels = std::span<const int>(
+          labels_flat.data() + (nbrs.data() - adj_base), nbrs.size());
+    }
+    return env;
+  };
+
+  [[maybe_unused]] Timer run_timer;
+  EngineResult<A> result;
+
+  std::vector<State> buf_a;
+  buf_a.reserve(static_cast<std::size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    buf_a.push_back(algo.init(env_of(v, g.neighbors(v))));
+  }
+  std::vector<State> buf_b(buf_a);
+  State* cur = buf_a.data();  // latest completed round
+  State* nxt = buf_b.data();  // scratch being written this round
+
+  std::vector<char> halted(static_cast<std::size_t>(n), 0);
+  std::vector<NodeId> active(static_cast<std::size_t>(n));
+  std::iota(active.begin(), active.end(), NodeId{0});
+  // Branch-free halt recording: chunk c writes its halts at slab positions
+  // [chunk_begin, chunk_begin + halt_counts[c]). Regions are disjoint by
+  // construction and ordered like the chunks themselves.
+  std::vector<NodeId> halt_slab(static_cast<std::size_t>(n));
+  std::vector<std::int32_t> halt_counts(static_cast<std::size_t>(max_chunks),
+                                        0);
+  const int max_deg = std::max(g.max_degree(), 1);
+  std::vector<const State*> nbr_scratch(
+      static_cast<std::size_t>(max_chunks) * static_cast<std::size_t>(max_deg));
+  [[maybe_unused]] std::vector<double> chunk_seconds;
+
+  ThreadPool* pool = threads > 1 ? &shared_pool(threads) : nullptr;
+
+  result.engine_bytes = vec_bytes(buf_a) + vec_bytes(buf_b) +
+                        vec_bytes(rngs) + vec_bytes(labels_flat) +
+                        vec_bytes(halted) + vec_bytes(active) +
+                        vec_bytes(halt_slab) + vec_bytes(halt_counts) +
+                        vec_bytes(nbr_scratch);
+
+  NodeId num_halted = 0;
+  std::int64_t active_count = n;
+  std::optional<AssertNoAlloc> no_alloc;
+  if constexpr (!kObserved) {
+    // Opportunistic certificate: engage only when the interposed counters
+    // are live. Under TSan (whose runtime owns operator new) or in a binary
+    // that never linked obs/resource.cpp the counters sit idle and the
+    // guard would fail spuriously; the loud mis-link detection stays with
+    // the dedicated certificates in test_obs_resource / test_engine_packed.
+    if (alloc_counting_active()) no_alloc.emplace("packed engine round loop");
+  }
+  while (num_halted < n && result.rounds < max_rounds) {
+    [[maybe_unused]] Timer round_timer;
+    const std::int64_t stepped = active_count;
+    const int chunks =
+        pool == nullptr ? 1 : round_chunk_count(stepped, threads, stealing);
+    if constexpr (kObserved) {
+      obs->on_round_begin(result.rounds + 1);
+      chunk_seconds.assign(static_cast<std::size_t>(chunks), 0.0);
+    }
+    for (int c = 0; c < chunks; ++c) halt_counts[static_cast<std::size_t>(c)] = 0;
+
+    auto step_chunk = [&](std::int64_t chunk_begin, std::int64_t chunk_end,
+                          int chunk) {
+      [[maybe_unused]] Timer chunk_timer;
+      const State** row = nbr_scratch.data() +
+                          static_cast<std::size_t>(chunk) *
+                              static_cast<std::size_t>(max_deg);
+      NodeId* slab = halt_slab.data() + chunk_begin;
+      std::int32_t halts = 0;
+      for (std::int64_t i = chunk_begin; i < chunk_end; ++i) {
+        const NodeId v = active[static_cast<std::size_t>(i)];
+        const std::span<const NodeId> nbrs = g.neighbors(v);
+        const std::size_t deg = nbrs.size();
+        for (std::size_t k = 0; k < deg; ++k) row[k] = cur + nbrs[k];
+        State& mine = nxt[v];
+        mine = cur[v];
+        const NodeEnv env = env_of(v, nbrs);
+        const bool done =
+            algo.step(mine, env, std::span<const State* const>(row, deg));
+        // Unconditional store + conditional cursor advance: no branch.
+        slab[halts] = v;
+        halts += static_cast<std::int32_t>(done);
+      }
+      halt_counts[static_cast<std::size_t>(chunk)] = halts;
+      if constexpr (kObserved) {
+        chunk_seconds[static_cast<std::size_t>(chunk)] = chunk_timer.seconds();
+      }
+    };
+    if (pool == nullptr) {
+      step_chunk(0, stepped, 0);
+    } else if (stealing) {
+      pool->parallel_for_dynamic(0, stepped, threads, chunks, step_chunk);
+    } else {
+      pool->parallel_for(0, stepped, chunks, step_chunk);
+    }
+
+    // Round barrier: walk the slab regions in ascending chunk order (=
+    // ascending node order). A halted node's entry in the buffer about to
+    // become scratch is refreshed here, so both buffers hold its final
+    // state forever — no separate fresh-halts pass next round.
+    std::int64_t halts_this_round = 0;
+    for (int c = 0; c < chunks; ++c) {
+      const auto [lo, hi] = ThreadPool::chunk_range(0, stepped, chunks, c);
+      const std::int32_t cnt = halt_counts[static_cast<std::size_t>(c)];
+      for (std::int32_t k = 0; k < cnt; ++k) {
+        const NodeId v = halt_slab[static_cast<std::size_t>(lo + k)];
+        halted[static_cast<std::size_t>(v)] = 1;
+        cur[v] = nxt[v];
+        if constexpr (kObserved) obs->on_node_halt(v, result.rounds + 1);
+      }
+      halts_this_round += cnt;
+    }
+    num_halted += static_cast<NodeId>(halts_this_round);
+
+    if (halts_this_round > 0) {
+      // Branch-free stream compaction of the active list.
+      std::int64_t out = 0;
+      for (std::int64_t i = 0; i < stepped; ++i) {
+        const NodeId v = active[static_cast<std::size_t>(i)];
+        active[static_cast<std::size_t>(out)] = v;
+        out += static_cast<std::int64_t>(halted[static_cast<std::size_t>(v)] ==
+                                         0);
+      }
+      active_count = out;
+    }
+    std::swap(cur, nxt);
+    ++result.rounds;
+    if constexpr (kObserved) {
+      RoundStats stats;
+      stats.round = result.rounds;
+      stats.max_rounds = max_rounds;
+      stats.n = n;
+      stats.active_nodes = static_cast<NodeId>(stepped);
+      stats.halted_total = num_halted;
+      stats.state_copies = static_cast<std::uint64_t>(stepped) +
+                           static_cast<std::uint64_t>(halts_this_round);
+      stats.seconds = round_timer.seconds();
+      stats.threads = threads;
+      stats.chunk_seconds = chunk_seconds;
+      obs->on_round_end(stats);
+    }
+  }
+  if (no_alloc) no_alloc->check();
+  result.states = std::move(cur == buf_a.data() ? buf_a : buf_b);
   result.all_halted = (num_halted == n);
   if constexpr (kObserved) {
     RunStats stats;
@@ -302,12 +642,36 @@ EngineResult<A> run_local_impl(const LocalInput& input, A& algo,
 
 }  // namespace detail
 
+// Full-control overload: scheduling, thread count, and the packed/generic
+// path selection all live in `options`. Packed algorithms (see header
+// comment) take the packed fast path unless options.force_generic; results
+// are bit-identical across paths, thread counts, and schedulers.
+template <typename A>
+EngineResult<A> run_local(const LocalInput& input, A& algo, int max_rounds,
+                          EngineObserver* observer,
+                          const EngineOptions& options) {
+  if constexpr (detail::is_packed_algorithm_v<A>) {
+    if (!options.force_generic) {
+      if (observer == nullptr) {
+        return detail::run_local_packed_impl<A, detail::NullEngineObserver>(
+            input, algo, max_rounds, nullptr, options);
+      }
+      return detail::run_local_packed_impl(input, algo, max_rounds, observer,
+                                           options);
+    }
+  }
+  if (observer == nullptr) {
+    return detail::run_local_impl<A, detail::NullEngineObserver>(
+        input, algo, max_rounds, nullptr, options);
+  }
+  return detail::run_local_impl(input, algo, max_rounds, observer, options);
+}
+
 // Runs `algo` on `input` for at most `max_rounds` synchronous rounds, using
 // default_engine_threads() (1 unless --threads / CKP_THREADS raised it).
 template <typename A>
 EngineResult<A> run_local(const LocalInput& input, A& algo, int max_rounds) {
-  return detail::run_local_impl<A, detail::NullEngineObserver>(
-      input, algo, max_rounds, nullptr, 0);
+  return run_local(input, algo, max_rounds, nullptr, EngineOptions{});
 }
 
 // Observed overload: reports per-round progress through `observer`. Passing
@@ -316,20 +680,18 @@ EngineResult<A> run_local(const LocalInput& input, A& algo, int max_rounds) {
 template <typename A>
 EngineResult<A> run_local(const LocalInput& input, A& algo, int max_rounds,
                           EngineObserver* observer) {
-  return run_local(input, algo, max_rounds, observer, 0);
+  return run_local(input, algo, max_rounds, observer, EngineOptions{});
 }
 
-// Full-control overload: `threads` > 0 forces the chunk count of the
+// Thread-count overload: `threads` > 0 forces the parallelism of the
 // per-round node loop (clamped to n); 0 uses default_engine_threads().
 // Results are bit-identical across all thread counts.
 template <typename A>
 EngineResult<A> run_local(const LocalInput& input, A& algo, int max_rounds,
                           EngineObserver* observer, int threads) {
-  if (observer == nullptr) {
-    return detail::run_local_impl<A, detail::NullEngineObserver>(
-        input, algo, max_rounds, nullptr, threads);
-  }
-  return detail::run_local_impl(input, algo, max_rounds, observer, threads);
+  EngineOptions options;
+  options.threads = threads;
+  return run_local(input, algo, max_rounds, observer, options);
 }
 
 }  // namespace ckp

@@ -30,6 +30,20 @@ void add_kernel_metrics(RunRecord& record, const BfsKernelCounters& before) {
                 delta(now.view_cache_extends, before.view_cache_extends));
 }
 
+void add_resource_run_metrics(RunRecord& record, const ThreadPoolStats& since) {
+  record.metric("peak_rss_bytes", static_cast<double>(peak_rss_bytes()));
+  const ThreadPoolStats now = shared_pool_stats();
+  double busy = 0.0;
+  for (const double s : now.busy_seconds) busy += s;
+  for (const double s : since.busy_seconds) busy -= s;
+  const double window = now.dispatch_seconds - since.dispatch_seconds;
+  double utilization = 0.0;
+  if (now.threads > 0 && window > 0.0) {
+    utilization = busy / (static_cast<double>(now.threads) * window);
+  }
+  record.metric("pool_utilization", utilization);
+}
+
 BenchReporter::BenchReporter(Flags& flags, std::string bench_name)
     : bench_name_(std::move(bench_name)),
       csv_(flags.get_bool("csv", false)),

@@ -37,6 +37,7 @@
 #include "obs/run_record.hpp"
 #include "obs/trace_span.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ckp {
 
@@ -50,6 +51,18 @@ struct BfsKernelCounters;
 // many workers own a thread_local scratch and are deliberately left out.
 // See DESIGN.md §9.
 void add_kernel_metrics(RunRecord& record, const BfsKernelCounters& before);
+
+// Folds process resource telemetry into `record`: metric "peak_rss_bytes"
+// (VmHWM — the cost side of the memory-lean engine path) and
+// "pool_utilization" (Σ busy / (threads × dispatch wall) over the pooled
+// dispatches since `since`; 0 when the window dispatched nothing). Pass a
+// default-constructed snapshot for process-lifetime utilization, or
+// shared_pool_stats() taken before a run to attribute the window to it.
+// These values are machine- and run-dependent by nature, unlike the other
+// record fields — the bench-diff gate only scores wall_seconds, so they
+// ride along as telemetry.
+void add_resource_run_metrics(RunRecord& record,
+                              const ThreadPoolStats& since = {});
 
 class BenchReporter {
  public:

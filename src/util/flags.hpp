@@ -28,6 +28,13 @@ class Flags {
   // `def`. Always >= 1.
   int get_threads(int def = 1);
 
+  // The streaming-generation shard size (CSR rows per work unit):
+  // --shard_nodes if given, else `def`. Rejects zero, negative, and
+  // beyond-int32 values with a CheckFailure (same full-token validation as
+  // get_int); warns to stderr when the shard is smaller than `threads`,
+  // which fragments the row ranges below the worker count for no benefit.
+  std::int32_t get_shard_nodes(int threads, std::int32_t def = 1 << 20);
+
   // Call after all getters: throws if the command line contained flags
   // that no getter asked about.
   void check_unknown() const;

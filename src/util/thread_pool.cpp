@@ -51,7 +51,7 @@ std::pair<std::int64_t, std::int64_t> ThreadPool::chunk_range(
   return {lo, hi};
 }
 
-double ThreadPool::run_chunk(const ChunkFn& body, std::int64_t begin,
+double ThreadPool::run_chunk(ChunkRef body, std::int64_t begin,
                              std::int64_t end, int chunks, int index) {
   const auto [lo, hi] = chunk_range(begin, end, chunks, index);
   WorkerScope scope;
@@ -67,12 +67,25 @@ double ThreadPool::run_chunk(const ChunkFn& body, std::int64_t begin,
       .count();
 }
 
+double ThreadPool::run_dynamic_chunks(ChunkRef body, std::int64_t begin,
+                                      std::int64_t end, int chunks) {
+  double busy = 0.0;
+  int index;
+  while ((index = next_chunk_.fetch_add(1, std::memory_order_relaxed)) <
+         chunks) {
+    busy += run_chunk(body, begin, end, chunks, index);
+  }
+  return busy;
+}
+
 void ThreadPool::worker_main(int my_index) {
   std::uint64_t seen_generation = 0;
   while (true) {
-    const ChunkFn* body = nullptr;
+    ChunkRef body;
     std::int64_t begin = 0, end = 0;
     int chunks = 0;
+    int max_workers = 0;
+    bool dynamic = false;
     double wait = 0.0;
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -85,17 +98,26 @@ void ThreadPool::worker_main(int my_index) {
       begin = job_begin_;
       end = job_end_;
       chunks = job_chunks_;
+      max_workers = job_workers_;
+      dynamic = job_dynamic_;
       wait = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                            job_post_)
                  .count();
     }
     double busy = 0.0;
-    if (my_index < chunks) {
-      busy = run_chunk(*body, begin, end, chunks, my_index);
+    bool participated = false;
+    if (dynamic) {
+      if (my_index < max_workers) {
+        participated = true;
+        busy = run_dynamic_chunks(body, begin, end, chunks);
+      }
+    } else if (my_index < chunks) {
+      participated = true;
+      busy = run_chunk(body, begin, end, chunks, my_index);
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (my_index < chunks) {
+      if (participated) {
         busy_seconds_[static_cast<std::size_t>(my_index)] += busy;
         wait_seconds_[static_cast<std::size_t>(my_index)] += wait;
       }
@@ -105,7 +127,7 @@ void ThreadPool::worker_main(int my_index) {
 }
 
 void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, int chunks,
-                              const ChunkFn& body) {
+                              ChunkRef body) {
   CKP_CHECK_MSG(!in_parallel_worker(),
                 "nested parallel_for: check in_parallel_worker() and run "
                 "sequentially inside pool workers");
@@ -125,10 +147,12 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, int chunks,
   const auto submit_time = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    job_body_ = &body;
+    job_body_ = body;
     job_begin_ = begin;
     job_end_ = end;
     job_chunks_ = chunks;
+    job_workers_ = chunks;
+    job_dynamic_ = false;
     workers_pending_ = num_threads_ - 1;
     first_error_ = nullptr;
     job_post_ = submit_time;
@@ -137,6 +161,61 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, int chunks,
   }
   work_cv_.notify_all();
   const double caller_busy = run_chunk(body, begin, end, chunks, 0);
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return workers_pending_ == 0; });
+    err = first_error_;
+    first_error_ = nullptr;
+    busy_seconds_[0] += caller_busy;
+    dispatch_seconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      submit_time)
+            .count();
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void ThreadPool::parallel_for_dynamic(std::int64_t begin, std::int64_t end,
+                                      int max_workers, int chunks,
+                                      ChunkRef body) {
+  CKP_CHECK_MSG(!in_parallel_worker(),
+                "nested parallel_for_dynamic: check in_parallel_worker() and "
+                "run sequentially inside pool workers");
+  max_workers = std::clamp(max_workers, 1, num_threads_);
+  chunks = std::max(chunks, 1);
+  if (max_workers == 1 || chunks == 1 || end - begin <= 0) {
+    // Sequential fallback still visits every chunk index in ascending order
+    // so per-chunk result slots fill exactly as in the pooled case.
+    for (int c = 0; c < chunks; ++c) run_chunk(body, begin, end, chunks, c);
+    std::exception_ptr err;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      err = first_error_;
+      first_error_ = nullptr;
+    }
+    if (err) std::rethrow_exception(err);
+    return;
+  }
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  const auto submit_time = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_body_ = body;
+    job_begin_ = begin;
+    job_end_ = end;
+    job_chunks_ = chunks;
+    job_workers_ = max_workers;
+    job_dynamic_ = true;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    workers_pending_ = num_threads_ - 1;
+    first_error_ = nullptr;
+    job_post_ = submit_time;
+    ++jobs_;
+    ++job_generation_;
+  }
+  work_cv_.notify_all();
+  const double caller_busy = run_dynamic_chunks(body, begin, end, chunks);
   std::exception_ptr err;
   {
     std::unique_lock<std::mutex> lock(mu_);

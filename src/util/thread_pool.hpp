@@ -1,14 +1,18 @@
-// A small static-partition thread pool for the simulation hot paths.
+// A small thread pool for the simulation hot paths.
 //
 // The LOCAL model is embarrassingly parallel *within* a round: every node
 // reads only previous-round neighbor states and writes only its own next
 // state, so the engine's node loop splits into contiguous index chunks with
 // no synchronization beyond the round barrier. parallel_for implements
 // exactly that shape — deterministic contiguous partition, chunk 0 on the
-// calling thread, a barrier at the end — and deliberately nothing more (no
-// work stealing, no task queue): determinism and a cheap per-round dispatch
-// matter more here than load balancing, and chunk sizes are near-equal by
-// construction.
+// calling thread, a barrier at the end. parallel_for_dynamic keeps the same
+// deterministic partition but lets idle workers claim the next unstarted
+// chunk from a shared counter, so a skewed active set (a few expensive
+// chunks) no longer idles most of the pool. In both cases the partition —
+// and therefore everything a chunk computes — depends only on the range
+// length and the chunk count, never on timing; only the assignment of
+// chunks to threads varies, which is invisible once per-chunk results are
+// merged in chunk order.
 //
 // Nesting policy: a parallel_for body must not issue another parallel_for.
 // Callers that might run inside a pool worker (the engine under a trial
@@ -16,18 +20,47 @@
 // the outermost fan-out — the right granularity — parallel.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace ckp {
 
-// Chunk body: receives [chunk_begin, chunk_end) and the chunk index.
-using ChunkFn = std::function<void(std::int64_t, std::int64_t, int)>;
+// Non-owning, trivially-copyable reference to a chunk body
+// (callable as body(chunk_begin, chunk_end, chunk_index)). Dispatching
+// through ChunkRef instead of std::function keeps parallel_for posts
+// allocation-free, which the packed engine's AssertNoAlloc-certified round
+// loop depends on. The referenced callable must outlive the parallel_for
+// call — trivially true for the stack lambdas every call site passes.
+class ChunkRef {
+ public:
+  ChunkRef() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, ChunkRef>>>
+  ChunkRef(const F& fn)  // NOLINT(google-explicit-constructor)
+      : obj_(&fn), call_(&invoke<F>) {}
+
+  void operator()(std::int64_t begin, std::int64_t end, int chunk) const {
+    call_(obj_, begin, end, chunk);
+  }
+
+ private:
+  template <typename F>
+  static void invoke(const void* obj, std::int64_t begin, std::int64_t end,
+                     int chunk) {
+    (*static_cast<const F*>(obj))(begin, end, chunk);
+  }
+
+  const void* obj_ = nullptr;
+  void (*call_)(const void*, std::int64_t, std::int64_t, int) = nullptr;
+};
 
 // Cumulative utilization accounting of one pool (snapshot of counters that
 // only pooled dispatches update; the inline chunks==1 path costs nothing).
@@ -64,7 +97,20 @@ class ThreadPool {
   // exception thrown by any chunk is rethrown on the caller. Top-level calls
   // are serialized internally; bodies must not call parallel_for again.
   void parallel_for(std::int64_t begin, std::int64_t end, int chunks,
-                    const ChunkFn& body);
+                    ChunkRef body);
+
+  // Work-stealing variant: the same deterministic partition of [begin, end)
+  // into `chunks` ranges, but chunks may outnumber threads and each of up to
+  // `max_workers` participating threads (clamped to [1, num_threads()])
+  // repeatedly claims the lowest unstarted chunk index from a shared atomic
+  // counter. Every chunk index in [0, chunks) is executed exactly once; the
+  // chunk→thread assignment is timing-dependent, the per-chunk ranges are
+  // not, so callers that write results into per-chunk slots and merge them
+  // in ascending chunk order get bit-identical output regardless of
+  // scheduling. Blocks until all chunks finish; first exception rethrown;
+  // same nesting rules as parallel_for.
+  void parallel_for_dynamic(std::int64_t begin, std::int64_t end,
+                            int max_workers, int chunks, ChunkRef body);
 
   // The [begin, end) range of chunk `index` under the partition above.
   static std::pair<std::int64_t, std::int64_t> chunk_range(std::int64_t begin,
@@ -79,8 +125,11 @@ class ThreadPool {
  private:
   void worker_main(int my_index);
   // Returns the wall time spent inside the chunk body.
-  double run_chunk(const ChunkFn& body, std::int64_t begin, std::int64_t end,
+  double run_chunk(ChunkRef body, std::int64_t begin, std::int64_t end,
                    int chunks, int index);
+  // Claims chunks from next_chunk_ until exhausted; returns busy time.
+  double run_dynamic_chunks(ChunkRef body, std::int64_t begin,
+                            std::int64_t end, int chunks);
 
   const int num_threads_;
   std::vector<std::thread> workers_;
@@ -89,10 +138,13 @@ class ThreadPool {
   std::condition_variable work_cv_;   // workers wait for a new job
   std::condition_variable done_cv_;   // caller waits for the barrier
   std::uint64_t job_generation_ = 0;  // bumped once per parallel_for
-  const ChunkFn* job_body_ = nullptr;
+  ChunkRef job_body_;
   std::int64_t job_begin_ = 0;
   std::int64_t job_end_ = 0;
   int job_chunks_ = 0;
+  int job_workers_ = 0;       // dynamic jobs: participating thread cap
+  bool job_dynamic_ = false;  // claim chunks from next_chunk_ vs my_index
+  std::atomic<int> next_chunk_{0};
   int workers_pending_ = 0;
   std::exception_ptr first_error_;
   bool stopping_ = false;

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <vector>
 
 #include "core/distance_sets.hpp"
@@ -48,6 +49,23 @@ void expect_same_graph(const Graph& a, const Graph& b, const char* what) {
   }
 }
 
+// The seed oracles are deliberately naive (girth_reference is O(n·m),
+// power_graph_reference materializes every ball), so running them on the
+// larger zoo entries dominates the whole suite's wall time without adding
+// coverage the small instances lack. Tier-1 caps oracle inputs at this size;
+// CKP_SLOW_TESTS=1 restores the full sweep (scripts/check_all.sh documents
+// the gate).
+constexpr NodeId kOracleNodeCap = 512;
+
+bool slow_tests_enabled() {
+  const char* v = std::getenv("CKP_SLOW_TESTS");
+  return v != nullptr && *v != '\0' && *v != '0';
+}
+
+bool skip_for_oracle(const Graph& g) {
+  return g.num_nodes() > kOracleNodeCap && !slow_tests_enabled();
+}
+
 TEST(BfsKernel, BallAndDistancesMatchReference) {
   for (const auto& [name, g] : kernel_zoo()) {
     for (const int r : {0, 1, 2, 3, 7}) {
@@ -64,6 +82,7 @@ TEST(BfsKernel, BallAndDistancesMatchReference) {
 
 TEST(BfsKernel, PowerGraphMatchesReferenceBitIdentically) {
   for (const auto& [name, g] : kernel_zoo()) {
+    if (skip_for_oracle(g)) continue;
     for (const int k : {1, 2, 3}) {
       const Graph ref = power_graph_reference(g, k);
       for (const int threads : {1, 2, 8}) {
@@ -76,6 +95,7 @@ TEST(BfsKernel, PowerGraphMatchesReferenceBitIdentically) {
 
 TEST(BfsKernel, GirthMatchesReferenceAtEveryThreadCount) {
   for (const auto& [name, g] : kernel_zoo()) {
+    if (skip_for_oracle(g)) continue;
     const int ref = girth_reference(g);
     for (const int threads : {1, 2, 8}) {
       EXPECT_EQ(girth(g, threads), ref) << name << " threads=" << threads;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "graph/components.hpp"
 #include "graph/girth.hpp"
 #include "util/check.hpp"
@@ -99,6 +101,112 @@ TEST(ProperEdgeColoring, DetectsViolations) {
   EXPECT_FALSE(is_proper_edge_coloring(g, {0, 0}, 2));   // meet at node 1
   EXPECT_FALSE(is_proper_edge_coloring(g, {0, 2}, 2));   // out of range
   EXPECT_FALSE(is_proper_edge_coloring(g, {0}, 2));      // wrong size
+}
+
+// ---------------------------------------------------------------------------
+// Streaming generator (make_random_bipartite_regular_streamed): writes the
+// union-of-matchings directly into the final CSR, sharded. Must produce the
+// same family of instances as the vector-based generator and be a pure
+// function of (side, d, seed) — independent of shard size and thread count.
+
+void expect_same_graph(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()))
+        << "adjacency differs at node " << v;
+  }
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.endpoints(e), b.endpoints(e)) << "edge " << e;
+  }
+}
+
+class StreamedBipartite
+    : public ::testing::TestWithParam<std::pair<NodeId, int>> {};
+
+TEST_P(StreamedBipartite, RegularBipartiteProperlyColored) {
+  const auto [side, d] = GetParam();
+  Rng rng(mix_seed(97, static_cast<std::uint64_t>(side),
+                   static_cast<std::uint64_t>(d)));
+  const auto inst = make_random_bipartite_regular_streamed(side, d, rng, 16);
+  EXPECT_EQ(inst.graph.num_nodes(), 2 * side);
+  EXPECT_TRUE(inst.graph.is_regular(d));
+  EXPECT_EQ(inst.num_colors, d);
+  EXPECT_TRUE(is_proper_edge_coloring(inst.graph, inst.edge_color, d));
+  for (EdgeId e = 0; e < inst.graph.num_edges(); ++e) {
+    const auto [u, v] = inst.graph.endpoints(e);
+    EXPECT_NE(u < side, v < side);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, StreamedBipartite,
+    ::testing::Values(std::pair<NodeId, int>{2, 2},
+                      std::pair<NodeId, int>{8, 3},
+                      std::pair<NodeId, int>{33, 3},
+                      std::pair<NodeId, int>{64, 4},
+                      std::pair<NodeId, int>{100, 6},
+                      std::pair<NodeId, int>{64, 16}));
+
+TEST(StreamedBipartite, ShardSizeInvariant) {
+  // The shard size only blocks the (RNG-free) finalize and sort passes; the
+  // instance must be bit-identical for any value, including shards that
+  // don't divide n and a single shard covering everything.
+  const auto base = [] {
+    Rng rng(0x5EED);
+    return make_random_bipartite_regular_streamed(50, 4, rng, 1);
+  }();
+  for (const NodeId shard : {2, 7, 50, 64, 1 << 20}) {
+    Rng rng(0x5EED);
+    const auto inst = make_random_bipartite_regular_streamed(50, 4, rng, shard);
+    expect_same_graph(inst.graph, base.graph);
+    EXPECT_EQ(inst.edge_color, base.edge_color) << "shard_nodes=" << shard;
+  }
+}
+
+TEST(StreamedBipartite, ThreadCountInvariant) {
+  const auto base = [] {
+    Rng rng(0xBEE);
+    return make_random_bipartite_regular_streamed(64, 5, rng, 8, 1);
+  }();
+  for (const int threads : {2, 8}) {
+    Rng rng(0xBEE);
+    const auto inst =
+        make_random_bipartite_regular_streamed(64, 5, rng, 8, threads);
+    expect_same_graph(inst.graph, base.graph);
+    EXPECT_EQ(inst.edge_color, base.edge_color) << "threads=" << threads;
+  }
+}
+
+TEST(StreamedBipartite, RejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_THROW(make_random_bipartite_regular_streamed(0, 2, rng, 8),
+               CheckFailure);
+  EXPECT_THROW(make_random_bipartite_regular_streamed(8, 0, rng, 8),
+               CheckFailure);
+  EXPECT_THROW(make_random_bipartite_regular_streamed(8, 9, rng, 8),
+               CheckFailure);  // d > side forces a multi-edge
+  EXPECT_THROW(make_random_bipartite_regular_streamed(8, 3, rng, 0),
+               CheckFailure);
+}
+
+TEST(FromRegularCsr, RejectsMalformedInput) {
+  // A valid hand-built 1-regular instance on 2 nodes: one edge {0,1}.
+  const auto ok = Graph::from_regular_csr(2, 1, {1, 0}, {0, 0}, {{0, 1}});
+  EXPECT_EQ(ok.num_edges(), 1);
+  EXPECT_TRUE(ok.is_regular(1));
+  // Self-loop.
+  EXPECT_THROW(Graph::from_regular_csr(2, 1, {0, 1}, {0, 0}, {{0, 1}}),
+               CheckFailure);
+  // Endpoint record disagrees with the adjacency.
+  EXPECT_THROW(Graph::from_regular_csr(2, 1, {1, 0}, {0, 0}, {{0, 0}}),
+               CheckFailure);
+  // An edge id borrowed by an unrelated slot (edge 0 claimed by node 2).
+  EXPECT_THROW(
+      Graph::from_regular_csr(4, 1, {1, 0, 3, 2}, {0, 0, 0, 1}, {{0, 1}, {2, 3}}),
+      CheckFailure);
 }
 
 }  // namespace

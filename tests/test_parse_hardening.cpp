@@ -321,6 +321,55 @@ TEST(FlagsHardening, RejectsEmptyOrHugeThreads) {
   }
 }
 
+TEST(FlagsHardening, ShardNodesRejectsNonPositiveAndOverflow) {
+  {
+    const char* argv[] = {"prog", "--shard_nodes=0"};
+    Flags f(2, argv);
+    EXPECT_THROW(f.get_shard_nodes(1), CheckFailure);
+  }
+  {
+    const char* argv[] = {"prog", "--shard_nodes=-8"};
+    Flags f(2, argv);
+    EXPECT_THROW(f.get_shard_nodes(1), CheckFailure);
+  }
+  {
+    const char* argv[] = {"prog", "--shard_nodes="};
+    Flags f(2, argv);
+    EXPECT_THROW(f.get_shard_nodes(1), CheckFailure);
+  }
+  {
+    // Exceeds int32 node counts (and strtoll's int64 range in the extreme).
+    const char* argv[] = {"prog", "--shard_nodes=4294967296"};
+    Flags f(2, argv);
+    EXPECT_THROW(f.get_shard_nodes(1), CheckFailure);
+  }
+  {
+    const char* argv[] = {"prog", "--shard_nodes=99999999999999999999"};
+    Flags f(2, argv);
+    EXPECT_THROW(f.get_shard_nodes(1), CheckFailure);
+  }
+}
+
+TEST(FlagsHardening, ShardNodesAcceptsValidAndDefaults) {
+  {
+    const char* argv[] = {"prog", "--shard_nodes=4096"};
+    Flags f(2, argv);
+    EXPECT_EQ(f.get_shard_nodes(4), 4096);
+    f.check_unknown();
+  }
+  {
+    const char* argv[] = {"prog"};
+    Flags f(1, argv);
+    EXPECT_EQ(f.get_shard_nodes(1, 1 << 20), 1 << 20);
+  }
+  {
+    // Shards below the worker count are legal — the warning is advisory.
+    const char* argv[] = {"prog", "--shard_nodes=2"};
+    Flags f(2, argv);
+    EXPECT_EQ(f.get_shard_nodes(8), 2);
+  }
+}
+
 TEST(FlagsHardening, ValidValuesStillParse) {
   const char* argv[] = {"prog", "--n=42", "--x=2.5", "--threads=3"};
   Flags f(4, argv);

@@ -88,6 +88,101 @@ TEST(ThreadPool, WorkerFlagVisibleInsideChunks) {
   EXPECT_FALSE(in_parallel_worker());
 }
 
+// ---------------------------------------------------------------------------
+// parallel_for_dynamic: same deterministic chunk partition as parallel_for,
+// work-stealing assignment of chunks to workers.
+
+TEST(ThreadPoolDynamic, CoversRangeExactlyOnceWithManyChunks) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for_dynamic(0, 1000, 4, 32,
+                            [&](std::int64_t lo, std::int64_t hi, int) {
+                              for (std::int64_t i = lo; i < hi; ++i) {
+                                hits[static_cast<std::size_t>(i)].fetch_add(1);
+                              }
+                            });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolDynamic, ChunkBoundariesMatchTheStaticPartition) {
+  // The item→chunk map must be chunk_range, the same pure function of
+  // (range, chunks) the static scheduler uses — that is what makes the two
+  // schedulers interchangeable under the engine's merge contract.
+  ThreadPool pool(4);
+  const int chunks = 7;
+  std::vector<std::atomic<int>> owner(100);
+  pool.parallel_for_dynamic(0, 100, 4, chunks,
+                            [&](std::int64_t lo, std::int64_t hi, int chunk) {
+                              for (std::int64_t i = lo; i < hi; ++i) {
+                                owner[static_cast<std::size_t>(i)].store(chunk);
+                              }
+                            });
+  for (int c = 0; c < chunks; ++c) {
+    const auto [lo, hi] = ThreadPool::chunk_range(0, 100, chunks, c);
+    for (std::int64_t i = lo; i < hi; ++i) {
+      EXPECT_EQ(owner[static_cast<std::size_t>(i)].load(), c) << "item " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolDynamic, SkewedChunksAllComplete) {
+  // One chunk carries ~100x the work of the rest; stealing must still cover
+  // every chunk exactly once and return only when all are done.
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> total{0};
+  pool.parallel_for_dynamic(
+      0, 64, 4, 16, [&](std::int64_t lo, std::int64_t hi, int chunk) {
+        std::int64_t acc = 0;
+        const std::int64_t spin = chunk == 0 ? 400000 : 4000;
+        for (std::int64_t i = 0; i < spin; ++i) acc += i ^ (i >> 3);
+        total.fetch_add(acc != -1 ? hi - lo : 0);
+      });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolDynamic, EmptyRangeAndSequentialFallback) {
+  ThreadPool pool(2);
+  std::atomic<int> visited{0};
+  pool.parallel_for_dynamic(5, 5, 2, 4,
+                            [&](std::int64_t lo, std::int64_t hi, int) {
+                              visited.fetch_add(static_cast<int>(hi - lo));
+                            });
+  EXPECT_EQ(visited.load(), 0);
+  // max_workers=1 degrades to the calling thread, ascending chunk order.
+  std::vector<int> order;
+  pool.parallel_for_dynamic(0, 8, 1, 4,
+                            [&](std::int64_t, std::int64_t, int chunk) {
+                              order.push_back(chunk);
+                            });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPoolDynamic, ExceptionsPropagateAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for_dynamic(
+                   0, 100, 4, 16,
+                   [&](std::int64_t, std::int64_t, int chunk) {
+                     CKP_CHECK_MSG(chunk != 3, "chunk 3 fails");
+                   }),
+               CheckFailure);
+  std::atomic<int> count{0};
+  pool.parallel_for_dynamic(0, 100, 4, 16,
+                            [&](std::int64_t lo, std::int64_t hi, int) {
+                              count.fetch_add(static_cast<int>(hi - lo));
+                            });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolDynamic, CountsAsOneJobInStats) {
+  ThreadPool pool(2);
+  const ThreadPoolStats before = pool.stats();
+  pool.parallel_for_dynamic(0, 16, 2, 8,
+                            [&](std::int64_t, std::int64_t, int) {});
+  const ThreadPoolStats after = pool.stats();
+  EXPECT_EQ(after.jobs, before.jobs + 1);
+  EXPECT_GE(after.dispatch_seconds, before.dispatch_seconds);
+}
+
 TEST(ThreadPool, SharedPoolGrowsToLargestRequest) {
   EXPECT_GE(shared_pool(2).num_threads(), 2);
   EXPECT_GE(shared_pool(5).num_threads(), 5);
