@@ -5,6 +5,7 @@
 
 #include "algo/edge_coloring_distributed.hpp"
 #include "algo/matching_deterministic.hpp"
+#include "algo/matching_local.hpp"
 #include "algo/matching_randomized.hpp"
 #include "graph/regular.hpp"
 #include "lcl/verify_edge_coloring.hpp"
@@ -26,8 +27,8 @@ int main(int argc, char** argv) {
   flags.check_unknown();
 
   std::cout << "E10b: maximal matching — randomized vs deterministic\n\n";
-  Table t({"Δ", "n", "rand rounds", "det rounds", "det/rand",
-           "(2Δ-1)-edge-col rds"});
+  Table t({"Δ", "n", "rand rounds", "rand local", "det rounds", "det local",
+           "det/rand", "(2Δ-1)-edge-col rds"});
   for (int delta : {3, 8, 16}) {
     for (int e = 9; e <= max_exp; e += 2) {
       const NodeId n = static_cast<NodeId>(1) << e;
@@ -35,7 +36,7 @@ int main(int argc, char** argv) {
                        static_cast<std::uint64_t>(n)));
       const Graph g = make_random_regular(n, delta, rng);
 
-      Accumulator rand_rounds;
+      Accumulator rand_rounds, rand_local_rounds;
       for (int s = 0; s < seeds; ++s) {
         RoundLedger lr;
         const auto r = matching_randomized(g, static_cast<std::uint64_t>(s) + 1,
@@ -54,6 +55,29 @@ int main(int argc, char** argv) {
           rec.verified = true;
           reporter.add(std::move(rec));
         }
+
+        // The engine-native node-level handshake port on the packed fast
+        // path (DESIGN.md §11). A different protocol than Luby on the line
+        // graph — proposals are stateless per-edge hashes — so its round
+        // counts are its own column, not a differential.
+        LocalInput in;
+        in.graph = &g;
+        in.seed = static_cast<std::uint64_t>(s) + 1;
+        const auto rl = matching_randomized_local(in);
+        CKP_CHECK(rl.completed);
+        CKP_CHECK(verify_maximal_matching(g, rl.in_matching).ok);
+        rand_local_rounds.add(rl.rounds);
+        {
+          RunRecord rec = reporter.make_record();
+          rec.algorithm = "matching_randomized_local";
+          rec.graph_family = "random_regular";
+          rec.n = n;
+          rec.delta = delta;
+          rec.seed = in.seed;
+          rec.rounds = rl.rounds;
+          rec.verified = true;
+          reporter.add(std::move(rec));
+        }
       }
       RoundLedger ld;
       const auto ids = random_ids(n, 30, rng);
@@ -66,6 +90,28 @@ int main(int argc, char** argv) {
         rec.n = n;
         rec.delta = delta;
         rec.rounds = ld.rounds();
+        rec.verified = true;
+        reporter.add(std::move(rec));
+      }
+
+      // The packed DetLOCAL handshake (greedy by edge priority). IDs must
+      // fit 28 bits for the word layout, which sequential ids satisfy at
+      // every n this bench sweeps.
+      int det_local_rounds = 0;
+      {
+        LocalInput in;
+        in.graph = &g;
+        in.ids = sequential_ids(n);
+        const auto dl = matching_deterministic_local(in);
+        CKP_CHECK(dl.completed);
+        CKP_CHECK(verify_maximal_matching(g, dl.in_matching).ok);
+        det_local_rounds = dl.rounds;
+        RunRecord rec = reporter.make_record();
+        rec.algorithm = "matching_deterministic_local";
+        rec.graph_family = "random_regular";
+        rec.n = n;
+        rec.delta = delta;
+        rec.rounds = dl.rounds;
         rec.verified = true;
         reporter.add(std::move(rec));
       }
@@ -84,7 +130,9 @@ int main(int argc, char** argv) {
         reporter.add(std::move(rec));
       }
       t.add_row({Table::cell(delta), Table::cell(static_cast<std::int64_t>(n)),
-                 Table::cell(rand_rounds.mean(), 1), Table::cell(ld.rounds()),
+                 Table::cell(rand_rounds.mean(), 1),
+                 Table::cell(rand_local_rounds.mean(), 1),
+                 Table::cell(ld.rounds()), Table::cell(det_local_rounds),
                  Table::cell(ld.rounds() / rand_rounds.mean(), 1),
                  Table::cell(lec.rounds())});
     }

@@ -30,8 +30,8 @@ int main(int argc, char** argv) {
 
   std::cout << "E10a: MIS — randomized vs deterministic round complexity\n"
             << "random Δ-regular graphs; mean over " << seeds << " seeds\n\n";
-  Table t({"Δ", "n", "luby", "ghaffari", "residue", "maxcomp", "det",
-           "det schedule"});
+  Table t({"Δ", "n", "luby", "ghaffari", "ghaf_local", "residue", "maxcomp",
+           "det", "det schedule"});
   for (int delta : {4, 8, 16, 32}) {
     for (int e = 10; e <= max_exp; e += 2) {
       const NodeId n = static_cast<NodeId>(1) << e;
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
                        static_cast<std::uint64_t>(n)));
       const Graph g = make_random_regular(n, delta, rng);
 
-      Accumulator luby, ghaf, residue, maxcomp;
+      Accumulator luby, ghaf, ghaf_local, residue, maxcomp;
       for (int s = 0; s < seeds; ++s) {
         LocalInput in;
         in.graph = &g;
@@ -80,6 +80,29 @@ int main(int argc, char** argv) {
                      static_cast<double>(gh.largest_residue_component));
           reporter.add(std::move(rec));
         }
+
+        // The engine-native port of the same desire-level protocol on the
+        // packed fast path (DESIGN.md §11); round counts differ from the
+        // array implementation because the engine splits mark/resolve into
+        // separate communication rounds.
+        const auto gl = mis_ghaffari_local(in);
+        CKP_CHECK(gl.completed);
+        CKP_CHECK(verify_mis(g, gl.in_set).ok);
+        ghaf_local.add(gl.rounds);
+        {
+          RunRecord rec = reporter.make_record();
+          rec.algorithm = "mis_ghaffari_local";
+          rec.graph_family = "random_regular";
+          rec.n = n;
+          rec.delta = delta;
+          rec.seed = in.seed;
+          rec.rounds = gl.rounds;
+          rec.verified = true;
+          rec.metric("residue_nodes", static_cast<double>(gl.residue_nodes));
+          rec.metric("largest_residue_component",
+                     static_cast<double>(gl.largest_residue_component));
+          reporter.add(std::move(rec));
+        }
       }
       RoundLedger ld;
       const auto ids =
@@ -100,6 +123,7 @@ int main(int argc, char** argv) {
       }
       t.add_row({Table::cell(delta), Table::cell(static_cast<std::int64_t>(n)),
                  Table::cell(luby.mean(), 1), Table::cell(ghaf.mean(), 1),
+                 Table::cell(ghaf_local.mean(), 1),
                  Table::cell(residue.mean(), 0),
                  Table::cell(maxcomp.mean(), 1), Table::cell(ld.rounds()),
                  Table::cell(det.schedule_palette)});

@@ -1,45 +1,62 @@
 // Experiment E18 — engine scaling curves on 10^5–10^8-node Δ-regular
 // bipartite graphs: streaming generation throughput, packed-vs-generic
-// engine throughput, engine-side bytes/node, and thread-pool utilization
-// as n grows.
+// engine throughput, the SIMD-vs-scalar kernel speedup, and engine-side
+// bytes/node for the full packed algorithm roster.
 //
 // One block per n = 2^e:
 //
-//   generate_streamed  in-place union-of-matchings CSR generation
-//                      (make_random_bipartite_regular_streamed), nodes/sec
-//   mis_luby_packed    RandLOCAL Luby on the packed fast path, work-stealing
-//                      schedule; node·rounds/sec and engine bytes/node
-//   mis_luby_generic   same runs forced onto the generic path (only up to
-//                      --generic-max-exp — the generic path's cached
-//                      environments and pointer tables make 10^7+ nodes
-//                      pointlessly expensive); the packed record carries
-//                      speedup_vs_generic and the outputs are checked
-//                      bit-identical
-//   greedy_color_local DetLOCAL packed flagship: sequential ids, palette
-//                      Δ+1. Its engine footprint is the --assert-budget
-//                      target (default 48 bytes/node) — Luby pays 32 B/node
-//                      extra for per-node RNG streams and is reported, not
-//                      budget-gated
-//   sinkless_local     RandLOCAL packed sinkless orientation taking the
-//                      generator's matching decomposition as its proper
-//                      edge coloring
+//   generate_streamed   in-place union-of-matchings CSR generation
+//                       (make_random_bipartite_regular_streamed), nodes/sec
+//   mis_luby_packed     RandLOCAL Luby on the packed fast path, work-stealing
+//                       schedule; node·rounds/sec and engine bytes/node.
+//                       Also run with EngineOptions::simd off — outputs are
+//                       checked bit-identical and the scalar/vector wall
+//                       ratio is recorded as simd_speedup
+//   mis_luby_generic    same runs forced onto the generic path (only up to
+//                       --generic-max-exp); the packed record carries
+//                       speedup_vs_generic, outputs checked bit-identical
+//   mis_ghaffari_local  RandLOCAL desire-level MIS with shattering residue
+//   matching_*_local    the handshake matchings: randomized (stateless
+//                       draws, no RNG streams) and deterministic (greedy by
+//                       edge priority, sequential ids)
+//   plus_one_local      RandLOCAL (Δ+1) trial coloring
+//   greedy_color_local  DetLOCAL packed flagship, static schedule
+//   sinkless_local      RandLOCAL sinkless orientation taking the
+//                       generator's matching decomposition as its coloring
+//
+// --algo=a,b,... restricts the sweep to a subset of the roster (default:
+// everything), so single-algorithm investigations don't pay for the rest.
+//
+// Budget gates (--assert-budget): every packed algorithm's engine bytes/node
+// must stay within its budget, derived from --budget-bytes (the DetLOCAL
+// baseline, default 48): +32 for per-node RNG streams (RandLOCAL algorithms
+// that draw), +4·Δ for port-aligned edge labels. scripts/check_scale.sh
+// runs this gate in check_all.
 //
 // Every record carries peak_rss_bytes and pool_utilization (the pooled
 // dispatch window of that run) via add_resource_run_metrics.
+#include <algorithm>
 #include <cstdint>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "algo/greedy_color.hpp"
+#include "algo/matching_local.hpp"
+#include "algo/mis_ghaffari.hpp"
 #include "algo/mis_luby.hpp"
+#include "algo/plus_one_coloring.hpp"
 #include "algo/sinkless_local.hpp"
 #include "graph/regular.hpp"
 #include "lcl/verify_coloring.hpp"
+#include "lcl/verify_matching.hpp"
 #include "lcl/verify_mis.hpp"
 #include "local/ids.hpp"
 #include "obs/reporter.hpp"
 #include "util/check.hpp"
 #include "util/flags.hpp"
 #include "util/math.hpp"
+#include "util/simd.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -57,6 +74,10 @@ int main(int argc, char** argv) {
   const bool assert_budget = flags.get_bool("assert-budget", false);
   const auto budget_bytes =
       static_cast<double>(flags.get_int("budget-bytes", 48));
+  const std::vector<std::string> roster = {
+      "luby",     "ghaffari", "matching_rand", "matching_det",
+      "plus_one", "greedy",   "sinkless"};
+  const std::vector<std::string> algos = flags.get_list("algo", roster);
   BenchReporter reporter(flags, "E18_scale");
   const int threads = reporter.threads();
   const NodeId shard_nodes = flags.get_shard_nodes(threads);
@@ -65,12 +86,32 @@ int main(int argc, char** argv) {
                 "--d must be in [2, 63] (sinkless needs degree >= 2, greedy "
                 "caps the palette at 64)");
   CKP_CHECK(min_exp >= 4 && min_exp <= max_exp && exp_step >= 1);
+  const auto enabled = [&](const char* a) {
+    return std::find(algos.begin(), algos.end(), a) != algos.end();
+  };
+  // Budget model: DetLOCAL baseline, +32 B/node of RNG streams for RandLOCAL
+  // algorithms that draw, +4·Δ B/node for port-aligned edge labels.
+  const double rng_budget = budget_bytes + 32.0;
+  const double label_budget_extra = 4.0 * d;
+  const auto gate = [&](const char* name, std::uint64_t engine_bytes, NodeId n,
+                        double budget) {
+    const double bpn =
+        static_cast<double>(engine_bytes) / static_cast<double>(n);
+    if (assert_budget) {
+      CKP_CHECK_MSG(bpn <= budget, name << " engine bytes/node " << bpn
+                                        << " exceeds the budget " << budget
+                                        << " at n=" << n);
+    }
+    return bpn;
+  };
 
   std::cout << "E18: engine scale-up — streamed generation + packed rounds\n"
             << "Δ=" << d << "-regular bipartite, threads=" << threads
-            << ", shard_nodes=" << shard_nodes << "\n\n";
-  Table t({"n", "gen s", "gen Mn/s", "luby r", "luby Mn·r/s", "luby B/n",
-           "luby spd", "sink r", "sink spd", "greedy B/n", "util"});
+            << ", shard_nodes=" << shard_nodes
+            << ", simd=" << simd::kBackendName << "\n\n";
+  Table t({"n", "gen Mn/s", "luby Mn·r/s", "luby B/n", "luby spd", "simd spd",
+           "cmp spd", "ghaf B/n", "mrand B/n", "mdet B/n", "p1 B/n",
+           "greedy B/n", "util"});
 
   for (int e = min_exp; e <= max_exp; e += exp_step) {
     const NodeId n = static_cast<NodeId>(1) << e;
@@ -105,173 +146,290 @@ int main(int argc, char** argv) {
       reporter.add(std::move(rec));
     }
 
+    // Common record plumbing for the per-algorithm engine runs.
+    const auto engine_record = [&](const char* name, std::uint64_t seed,
+                                   int rounds, double seconds,
+                                   double bytes_per_node,
+                                   const ThreadPoolStats& window) {
+      RunRecord rec = reporter.make_record();
+      rec.algorithm = name;
+      rec.graph_family = "bipartite_regular_streamed";
+      rec.n = static_cast<std::uint64_t>(n);
+      rec.delta = d;
+      rec.seed = seed;
+      rec.rounds = rounds;
+      rec.wall_seconds = seconds;
+      rec.verified = true;
+      rec.metric("node_rounds_per_sec",
+                 static_cast<double>(n) * rounds / seconds);
+      rec.metric("engine_bytes_per_node", bytes_per_node);
+      add_resource_run_metrics(rec, window);
+      return rec;
+    };
+
     double luby_node_rounds_per_sec = 0.0;
     double luby_bytes_per_node = 0.0;
+    double ghaffari_bytes_per_node = 0.0;
+    double mrand_bytes_per_node = 0.0;
+    double mdet_bytes_per_node = 0.0;
+    double plus_one_bytes_per_node = 0.0;
     double greedy_bytes_per_node = 0.0;
     double speedup = 0.0;
-    double sink_speedup = 0.0;
-    int luby_rounds = 0;
-    int sink_rounds = 0;
+    double simd_speedup = 0.0;
+    double simd_compact_speedup = 0.0;
     double util = 0.0;
+
+    EngineOptions packed_opts;
+    packed_opts.threads = threads;
+    packed_opts.schedule = EngineSchedule::kWorkStealing;
 
     for (int s = 0; s < seeds; ++s) {
       LocalInput in;
       in.graph = &g;
       in.seed = static_cast<std::uint64_t>(s) + 1;
 
-      EngineOptions packed_opts;
-      packed_opts.threads = threads;
-      packed_opts.schedule = EngineSchedule::kWorkStealing;
-      before = shared_pool_stats();
-      Timer luby_timer;
-      const auto luby = mis_luby(in, 1 << 20, packed_opts);
-      const double luby_seconds = luby_timer.seconds();
-      CKP_CHECK(luby.completed);
-      CKP_CHECK(verify_mis(g, luby.in_set).ok);
-      luby_rounds = luby.rounds;
-      luby_node_rounds_per_sec =
-          static_cast<double>(n) * luby.rounds / luby_seconds;
-      luby_bytes_per_node =
-          static_cast<double>(luby.engine_bytes) / static_cast<double>(n);
-      RunRecord rec = reporter.make_record();
-      rec.algorithm = "mis_luby_packed";
-      rec.graph_family = "bipartite_regular_streamed";
-      rec.n = static_cast<std::uint64_t>(n);
-      rec.delta = d;
-      rec.seed = in.seed;
-      rec.rounds = luby.rounds;
-      rec.wall_seconds = luby_seconds;
-      rec.verified = true;
-      rec.metric("node_rounds_per_sec", luby_node_rounds_per_sec);
-      rec.metric("engine_bytes_per_node", luby_bytes_per_node);
-      add_resource_run_metrics(rec, before);
-      for (const auto& [name, value] : rec.metrics()) {
-        if (name == "pool_utilization") util = value;
-      }
-
-      if (e <= generic_max_exp) {
-        EngineOptions generic_opts = packed_opts;
-        generic_opts.force_generic = true;
+      if (enabled("luby")) {
+        // Untimed warmup: the first engine run on a fresh heap pays the page
+        // faults for cur/nxt/rng/active; without it the simd-vs-scalar and
+        // packed-vs-generic ratios measure the allocator, not the kernels.
+        (void)mis_luby(in, 1 << 20, packed_opts);
         before = shared_pool_stats();
-        Timer generic_timer;
-        const auto generic = mis_luby(in, 1 << 20, generic_opts);
-        const double generic_seconds = generic_timer.seconds();
-        CKP_CHECK_MSG(generic.in_set == luby.in_set &&
-                          generic.rounds == luby.rounds,
-                      "packed and generic Luby disagree at n=" << n);
-        speedup = generic_seconds / luby_seconds;
-        rec.metric("speedup_vs_generic", speedup);
-        RunRecord grec = reporter.make_record();
-        grec.algorithm = "mis_luby_generic";
-        grec.graph_family = "bipartite_regular_streamed";
-        grec.n = static_cast<std::uint64_t>(n);
-        grec.delta = d;
-        grec.seed = in.seed;
-        grec.rounds = generic.rounds;
-        grec.wall_seconds = generic_seconds;
-        grec.verified = true;
-        grec.metric("node_rounds_per_sec",
-                    static_cast<double>(n) * generic.rounds / generic_seconds);
-        grec.metric("engine_bytes_per_node",
-                    static_cast<double>(generic.engine_bytes) /
-                        static_cast<double>(n));
-        add_resource_run_metrics(grec, before);
-        reporter.add(std::move(grec));
-      }
-      reporter.add(std::move(rec));
+        Timer luby_timer;
+        const auto luby = mis_luby(in, 1 << 20, packed_opts);
+        const double luby_seconds = luby_timer.seconds();
+        CKP_CHECK(luby.completed);
+        CKP_CHECK(verify_mis(g, luby.in_set).ok);
+        luby_node_rounds_per_sec =
+            static_cast<double>(n) * luby.rounds / luby_seconds;
+        luby_bytes_per_node = gate("mis_luby", luby.engine_bytes, n,
+                                   rng_budget);
+        RunRecord rec = engine_record("mis_luby_packed", in.seed, luby.rounds,
+                                      luby_seconds, luby_bytes_per_node,
+                                      before);
+        for (const auto& [name, value] : rec.metrics()) {
+          if (name == "pool_utilization") util = value;
+        }
 
-      before = shared_pool_stats();
-      Timer sink_timer;
-      LocalInput sink_in = in;
-      sink_in.edge_labels = ecg.edge_color;
-      const auto sink = sinkless_local(sink_in, 1 << 14, packed_opts);
-      const double sink_seconds = sink_timer.seconds();
-      sink_rounds = sink.rounds;
-      RunRecord srec = reporter.make_record();
-      srec.algorithm = "sinkless_local";
-      srec.graph_family = "bipartite_regular_streamed";
-      srec.n = static_cast<std::uint64_t>(n);
-      srec.delta = d;
-      srec.seed = in.seed;
-      srec.rounds = sink.rounds;
-      srec.wall_seconds = sink_seconds;
-      srec.verified = sink.completed;
-      srec.metric("unsatisfied", static_cast<double>(sink.unsatisfied));
-      srec.metric("engine_bytes_per_node",
-                  static_cast<double>(sink.engine_bytes) /
-                      static_cast<double>(n));
-      add_resource_run_metrics(srec, before);
-      if (e <= generic_max_exp) {
-        // Label-carrying algorithms are where the packed path's flat-array
-        // design pays most: the generic path keeps incident labels as one
-        // heap vector per node, so its setup makes n small allocations.
-        EngineOptions generic_opts = packed_opts;
-        generic_opts.force_generic = true;
-        Timer generic_timer;
-        const auto generic = sinkless_local(sink_in, 1 << 14, generic_opts);
-        const double generic_seconds = generic_timer.seconds();
-        CKP_CHECK_MSG(generic.orient == sink.orient &&
-                          generic.rounds == sink.rounds,
-                      "packed and generic sinkless disagree at n=" << n);
-        sink_speedup = generic_seconds / sink_seconds;
-        srec.metric("speedup_vs_generic", sink_speedup);
+        // SIMD kernels off, same packed path: bit-identical outputs, the
+        // wall ratio is the vectorization win of the steady-state loops.
+        // The engine round is gather-latency-bound, so expect ~1x end to
+        // end; the kernel-level compaction ratio below is where the vector
+        // unit shows.
+        if (simd::kHaveVectorBackend) {
+          EngineOptions scalar_opts = packed_opts;
+          scalar_opts.simd = false;
+          Timer scalar_timer;
+          const auto scalar = mis_luby(in, 1 << 20, scalar_opts);
+          const double scalar_seconds = scalar_timer.seconds();
+          CKP_CHECK_MSG(scalar.in_set == luby.in_set &&
+                            scalar.rounds == luby.rounds,
+                        "simd and scalar kernels disagree at n=" << n);
+          simd_speedup = scalar_seconds / luby_seconds;
+          rec.metric("simd_speedup", simd_speedup);
+
+          // Kernel-level compaction microbench: left-pack the node array by
+          // MIS membership (a realistic unpredictable 0/1 pattern), vector
+          // vs scalar. This isolates the halt-slab/active-compaction kernel
+          // from the gather-bound step loop.
+          std::vector<NodeId> nodes(static_cast<std::size_t>(n));
+          std::vector<NodeId> packed_out(static_cast<std::size_t>(n));
+          std::vector<std::uint8_t> member(static_cast<std::size_t>(n));
+          for (NodeId v = 0; v < n; ++v) {
+            nodes[static_cast<std::size_t>(v)] = v;
+            member[static_cast<std::size_t>(v)] =
+                luby.in_set[static_cast<std::size_t>(v)] ? 1 : 0;
+          }
+          const int reps = static_cast<int>(
+              std::max<std::int64_t>(1, (std::int64_t{1} << 24) / n));
+          std::int64_t kept = 0;
+          (void)simd::compact_by_flag(packed_out.data(), nodes.data(),
+                                      member.data(), n, true);
+          Timer vec_timer;
+          for (int r = 0; r < reps; ++r) {
+            kept += simd::compact_by_flag(packed_out.data(), nodes.data(),
+                                          member.data(), n, true);
+          }
+          const double vec_seconds = vec_timer.seconds();
+          Timer sca_timer;
+          for (int r = 0; r < reps; ++r) {
+            kept -= simd::compact_by_flag_scalar(packed_out.data(),
+                                                 nodes.data(), member.data(),
+                                                 n, true);
+          }
+          const double sca_seconds = sca_timer.seconds();
+          CKP_CHECK(kept == 0);
+          simd_compact_speedup = sca_seconds / vec_seconds;
+          rec.metric("simd_compact_speedup", simd_compact_speedup);
+        }
+
+        if (e <= generic_max_exp) {
+          EngineOptions generic_opts = packed_opts;
+          generic_opts.force_generic = true;
+          before = shared_pool_stats();
+          Timer generic_timer;
+          const auto generic = mis_luby(in, 1 << 20, generic_opts);
+          const double generic_seconds = generic_timer.seconds();
+          CKP_CHECK_MSG(generic.in_set == luby.in_set &&
+                            generic.rounds == luby.rounds,
+                        "packed and generic Luby disagree at n=" << n);
+          speedup = generic_seconds / luby_seconds;
+          rec.metric("speedup_vs_generic", speedup);
+          RunRecord grec = engine_record(
+              "mis_luby_generic", in.seed, generic.rounds, generic_seconds,
+              static_cast<double>(generic.engine_bytes) /
+                  static_cast<double>(n),
+              before);
+          reporter.add(std::move(grec));
+        }
+        reporter.add(std::move(rec));
       }
-      reporter.add(std::move(srec));
+
+      if (enabled("ghaffari")) {
+        before = shared_pool_stats();
+        Timer timer;
+        const auto ghaffari = mis_ghaffari_local(in, 1 << 20, packed_opts);
+        const double seconds = timer.seconds();
+        CKP_CHECK(ghaffari.completed);
+        CKP_CHECK(verify_mis(g, ghaffari.in_set).ok);
+        ghaffari_bytes_per_node =
+            gate("mis_ghaffari_local", ghaffari.engine_bytes, n, rng_budget);
+        RunRecord rec =
+            engine_record("mis_ghaffari_local", in.seed, ghaffari.rounds,
+                          seconds, ghaffari_bytes_per_node, before);
+        rec.metric("residue_nodes",
+                   static_cast<double>(ghaffari.residue_nodes));
+        rec.metric("largest_residue_component",
+                   static_cast<double>(ghaffari.largest_residue_component));
+        reporter.add(std::move(rec));
+      }
+
+      // The randomized matching's proposal field caps m at 2^26 edges.
+      if (enabled("matching_rand") &&
+          static_cast<std::uint64_t>(g.num_edges()) < (1ULL << 26)) {
+        before = shared_pool_stats();
+        Timer timer;
+        const auto matching = matching_randomized_local(in, 1 << 20,
+                                                        packed_opts);
+        const double seconds = timer.seconds();
+        CKP_CHECK(matching.completed);
+        CKP_CHECK(verify_maximal_matching(g, matching.in_matching).ok);
+        // Stateless draws: no RNG-stream surcharge, only the labels'.
+        mrand_bytes_per_node =
+            gate("matching_randomized_local", matching.engine_bytes, n,
+                 budget_bytes + label_budget_extra);
+        reporter.add(engine_record("matching_randomized_local", in.seed,
+                                   matching.rounds, seconds,
+                                   mrand_bytes_per_node, before));
+      }
+
+      if (enabled("plus_one")) {
+        before = shared_pool_stats();
+        Timer timer;
+        const auto coloring = plus_one_local(in, d + 1, 1 << 20, packed_opts);
+        const double seconds = timer.seconds();
+        CKP_CHECK(coloring.completed);
+        CKP_CHECK(verify_coloring(g, coloring.colors, d + 1).ok);
+        plus_one_bytes_per_node =
+            gate("plus_one_local", coloring.engine_bytes, n, rng_budget);
+        reporter.add(engine_record("plus_one_local", in.seed, coloring.rounds,
+                                   seconds, plus_one_bytes_per_node, before));
+      }
+
+      if (enabled("sinkless")) {
+        before = shared_pool_stats();
+        Timer sink_timer;
+        LocalInput sink_in = in;
+        sink_in.edge_labels = ecg.edge_color;
+        const auto sink = sinkless_local(sink_in, 1 << 14, packed_opts);
+        const double sink_seconds = sink_timer.seconds();
+        const double sink_bytes_per_node =
+            gate("sinkless_local", sink.engine_bytes, n,
+                 rng_budget + label_budget_extra);
+        RunRecord srec =
+            engine_record("sinkless_local", in.seed, sink.rounds,
+                          sink_seconds, sink_bytes_per_node, before);
+        srec.verified = sink.completed;
+        srec.metric("unsatisfied", static_cast<double>(sink.unsatisfied));
+        if (e <= generic_max_exp) {
+          // Label-carrying algorithms are where the packed path's flat-array
+          // design pays most: the generic path keeps incident labels as one
+          // heap vector per node, so its setup makes n small allocations.
+          EngineOptions generic_opts = packed_opts;
+          generic_opts.force_generic = true;
+          Timer generic_timer;
+          const auto generic = sinkless_local(sink_in, 1 << 14, generic_opts);
+          const double generic_seconds = generic_timer.seconds();
+          CKP_CHECK_MSG(generic.orient == sink.orient &&
+                            generic.rounds == sink.rounds,
+                        "packed and generic sinkless disagree at n=" << n);
+          srec.metric("speedup_vs_generic", generic_seconds / sink_seconds);
+        }
+        reporter.add(std::move(srec));
+      }
     }
 
-    // DetLOCAL flagship: the budget-gated configuration. Static schedule —
-    // the active set shrinks uniformly here, so stealing has nothing to
-    // gain and the static row doubles as scheduler coverage.
-    {
+    // DetLOCAL roster: static schedule — the active sets shrink uniformly
+    // here, so stealing has nothing to gain and the static rows double as
+    // scheduler coverage.
+    EngineOptions det_opts;
+    det_opts.threads = threads;
+
+    if (enabled("greedy")) {
       LocalInput in;
       in.graph = &g;
       in.ids = sequential_ids(n);
-      EngineOptions opts;
-      opts.threads = threads;
       before = shared_pool_stats();
       Timer greedy_timer;
-      const auto greedy = greedy_color_local(in, d + 1, 1 << 20, opts);
+      const auto greedy = greedy_color_local(in, d + 1, 1 << 20, det_opts);
       const double greedy_seconds = greedy_timer.seconds();
       CKP_CHECK(greedy.completed);
       CKP_CHECK(verify_coloring(g, greedy.colors, d + 1).ok);
       greedy_bytes_per_node =
-          static_cast<double>(greedy.engine_bytes) / static_cast<double>(n);
-      if (assert_budget) {
-        CKP_CHECK_MSG(greedy_bytes_per_node <= budget_bytes,
-                      "engine bytes/node " << greedy_bytes_per_node
-                                           << " exceeds the --budget-bytes "
-                                           << budget_bytes << " at n=" << n);
-      }
-      RunRecord rec = reporter.make_record();
-      rec.algorithm = "greedy_color_local";
-      rec.graph_family = "bipartite_regular_streamed";
-      rec.n = static_cast<std::uint64_t>(n);
-      rec.delta = d;
-      rec.rounds = greedy.rounds;
-      rec.wall_seconds = greedy_seconds;
-      rec.verified = true;
-      rec.metric("node_rounds_per_sec",
-                 static_cast<double>(n) * greedy.rounds / greedy_seconds);
-      rec.metric("engine_bytes_per_node", greedy_bytes_per_node);
+          gate("greedy_color_local", greedy.engine_bytes, n, budget_bytes);
+      RunRecord rec =
+          engine_record("greedy_color_local", 0, greedy.rounds,
+                        greedy_seconds, greedy_bytes_per_node, before);
       rec.metric("budget_bytes_per_node", budget_bytes);
-      add_resource_run_metrics(rec, before);
       reporter.add(std::move(rec));
     }
 
+    if (enabled("matching_det")) {
+      LocalInput in;
+      in.graph = &g;
+      in.ids = sequential_ids(n);
+      before = shared_pool_stats();
+      Timer timer;
+      const auto matching = matching_deterministic_local(in, 1 << 20,
+                                                         det_opts);
+      const double seconds = timer.seconds();
+      CKP_CHECK(matching.completed);
+      CKP_CHECK(verify_maximal_matching(g, matching.in_matching).ok);
+      mdet_bytes_per_node =
+          gate("matching_deterministic_local", matching.engine_bytes, n,
+               budget_bytes);
+      reporter.add(engine_record("matching_deterministic_local", 0,
+                                 matching.rounds, seconds,
+                                 mdet_bytes_per_node, before));
+    }
+
     t.add_row({Table::cell(static_cast<std::int64_t>(n)),
-               Table::cell(gen_seconds, 2),
                Table::cell(static_cast<double>(n) / gen_seconds / 1e6, 2),
-               Table::cell(luby_rounds),
                Table::cell(luby_node_rounds_per_sec / 1e6, 1),
                Table::cell(luby_bytes_per_node, 1), Table::cell(speedup, 2),
-               Table::cell(sink_rounds), Table::cell(sink_speedup, 2),
+               Table::cell(simd_speedup, 2),
+               Table::cell(simd_compact_speedup, 2),
+               Table::cell(ghaffari_bytes_per_node, 1),
+               Table::cell(mrand_bytes_per_node, 1),
+               Table::cell(mdet_bytes_per_node, 1),
+               Table::cell(plus_one_bytes_per_node, 1),
                Table::cell(greedy_bytes_per_node, 1), Table::cell(util, 2)});
   }
   reporter.print(t, std::cout);
   std::cout << "\nExpected shape: generation and engine throughput flat in n "
-               "(streaming + packed state);\ngreedy B/n stays under the "
-               "budget; packed > 1x over generic on one core (it removes\n"
-               "the generic path's sequential setup), > 2x with >= 2 cores "
-               "(see EXPERIMENTS.md E18).\n";
+               "(streaming + packed state);\nevery B/n column under its "
+               "budget (greedy/mdet " << budget_bytes << ", RNG algorithms +32, "
+               "label carriers +4Δ);\npacked > 1x over generic on one core, "
+               "> 2x with >= 2 cores; simd spd >= 1 (see EXPERIMENTS.md "
+               "E18).\n";
   return 0;
 }

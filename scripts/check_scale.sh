@@ -2,15 +2,23 @@
 # Memory-lean scale smoke: one 10^6-node (n = 2^20) Δ-regular run of
 # bench_scale on the packed fast path, with two hard gates:
 #
-#   * --assert-budget     — the DetLOCAL flagship (greedy_color_local) must
-#                           stay within the engine-side byte budget
-#                           (CKP_BUDGET_BYTES, default 48 bytes/node);
+#   * --assert-budget     — every packed algorithm in the roster (mis_luby,
+#                           mis_ghaffari, matching_randomized,
+#                           matching_deterministic, plus_one, greedy_color,
+#                           sinkless) must stay within its engine-side byte
+#                           budget, derived from CKP_BUDGET_BYTES (the
+#                           DetLOCAL baseline, default 48 bytes/node): +32
+#                           for per-node RNG streams, +4·Δ for port-aligned
+#                           edge labels;
 #   * peak-RSS ceiling    — the whole process (graph + generator + every
 #                           engine run) must finish under CKP_RSS_CEILING_MB
 #                           (default 512 MB), read back from the
 #                           --metrics_out snapshot. At 10^6 nodes a
 #                           regression to per-node pointer tables or cached
 #                           environments blows through this immediately.
+#
+# CKP_SCALE_ALGOS (comma-separated, e.g. "luby,greedy") restricts the roster
+# for one-off investigations; the default gates everything.
 #
 # The generic-path comparison runs are skipped (--generic-max-exp=0): they
 # exist to measure the packed speedup, and their deliberately heavier
@@ -34,6 +42,12 @@ D="${CKP_SCALE_D:-3}"
 THREADS="${CKP_THREADS:-$(nproc)}"
 BUDGET="${CKP_BUDGET_BYTES:-48}"
 CEILING_MB="${CKP_RSS_CEILING_MB:-512}"
+ALGOS="${CKP_SCALE_ALGOS:-}"
+
+ALGO_FLAG=()
+if [[ -n "$ALGOS" ]]; then
+  ALGO_FLAG=(--algo="$ALGOS")
+fi
 
 METRICS="$(mktemp /tmp/scale_metrics.XXXXXX.json)"
 trap 'rm -f "$METRICS"' EXIT
@@ -41,7 +55,7 @@ trap 'rm -f "$METRICS"' EXIT
 echo "== bench_scale n=2^$EXP d=$D threads=$THREADS (budget ${BUDGET} B/node, RSS ceiling ${CEILING_MB} MB)"
 "$BIN" --min-exp="$EXP" --max-exp="$EXP" --d="$D" --seeds=1 \
   --generic-max-exp=0 --assert-budget --budget-bytes="$BUDGET" \
-  --threads="$THREADS" --metrics_out="$METRICS"
+  --threads="$THREADS" --metrics_out="$METRICS" "${ALGO_FLAG[@]}"
 
 python3 - "$METRICS" "$CEILING_MB" <<'EOF'
 import json, sys

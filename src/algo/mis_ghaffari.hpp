@@ -18,6 +18,7 @@
 
 #include "graph/graph.hpp"
 #include "local/context.hpp"
+#include "local/engine.hpp"
 
 namespace ckp {
 
@@ -37,5 +38,26 @@ struct GhaffariMisResult {
 GhaffariMisResult mis_ghaffari(const Graph& g, std::uint64_t seed,
                                RoundLedger& ledger,
                                const GhaffariMisParams& params = {});
+
+// Engine port of the same algorithm on the packed fast path (one 8-byte
+// word per node; DESIGN.md §11). Phase 1 runs desire-level marking for
+// 2·iterations rounds; the phase-2 residue finishes with random 50-bit
+// priorities (greedy local-max with tie redraws) instead of the array
+// version's deterministic-MIS subroutine — same shattering structure, and
+// the residue is still measured. RandLOCAL only (ids must be empty).
+struct GhaffariLocalResult {
+  std::vector<char> in_set;
+  int rounds = 0;            // engine rounds consumed
+  int phase1_rounds = 0;     // rounds spent before the phase-2 handoff
+  NodeId residue_nodes = 0;  // nodes that reached phase 2 (shattering size)
+  NodeId largest_residue_component = 0;
+  bool completed = true;  // false if max_rounds was hit
+  std::uint64_t engine_bytes = 0;
+};
+
+GhaffariLocalResult mis_ghaffari_local(const LocalInput& input,
+                                       int max_rounds = 1 << 20,
+                                       const EngineOptions& options = {},
+                                       const GhaffariMisParams& params = {});
 
 }  // namespace ckp

@@ -22,6 +22,7 @@
 
 #include "graph/graph.hpp"
 #include "local/context.hpp"
+#include "local/engine.hpp"
 
 namespace ckp {
 
@@ -51,5 +52,21 @@ PlusOneResult plus_one_coloring_randomized(const Graph& g, int delta,
 PlusOneResult plus_one_coloring_deterministic(
     const Graph& g, const std::vector<std::uint64_t>& ids, int delta,
     RoundLedger& ledger);
+
+// Engine port of the randomized trial coloring on the packed fast path (one
+// 8-byte word per node; DESIGN.md §11). Runs the randomized phase to
+// completion — two engine rounds per trial iteration. RandLOCAL only;
+// `palette` (default Δ+1) is capped at 64 so the availability mask is one
+// word.
+struct PlusOneLocalResult {
+  std::vector<int> colors;
+  int rounds = 0;
+  bool completed = true;  // false if max_rounds was hit
+  std::uint64_t engine_bytes = 0;
+};
+
+PlusOneLocalResult plus_one_local(const LocalInput& input, int palette = 0,
+                                  int max_rounds = 1 << 20,
+                                  const EngineOptions& options = {});
 
 }  // namespace ckp

@@ -60,6 +60,20 @@
 // identical to the generic path (same init/step contract, same RNG streams,
 // same halt order); EngineOptions::force_generic runs a packed algorithm on
 // the generic path for differential tests.
+//
+// SIMD kernels. The packed path's three steady-state loops that touch no
+// algorithm code — scratch-row assembly, halt-slab compaction, active-list
+// compaction — run through util/simd.hpp, whose backend (AVX2/NEON/scalar)
+// is fixed at configure time. EngineOptions::simd toggles vector vs scalar
+// kernels at run time; both produce bit-identical results by the kernel
+// contract, which tests/test_util_simd.cpp fuzzes directly and the packed
+// differential tests check end to end.
+//
+// RNG opt-out. A RandLOCAL algorithm that derives its randomness statelessly
+// (hash draws from the seed, e.g. the packed randomized matching) declares
+// `static constexpr bool needs_rng = false`; both engine paths then skip the
+// 32 B/node private-stream allocation and env.random() fails loudly if the
+// algorithm lied.
 #pragma once
 
 #include <algorithm>
@@ -76,6 +90,7 @@
 #include "obs/resource.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -117,6 +132,11 @@ struct EngineOptions {
   // Run the generic path even for packed algorithms (packed-vs-generic
   // differential tests and benches; results are bit-identical either way).
   bool force_generic = false;
+  // Use the configure-time vector backend for the packed path's steady-state
+  // kernels. No-op when the build has no vector backend or on the generic
+  // path; false forces the scalar kernels (differential tests and scalar
+  // baselines in bench_scale). Results are bit-identical either way.
+  bool simd = true;
 };
 
 template <typename A>
@@ -154,6 +174,18 @@ struct DeclaresPackedState<A, std::void_t<decltype(A::packed_state)>>
 
 template <typename A>
 inline constexpr bool is_packed_algorithm_v = DeclaresPackedState<A>::value;
+
+// False for algorithms that declare `static constexpr bool needs_rng =
+// false` (stateless hash draws instead of private streams); the engine then
+// skips the per-node Rng allocation in RandLOCAL mode.
+template <typename A, typename = void>
+struct DeclaresNeedsRng : std::true_type {};
+template <typename A>
+struct DeclaresNeedsRng<A, std::void_t<decltype(A::needs_rng)>>
+    : std::bool_constant<static_cast<bool>(A::needs_rng)> {};
+
+template <typename A>
+inline constexpr bool needs_rng_v = DeclaresNeedsRng<A>::value;
 
 // Chunk count of one round: the static schedule always uses one chunk per
 // thread; stealing targets kStealChunksPerThread × threads but never more
@@ -195,9 +227,10 @@ EngineResult<A> run_local_impl(const LocalInput& input, A& algo,
 
   // Per-node private randomness. RandLOCAL is defined by the *absence* of
   // IDs; the seed value is irrelevant to the mode, so a DetLOCAL input with
-  // a nonzero seed allocates no streams.
+  // a nonzero seed allocates no streams. Algorithms that opted out via
+  // needs_rng=false draw statelessly and get no streams either.
   std::vector<Rng> rngs;
-  const bool randomized = !input.has_ids();
+  const bool randomized = !input.has_ids() && needs_rng_v<A>;
   if (randomized) {
     rngs.reserve(static_cast<std::size_t>(n));
     for (NodeId v = 0; v < n; ++v) {
@@ -413,10 +446,12 @@ EngineResult<A> run_local_impl(const LocalInput& input, A& algo,
 //   * no per-buffer neighbor-pointer tables (16 B per adjacency slot) —
 //     neighbor views are assembled into a per-chunk scratch row of at most
 //     Δ pointers, which stays L1-resident;
-//   * halts are recorded branch-free into a slab indexed by active-list
-//     position (chunk c owns slab[chunk_begin..), so regions are disjoint
-//     and the chunk-order merge reads them back in ascending node order);
-//   * active-list compaction is a branch-free stream compaction;
+//   * the step loop records one done byte per active-list position; halts
+//     are then left-packed per chunk into a slab region (chunk c owns
+//     slab[chunk_begin..), so regions are disjoint and the chunk-order merge
+//     reads them back in ascending node order) and the active list is
+//     left-packed in place at the barrier — both via the util/simd.hpp
+//     compaction kernel (vector or scalar per EngineOptions::simd);
 //   * a halted node's stale entry in the other buffer is refreshed at merge
 //     time, eliminating the fresh_halts list.
 //
@@ -446,13 +481,16 @@ EngineResult<A> run_local_packed_impl(const LocalInput& input, A& algo,
       stealing ? threads * kStealChunksPerThread : threads;
 
   std::vector<Rng> rngs;
-  const bool randomized = !input.has_ids();
+  const bool randomized = !input.has_ids() && needs_rng_v<A>;
   if (randomized) {
     rngs.reserve(static_cast<std::size_t>(n));
     for (NodeId v = 0; v < n; ++v) {
       rngs.push_back(node_rng(input.seed, static_cast<std::uint64_t>(v)));
     }
   }
+  // Whether to route the steady-state kernels through the vector backend.
+  // Purely a speed knob: vector and scalar kernels are output-identical.
+  const bool use_simd = opts.simd && simd::kHaveVectorBackend;
 
   // Incident edge labels flattened onto the graph's adjacency slots: the
   // label of port k of node v lives at the same index as adjacency entry k
@@ -500,12 +538,16 @@ EngineResult<A> run_local_packed_impl(const LocalInput& input, A& algo,
   State* cur = buf_a.data();  // latest completed round
   State* nxt = buf_b.data();  // scratch being written this round
 
-  std::vector<char> halted(static_cast<std::size_t>(n), 0);
   std::vector<NodeId> active(static_cast<std::size_t>(n));
   std::iota(active.begin(), active.end(), NodeId{0});
-  // Branch-free halt recording: chunk c writes its halts at slab positions
-  // [chunk_begin, chunk_begin + halt_counts[c]). Regions are disjoint by
-  // construction and ordered like the chunks themselves.
+  // One done flag per *active-list position* (not per node), written by the
+  // step loop and consumed by two flag-driven left-packs: chunk c compacts
+  // its halts into slab positions [chunk_begin, chunk_begin +
+  // halt_counts[c]) — regions disjoint by construction and ordered like the
+  // chunks — and the barrier compacts survivors out of the active list in
+  // place. Positional flags make both compactions SIMD-able and replace the
+  // per-node halted[] byte array at the same 1 B/node.
+  std::vector<std::uint8_t> done(static_cast<std::size_t>(n), 0);
   std::vector<NodeId> halt_slab(static_cast<std::size_t>(n));
   std::vector<std::int32_t> halt_counts(static_cast<std::size_t>(max_chunks),
                                         0);
@@ -518,7 +560,7 @@ EngineResult<A> run_local_packed_impl(const LocalInput& input, A& algo,
 
   result.engine_bytes = vec_bytes(buf_a) + vec_bytes(buf_b) +
                         vec_bytes(rngs) + vec_bytes(labels_flat) +
-                        vec_bytes(halted) + vec_bytes(active) +
+                        vec_bytes(done) + vec_bytes(active) +
                         vec_bytes(halt_slab) + vec_bytes(halt_counts) +
                         vec_bytes(nbr_scratch);
 
@@ -550,23 +592,34 @@ EngineResult<A> run_local_packed_impl(const LocalInput& input, A& algo,
       const State** row = nbr_scratch.data() +
                           static_cast<std::size_t>(chunk) *
                               static_cast<std::size_t>(max_deg);
-      NodeId* slab = halt_slab.data() + chunk_begin;
-      std::int32_t halts = 0;
       for (std::int64_t i = chunk_begin; i < chunk_end; ++i) {
         const NodeId v = active[static_cast<std::size_t>(i)];
         const std::span<const NodeId> nbrs = g.neighbors(v);
         const std::size_t deg = nbrs.size();
-        for (std::size_t k = 0; k < deg; ++k) row[k] = cur + nbrs[k];
+        if (use_simd) {
+          simd::assemble_rows8(row, nbrs.data(), deg, cur);
+        } else {
+          simd::assemble_rows8_scalar(row, nbrs.data(), deg, cur);
+        }
         State& mine = nxt[v];
         mine = cur[v];
         const NodeEnv env = env_of(v, nbrs);
-        const bool done =
-            algo.step(mine, env, std::span<const State* const>(row, deg));
-        // Unconditional store + conditional cursor advance: no branch.
-        slab[halts] = v;
-        halts += static_cast<std::int32_t>(done);
+        done[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(
+            algo.step(mine, env, std::span<const State* const>(row, deg)));
       }
-      halt_counts[static_cast<std::size_t>(chunk)] = halts;
+      // Left-pack this chunk's halts (done positions) into its slab region.
+      const std::int64_t len = chunk_end - chunk_begin;
+      const std::int64_t halts =
+          use_simd ? simd::compact_by_flag(halt_slab.data() + chunk_begin,
+                                           active.data() + chunk_begin,
+                                           done.data() + chunk_begin, len,
+                                           /*want=*/true)
+                   : simd::compact_by_flag_scalar(
+                         halt_slab.data() + chunk_begin,
+                         active.data() + chunk_begin,
+                         done.data() + chunk_begin, len, /*want=*/true);
+      halt_counts[static_cast<std::size_t>(chunk)] =
+          static_cast<std::int32_t>(halts);
       if constexpr (kObserved) {
         chunk_seconds[static_cast<std::size_t>(chunk)] = chunk_timer.seconds();
       }
@@ -589,7 +642,6 @@ EngineResult<A> run_local_packed_impl(const LocalInput& input, A& algo,
       const std::int32_t cnt = halt_counts[static_cast<std::size_t>(c)];
       for (std::int32_t k = 0; k < cnt; ++k) {
         const NodeId v = halt_slab[static_cast<std::size_t>(lo + k)];
-        halted[static_cast<std::size_t>(v)] = 1;
         cur[v] = nxt[v];
         if constexpr (kObserved) obs->on_node_halt(v, result.rounds + 1);
       }
@@ -598,15 +650,16 @@ EngineResult<A> run_local_packed_impl(const LocalInput& input, A& algo,
     num_halted += static_cast<NodeId>(halts_this_round);
 
     if (halts_this_round > 0) {
-      // Branch-free stream compaction of the active list.
-      std::int64_t out = 0;
-      for (std::int64_t i = 0; i < stepped; ++i) {
-        const NodeId v = active[static_cast<std::size_t>(i)];
-        active[static_cast<std::size_t>(out)] = v;
-        out += static_cast<std::int64_t>(halted[static_cast<std::size_t>(v)] ==
-                                         0);
-      }
-      active_count = out;
+      // In-place left-pack of the survivors (done == 0), driven by the same
+      // positional flags the step loop wrote. Legal aliasing per the kernel
+      // contract in util/simd.hpp.
+      active_count =
+          use_simd ? simd::compact_by_flag(active.data(), active.data(),
+                                           done.data(), stepped,
+                                           /*want=*/false)
+                   : simd::compact_by_flag_scalar(active.data(), active.data(),
+                                                  done.data(), stepped,
+                                                  /*want=*/false);
     }
     std::swap(cur, nxt);
     ++result.rounds;

@@ -123,6 +123,36 @@ std::int32_t Flags::get_shard_nodes(int threads, std::int32_t def) {
   return static_cast<std::int32_t>(out);
 }
 
+std::vector<std::string> Flags::get_list(
+    const std::string& name, const std::vector<std::string>& allowed) {
+  const auto v = raw(name);
+  if (!v) return allowed;
+  CKP_CHECK_MSG(!v->empty(), "flag --" << name << " has an empty value");
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= v->size()) {
+    const std::size_t comma = v->find(',', pos);
+    const std::string item =
+        v->substr(pos, comma == std::string::npos ? std::string::npos
+                                                  : comma - pos);
+    CKP_CHECK_MSG(!item.empty(),
+                  "flag --" << name << " has an empty item: " << *v);
+    if (std::find(allowed.begin(), allowed.end(), item) == allowed.end()) {
+      std::string valid;
+      for (const auto& a : allowed) {
+        if (!valid.empty()) valid += ", ";
+        valid += a;
+      }
+      CKP_CHECK_MSG(false, "flag --" << name << " has unknown item \"" << item
+                                     << "\"; valid: " << valid);
+    }
+    out.push_back(item);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
 void Flags::check_unknown() const {
   for (const auto& [name, value] : values_) {
     CKP_CHECK_MSG(consumed_.contains(name), "unknown flag --" << name);

@@ -35,6 +35,14 @@ class Flags {
   // which fragments the row ranges below the worker count for no benefit.
   std::int32_t get_shard_nodes(int threads, std::int32_t def = 1 << 20);
 
+  // Comma-separated selection flag (e.g. --algo=luby,greedy): absent means
+  // "all of `allowed`"; when given, every item must be a member of `allowed`
+  // — empty items and unknown names fail loudly with the valid set in the
+  // message (same fail-on-typo stance as get_shard_nodes). Order and
+  // duplicates are preserved as written.
+  std::vector<std::string> get_list(const std::string& name,
+                                    const std::vector<std::string>& allowed);
+
   // Call after all getters: throws if the command line contained flags
   // that no getter asked about.
   void check_unknown() const;

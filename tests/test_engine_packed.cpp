@@ -10,8 +10,12 @@
 #include <vector>
 
 #include "algo/greedy_color.hpp"
+#include "algo/matching_local.hpp"
+#include "algo/mis_ghaffari.hpp"
 #include "algo/mis_luby.hpp"
+#include "algo/plus_one_coloring.hpp"
 #include "algo/sinkless_local.hpp"
+#include "lcl/verify_matching.hpp"
 #include "graph/generators.hpp"
 #include "graph/regular.hpp"
 #include "graph/trees.hpp"
@@ -320,6 +324,332 @@ TEST(EnginePacked, SinklessRejectsMalformedInput) {
   }
 }
 
+TEST(EnginePacked, GhaffariPackedMatchesGenericAndVerifies) {
+  Rng rng(0x6AFF);
+  const Graph g = make_random_regular(800, 6, rng);
+  LocalInput in;
+  in.graph = &g;
+  in.seed = 17;
+  const auto packed = mis_ghaffari_local(in);
+  EngineOptions generic_opts;
+  generic_opts.force_generic = true;
+  const auto generic = mis_ghaffari_local(in, 1 << 20, generic_opts);
+  EXPECT_EQ(packed.rounds, generic.rounds);
+  EXPECT_EQ(packed.in_set, generic.in_set);
+  EXPECT_EQ(packed.residue_nodes, generic.residue_nodes);
+  EXPECT_EQ(packed.largest_residue_component,
+            generic.largest_residue_component);
+  EXPECT_TRUE(packed.completed);
+  EXPECT_TRUE(verify_mis(g, packed.in_set).ok);
+  EXPECT_LT(packed.engine_bytes, generic.engine_bytes);
+  // Shattering accounting is internally consistent.
+  EXPECT_LE(packed.largest_residue_component, packed.residue_nodes);
+  EXPECT_LE(packed.residue_nodes, g.num_nodes());
+  EXPECT_LE(packed.phase1_rounds, packed.rounds);
+}
+
+TEST(EnginePacked, GhaffariThreadScheduleAndSimdInvariant) {
+  Rng rng(0x6AFE);
+  const Graph g = make_complete_tree(700, 3);
+  LocalInput in;
+  in.graph = &g;
+  in.seed = 5;
+  const auto base = mis_ghaffari_local(in);
+  EXPECT_TRUE(base.completed);
+  for (const int threads : {1, 2, 8}) {
+    for (const EngineSchedule schedule :
+         {EngineSchedule::kStatic, EngineSchedule::kWorkStealing}) {
+      for (const bool simd : {false, true}) {
+        EngineOptions opts;
+        opts.threads = threads;
+        opts.schedule = schedule;
+        opts.simd = simd;
+        const auto run = mis_ghaffari_local(in, 1 << 20, opts);
+        EXPECT_EQ(base.rounds, run.rounds);
+        EXPECT_EQ(base.in_set, run.in_set);
+        EXPECT_EQ(base.residue_nodes, run.residue_nodes);
+      }
+    }
+  }
+}
+
+TEST(EnginePacked, GhaffariRejectsMalformedInput) {
+  const Graph g = make_cycle(16);
+  LocalInput in;
+  in.graph = &g;
+  in.ids = sequential_ids(g.num_nodes());  // RandLOCAL: ids forbidden
+  EXPECT_THROW(mis_ghaffari_local(in), CheckFailure);
+  LocalInput rand_in;
+  rand_in.graph = &g;
+  GhaffariMisParams params;
+  params.phase1_iterations = 300;  // exceeds the 8-bit packed counter
+  EXPECT_THROW(mis_ghaffari_local(rand_in, 1 << 20, EngineOptions{}, params),
+               CheckFailure);
+}
+
+TEST(EnginePacked, MatchingRandomizedPackedMatchesGenericAndVerifies) {
+  Rng rng(0x3A7C);
+  const Graph g = make_random_regular(600, 5, rng);
+  LocalInput in;
+  in.graph = &g;
+  in.seed = 23;
+  const auto packed = matching_randomized_local(in);
+  EngineOptions generic_opts;
+  generic_opts.force_generic = true;
+  const auto generic = matching_randomized_local(in, 1 << 20, generic_opts);
+  EXPECT_EQ(packed.rounds, generic.rounds);
+  EXPECT_EQ(packed.in_matching, generic.in_matching);
+  EXPECT_TRUE(packed.completed);
+  EXPECT_TRUE(verify_maximal_matching(g, packed.in_matching).ok);
+  EXPECT_LT(packed.engine_bytes, generic.engine_bytes);
+}
+
+TEST(EnginePacked, MatchingDeterministicPackedMatchesGenericAndVerifies) {
+  Rng rng(0x3A7D);
+  const Graph g = make_complete_tree(500, 4);
+  LocalInput in;
+  in.graph = &g;
+  in.ids = random_ids(g.num_nodes(), 27, rng);
+  const auto packed = matching_deterministic_local(in);
+  EngineOptions generic_opts;
+  generic_opts.force_generic = true;
+  const auto generic = matching_deterministic_local(in, 1 << 20, generic_opts);
+  EXPECT_EQ(packed.rounds, generic.rounds);
+  EXPECT_EQ(packed.in_matching, generic.in_matching);
+  EXPECT_TRUE(packed.completed);
+  EXPECT_TRUE(verify_maximal_matching(g, packed.in_matching).ok);
+  EXPECT_LT(packed.engine_bytes, generic.engine_bytes);
+}
+
+TEST(EnginePacked, MatchingThreadScheduleAndSimdInvariant) {
+  Rng rng(0x3A7E);
+  const Graph g = make_random_regular(512, 4, rng);
+  LocalInput rand_in;
+  rand_in.graph = &g;
+  rand_in.seed = 31;
+  LocalInput det_in;
+  det_in.graph = &g;
+  det_in.ids = random_ids(g.num_nodes(), 26, rng);
+  const auto rand_base = matching_randomized_local(rand_in);
+  const auto det_base = matching_deterministic_local(det_in);
+  EXPECT_TRUE(rand_base.completed);
+  EXPECT_TRUE(det_base.completed);
+  for (const int threads : {1, 2, 8}) {
+    for (const EngineSchedule schedule :
+         {EngineSchedule::kStatic, EngineSchedule::kWorkStealing}) {
+      for (const bool simd : {false, true}) {
+        EngineOptions opts;
+        opts.threads = threads;
+        opts.schedule = schedule;
+        opts.simd = simd;
+        const auto r = matching_randomized_local(rand_in, 1 << 20, opts);
+        EXPECT_EQ(rand_base.rounds, r.rounds);
+        EXPECT_EQ(rand_base.in_matching, r.in_matching);
+        const auto d = matching_deterministic_local(det_in, 1 << 20, opts);
+        EXPECT_EQ(det_base.rounds, d.rounds);
+        EXPECT_EQ(det_base.in_matching, d.in_matching);
+      }
+    }
+  }
+}
+
+TEST(EnginePacked, MatchingRejectsMalformedInput) {
+  const Graph g = make_cycle(16);
+  {
+    LocalInput in;  // randomized: ids forbidden
+    in.graph = &g;
+    in.ids = sequential_ids(g.num_nodes());
+    EXPECT_THROW(matching_randomized_local(in), CheckFailure);
+  }
+  {
+    LocalInput in;  // randomized: labels are synthesized, not accepted
+    in.graph = &g;
+    in.edge_labels.assign(static_cast<std::size_t>(g.num_edges()), 0);
+    EXPECT_THROW(matching_randomized_local(in), CheckFailure);
+  }
+  {
+    LocalInput in;  // deterministic: ids required
+    in.graph = &g;
+    EXPECT_THROW(matching_deterministic_local(in), CheckFailure);
+  }
+  {
+    LocalInput in;  // deterministic: ids must fit below 2^28 - 1
+    in.graph = &g;
+    in.ids = sequential_ids(g.num_nodes());
+    in.ids[0] = 1ULL << 28;
+    EXPECT_THROW(matching_deterministic_local(in), CheckFailure);
+  }
+}
+
+TEST(EnginePacked, PlusOnePackedMatchesGenericAndVerifies) {
+  Rng rng(0xA1B2);
+  const Graph g = make_random_regular(700, 6, rng);
+  LocalInput in;
+  in.graph = &g;
+  in.seed = 41;
+  const auto packed = plus_one_local(in);
+  EngineOptions generic_opts;
+  generic_opts.force_generic = true;
+  const auto generic = plus_one_local(in, 0, 1 << 20, generic_opts);
+  EXPECT_EQ(packed.rounds, generic.rounds);
+  EXPECT_EQ(packed.colors, generic.colors);
+  EXPECT_TRUE(packed.completed);
+  EXPECT_TRUE(verify_coloring(g, packed.colors, g.max_degree() + 1).ok);
+  EXPECT_LT(packed.engine_bytes, generic.engine_bytes);
+}
+
+TEST(EnginePacked, PlusOneThreadScheduleAndSimdInvariant) {
+  const Graph g = make_complete_tree(600, 3);
+  LocalInput in;
+  in.graph = &g;
+  in.seed = 43;
+  const auto base = plus_one_local(in);
+  EXPECT_TRUE(base.completed);
+  for (const int threads : {1, 2, 8}) {
+    for (const EngineSchedule schedule :
+         {EngineSchedule::kStatic, EngineSchedule::kWorkStealing}) {
+      for (const bool simd : {false, true}) {
+        EngineOptions opts;
+        opts.threads = threads;
+        opts.schedule = schedule;
+        opts.simd = simd;
+        const auto run = plus_one_local(in, 0, 1 << 20, opts);
+        EXPECT_EQ(base.rounds, run.rounds);
+        EXPECT_EQ(base.colors, run.colors);
+      }
+    }
+  }
+}
+
+TEST(EnginePacked, PlusOneRejectsMalformedInput) {
+  const Graph g = make_cycle(16);
+  {
+    LocalInput in;  // RandLOCAL: ids forbidden
+    in.graph = &g;
+    in.ids = sequential_ids(g.num_nodes());
+    EXPECT_THROW(plus_one_local(in), CheckFailure);
+  }
+  LocalInput in;
+  in.graph = &g;
+  EXPECT_THROW(plus_one_local(in, 2), CheckFailure);   // palette < Δ+1
+  EXPECT_THROW(plus_one_local(in, 65), CheckFailure);  // palette > mask width
+}
+
+// ---------------------------------------------------------------------------
+// The EngineOptions::simd toggle on the raw fixtures: vector and scalar
+// kernels must agree bit-for-bit on skewed halt schedules at every thread
+// count and on both schedulers (per-chunk compaction tails exercise the
+// ragged vector-width cases).
+
+TEST(EnginePacked, SimdToggleBitIdenticalOnSkewedFixtures) {
+  for (const Graph& g : fixture_graphs()) {
+    LocalInput in;
+    in.graph = &g;
+    in.seed = 0x51D;
+    SkewedRandMixer a1;
+    EngineOptions scalar_opts;
+    scalar_opts.threads = 1;
+    scalar_opts.simd = false;
+    const auto scalar = run_local(in, a1, 200, nullptr, scalar_opts);
+    EXPECT_TRUE(scalar.all_halted);
+    for (const int threads : {1, 2, 8}) {
+      for (const EngineSchedule schedule :
+           {EngineSchedule::kStatic, EngineSchedule::kWorkStealing}) {
+        EngineOptions opts;
+        opts.threads = threads;
+        opts.schedule = schedule;
+        opts.simd = true;
+        SkewedRandMixer a2;
+        const auto vec = run_local(in, a2, 200, nullptr, opts);
+        expect_same_run(scalar, vec);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The needs_rng opt-out: an algorithm declaring needs_rng = false gets no
+// per-node streams (32 B/node cheaper in RandLOCAL mode) and a loud failure
+// if it draws anyway.
+
+struct NoRngPacked {
+  static constexpr bool packed_state = true;
+  static constexpr bool needs_rng = false;
+
+  struct State {
+    std::uint64_t x = 0;
+  };
+
+  State init(const NodeEnv& env) {
+    return {static_cast<std::uint64_t>(env.index) + 1};
+  }
+
+  bool step(State& self, const NodeEnv&, std::span<const State* const> nbrs) {
+    for (const State* nb : nbrs) self.x += nb->x;
+    return self.x > 1000;
+  }
+};
+
+struct LyingNoRngPacked {
+  static constexpr bool packed_state = true;
+  static constexpr bool needs_rng = false;
+
+  struct State {
+    std::uint64_t x = 0;
+  };
+
+  State init(const NodeEnv&) { return {0}; }
+
+  bool step(State& self, const NodeEnv& env, std::span<const State* const>) {
+    self.x = env.random()();  // declared needs_rng = false: must throw
+    return true;
+  }
+};
+
+// Twin of NoRngPacked that keeps the default needs_rng = true: the engine
+// footprints of the two runs differ by exactly the per-node stream array.
+struct NoRngPackedWithStreams {
+  static constexpr bool packed_state = true;
+
+  struct State {
+    std::uint64_t x = 0;
+  };
+
+  State init(const NodeEnv& env) {
+    return {static_cast<std::uint64_t>(env.index) + 1};
+  }
+
+  bool step(State& self, const NodeEnv&, std::span<const State* const> nbrs) {
+    for (const State* nb : nbrs) self.x += nb->x;
+    return self.x > 1000;
+  }
+};
+
+static_assert(detail::needs_rng_v<SkewedRandMixer>);  // default is true
+static_assert(!detail::needs_rng_v<NoRngPacked>);
+
+TEST(EnginePacked, NeedsRngOptOutSkipsStreamsAndFailsLoudlyOnDraws) {
+  const Graph g = make_cycle(128);
+  LocalInput in;  // RandLOCAL (no ids) — would normally allocate streams
+  in.graph = &g;
+  NoRngPacked lean_algo;
+  const auto lean = run_local(in, lean_algo, 100, nullptr, EngineOptions{});
+  EXPECT_TRUE(lean.all_halted);
+  NoRngPackedWithStreams full_algo;
+  const auto full = run_local(in, full_algo, 100, nullptr, EngineOptions{});
+  EXPECT_EQ(lean.rounds, full.rounds);
+  ASSERT_EQ(lean.states.size(), full.states.size());
+  for (std::size_t i = 0; i < lean.states.size(); ++i) {
+    EXPECT_EQ(lean.states[i].x, full.states[i].x);
+  }
+  EXPECT_EQ(full.engine_bytes,
+            lean.engine_bytes +
+                sizeof(Rng) * static_cast<std::uint64_t>(g.num_nodes()));
+  LyingNoRngPacked liar;
+  EXPECT_THROW(run_local(in, liar, 10, nullptr, EngineOptions{}),
+               CheckFailure);
+}
+
 // ---------------------------------------------------------------------------
 // Allocation-free certification. The packed engine wraps its round loop in
 // AssertNoAlloc when unobserved; a packed step that allocates must therefore
@@ -374,12 +704,16 @@ TEST(EnginePacked, PortedAlgorithmsPassTheNoAllocCertification) {
   rand_in.graph = &inst.graph;
   rand_in.seed = 2;
   EXPECT_TRUE(mis_luby(rand_in).completed);
+  EXPECT_TRUE(mis_ghaffari_local(rand_in).completed);
+  EXPECT_TRUE(matching_randomized_local(rand_in).completed);
+  EXPECT_TRUE(plus_one_local(rand_in).completed);
   rand_in.edge_labels = inst.edge_color;
   sinkless_local(rand_in);
   LocalInput det_in;
   det_in.graph = &inst.graph;
   det_in.ids = sequential_ids(inst.graph.num_nodes());
   EXPECT_TRUE(greedy_color_local(det_in, 4).completed);
+  EXPECT_TRUE(matching_deterministic_local(det_in).completed);
 }
 
 }  // namespace

@@ -322,6 +322,10 @@ TEST(Provenance, CollectedFieldsAreNonEmpty) {
   ASSERT_EQ(p.timestamp.size(), 20u) << p.timestamp;
   EXPECT_EQ(p.timestamp[10], 'T');
   EXPECT_EQ(p.timestamp.back(), 'Z');
+  // The selected SIMD backend is stamped so recorded numbers say which
+  // kernel variant produced them.
+  EXPECT_TRUE(p.simd == "avx2" || p.simd == "neon" || p.simd == "scalar")
+      << p.simd;
 }
 
 TEST(Provenance, RoundTripsThroughJson) {
@@ -334,6 +338,7 @@ TEST(Provenance, RoundTripsThroughJson) {
   rec.provenance.timestamp = "2026-08-09T00:00:00Z";
   rec.provenance.host = "unit-host";
   rec.provenance.build_flags = "RelWithDebInfo -O2";
+  rec.provenance.simd = "avx2";
   const std::string json = rec.to_json();
   EXPECT_NE(json.find("\"provenance\""), std::string::npos);
   const RunRecord back = RunRecord::from_json_line(json);
@@ -341,6 +346,7 @@ TEST(Provenance, RoundTripsThroughJson) {
   EXPECT_EQ(back.provenance.timestamp, "2026-08-09T00:00:00Z");
   EXPECT_EQ(back.provenance.host, "unit-host");
   EXPECT_EQ(back.provenance.build_flags, "RelWithDebInfo -O2");
+  EXPECT_EQ(back.provenance.simd, "avx2");
   EXPECT_EQ(back.to_json(), json);  // verbatim re-emission
 }
 

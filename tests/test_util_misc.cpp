@@ -82,6 +82,47 @@ TEST(Flags, DoubleAndString) {
   EXPECT_EQ(f.get_string("name", ""), "tree");
 }
 
+TEST(Flags, GetListDefaultsToAllAllowed) {
+  const char* argv[] = {"prog"};
+  Flags f(1, argv);
+  const std::vector<std::string> allowed = {"luby", "greedy", "sinkless"};
+  EXPECT_EQ(f.get_list("algo", allowed), allowed);
+  EXPECT_NO_THROW(f.check_unknown());
+}
+
+TEST(Flags, GetListParsesSelectionInOrder) {
+  const char* argv[] = {"prog", "--algo=greedy,luby"};
+  Flags f(2, argv);
+  const std::vector<std::string> allowed = {"luby", "greedy", "sinkless"};
+  const std::vector<std::string> want = {"greedy", "luby"};
+  EXPECT_EQ(f.get_list("algo", allowed), want);
+  EXPECT_NO_THROW(f.check_unknown());
+}
+
+TEST(Flags, GetListRejectsUnknownAndEmptyItems) {
+  const std::vector<std::string> allowed = {"luby", "greedy"};
+  {
+    const char* argv[] = {"prog", "--algo=bogus"};
+    Flags f(2, argv);
+    EXPECT_THROW(f.get_list("algo", allowed), CheckFailure);
+  }
+  {
+    const char* argv[] = {"prog", "--algo=luby,,greedy"};
+    Flags f(2, argv);
+    EXPECT_THROW(f.get_list("algo", allowed), CheckFailure);
+  }
+  {
+    const char* argv[] = {"prog", "--algo=luby,"};
+    Flags f(2, argv);
+    EXPECT_THROW(f.get_list("algo", allowed), CheckFailure);
+  }
+  {
+    const char* argv[] = {"prog", "--algo="};
+    Flags f(2, argv);
+    EXPECT_THROW(f.get_list("algo", allowed), CheckFailure);
+  }
+}
+
 TEST(Timer, MeasuresNonNegative) {
   Timer t;
   EXPECT_GE(t.seconds(), 0.0);
