@@ -1,0 +1,105 @@
+// Per-run execution budgets for the LOCAL engine: deadline, node-step
+// limit, and cooperative cancellation.
+//
+// A RunBudget is the engine-side half of the job server's admission
+// contract (src/serve/): the server derives a steady-clock deadline from
+// the job's deadline_ms, owns the cancel flag a `cancel` request flips, and
+// hands the budget to run_local through EngineOptions::budget. The engine
+// checks the budget once per round at the round barrier — after the chunk
+// merge, when both state buffers are consistent — so an interrupted run
+// still returns a well-formed EngineResult holding the last completed
+// round's states. Checking at the barrier (not inside chunks) keeps the
+// parallel region free of cross-thread coordination and bounds the overrun
+// by one round, the same interrupt granularity as the HaploKit-style
+// kill-flag pattern this follows.
+//
+// Budgets never perturb results: a run whose budget does not trigger is
+// bit-identical to an un-budgeted run (the checks read time and flags but
+// consume no randomness and touch no state), which the serve memo relies on
+// when it keys results without any budget facts.
+//
+// Deadlines are steady-clock by construction (SteadyTime); `now` is the
+// test-injection hook from util/timer.hpp, so deadline behavior is
+// verified with manufactured time instead of sleeps.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/timer.hpp"
+
+namespace ckp {
+
+// Why a budgeted run stopped early. kNone means the budget never fired.
+enum class BudgetStop : int {
+  kNone = 0,
+  kCancelled,  // the cancel flag was set
+  kDeadline,   // steady-clock deadline passed
+  kStepLimit,  // cumulative node-steps exceeded step_limit
+};
+
+struct RunBudget {
+  // Absolute steady-clock deadline; the default-constructed time_point
+  // means "no deadline" (matching the exemplar convention).
+  SteadyTime deadline{};
+  // Cap on cumulative node-steps (sum of active-node counts over rounds);
+  // 0 = unlimited. Node-steps, not rounds, so the limit prices large and
+  // small graphs comparably (max_rounds already caps rounds).
+  std::uint64_t step_limit = 0;
+  // Cooperative kill flag; any thread may set it (request_cancel below).
+  std::atomic<bool> cancel{false};
+  // Test-injection time source for the deadline check; nullptr = real clock.
+  NowFn now = nullptr;
+
+  // Set by the engine when the budget stops a run; kNone while running or
+  // when the run finished on its own. Readable from other threads (the
+  // server's status reporting) hence atomic.
+  std::atomic<BudgetStop> stop{BudgetStop::kNone};
+  // Node-steps consumed so far, updated once per round at the barrier.
+  std::atomic<std::uint64_t> steps{0};
+
+  void request_cancel() { cancel.store(true, std::memory_order_release); }
+
+  bool stopped() const {
+    return stop.load(std::memory_order_acquire) != BudgetStop::kNone;
+  }
+
+  BudgetStop stop_reason() const {
+    return stop.load(std::memory_order_acquire);
+  }
+
+  // Engine-side: charge `stepped` node-steps for the round just merged,
+  // then report whether (and why) the run must stop. Cancellation wins over
+  // deadline over step limit when several fired in the same round, so
+  // reported reasons are deterministic given the inputs. Records the first
+  // non-kNone verdict in `stop`.
+  BudgetStop charge(std::uint64_t stepped) {
+    const std::uint64_t used =
+        steps.fetch_add(stepped, std::memory_order_relaxed) + stepped;
+    BudgetStop why = BudgetStop::kNone;
+    if (cancel.load(std::memory_order_acquire)) {
+      why = BudgetStop::kCancelled;
+    } else if (deadline != SteadyTime{} && steady_now(now) >= deadline) {
+      why = BudgetStop::kDeadline;
+    } else if (step_limit != 0 && used >= step_limit) {
+      why = BudgetStop::kStepLimit;
+    }
+    if (why != BudgetStop::kNone) {
+      stop.store(why, std::memory_order_release);
+    }
+    return why;
+  }
+};
+
+// Human-readable reason for records and protocol responses.
+inline const char* budget_stop_name(BudgetStop stop) {
+  switch (stop) {
+    case BudgetStop::kNone: return "none";
+    case BudgetStop::kCancelled: return "cancelled";
+    case BudgetStop::kDeadline: return "deadline";
+    case BudgetStop::kStepLimit: return "step_limit";
+  }
+  return "unknown";
+}
+
+}  // namespace ckp

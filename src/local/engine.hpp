@@ -85,6 +85,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "local/budget.hpp"
 #include "local/context.hpp"
 #include "obs/observer.hpp"
 #include "obs/resource.hpp"
@@ -137,6 +138,12 @@ struct EngineOptions {
   // path; false forces the scalar kernels (differential tests and scalar
   // baselines in bench_scale). Results are bit-identical either way.
   bool simd = true;
+  // Optional execution budget (deadline / step limit / cancel flag; see
+  // local/budget.hpp), checked once per round at the round barrier on both
+  // engine paths. Not owned; must outlive the run. nullptr (the default)
+  // compiles the checks away behind one branch, and a budget that never
+  // triggers leaves results bit-identical to an un-budgeted run.
+  RunBudget* budget = nullptr;
 };
 
 template <typename A>
@@ -144,6 +151,10 @@ struct EngineResult {
   std::vector<typename A::State> states;
   int rounds = 0;
   bool all_halted = false;
+  // True when EngineOptions::budget stopped the run at a round barrier
+  // (the reason is recorded on the budget itself). `states` then holds the
+  // last completed round — a consistent partial result, never a torn one.
+  bool interrupted = false;
   // Heap bytes the engine allocated for this run (state buffers, RNG
   // streams, active/halt bookkeeping, cached environments...). Exact — summed
   // from container capacities, not sampled from RSS — so benches can report
@@ -324,8 +335,15 @@ EngineResult<A> run_local_impl(const LocalInput& input, A& algo,
 
   ThreadPool* pool = threads > 1 ? &shared_pool(threads) : nullptr;
 
+  // An already-tripped budget (pre-set cancel flag, expired deadline) stops
+  // before round 1: zero rounds executed, init states returned.
+  if (opts.budget != nullptr &&
+      opts.budget->charge(0) != BudgetStop::kNone) {
+    result.interrupted = true;
+  }
+
   NodeId num_halted = 0;
-  while (num_halted < n && result.rounds < max_rounds) {
+  while (!result.interrupted && num_halted < n && result.rounds < max_rounds) {
     [[maybe_unused]] Timer round_timer;
     [[maybe_unused]] std::uint64_t copies_this_round = 0;
     const auto active_count = static_cast<std::int64_t>(active.size());
@@ -410,6 +428,14 @@ EngineResult<A> run_local_impl(const LocalInput& input, A& algo,
       stats.threads = threads;
       stats.chunk_seconds = chunk_seconds;
       obs->on_round_end(stats);
+    }
+    // Budget check at the round barrier: the chunk merge above completed,
+    // *cur is a consistent round, so stopping here never tears state.
+    if (opts.budget != nullptr &&
+        opts.budget->charge(static_cast<std::uint64_t>(active_count)) !=
+            BudgetStop::kNone) {
+      result.interrupted = true;
+      break;
     }
   }
   result.engine_bytes = vec_bytes(buf_a) + vec_bytes(buf_b) +
@@ -575,7 +601,11 @@ EngineResult<A> run_local_packed_impl(const LocalInput& input, A& algo,
     // the dedicated certificates in test_obs_resource / test_engine_packed.
     if (alloc_counting_active()) no_alloc.emplace("packed engine round loop");
   }
-  while (num_halted < n && result.rounds < max_rounds) {
+  if (opts.budget != nullptr &&
+      opts.budget->charge(0) != BudgetStop::kNone) {
+    result.interrupted = true;
+  }
+  while (!result.interrupted && num_halted < n && result.rounds < max_rounds) {
     [[maybe_unused]] Timer round_timer;
     const std::int64_t stepped = active_count;
     const int chunks =
@@ -676,6 +706,14 @@ EngineResult<A> run_local_packed_impl(const LocalInput& input, A& algo,
       stats.threads = threads;
       stats.chunk_seconds = chunk_seconds;
       obs->on_round_end(stats);
+    }
+    // Round-barrier budget check, mirroring the generic path. Runs after
+    // the slab merge and buffer swap, so cur is the last completed round.
+    if (opts.budget != nullptr &&
+        opts.budget->charge(static_cast<std::uint64_t>(stepped)) !=
+            BudgetStop::kNone) {
+      result.interrupted = true;
+      break;
     }
   }
   if (no_alloc) no_alloc->check();

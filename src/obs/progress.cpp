@@ -36,12 +36,14 @@ double progress_interval() {
 }
 
 ProgressMeter::ProgressMeter(std::string label, std::uint64_t total,
-                             double every_seconds, std::ostream* sink)
+                             double every_seconds, std::ostream* sink,
+                             NowFn now)
     : label_(std::move(label)),
       total_(total),
       every_(every_seconds == kGlobalInterval ? progress_interval()
                                               : every_seconds),
-      sink_(sink) {}
+      sink_(sink),
+      timer_(now) {}
 
 ProgressMeter::~ProgressMeter() {
   try {
@@ -100,12 +102,14 @@ void ProgressMeter::emit(std::uint64_t done, bool final) {
 }
 
 ProgressObserver::ProgressObserver(std::string label, double every_seconds,
-                                   std::ostream* sink, EngineObserver* next)
+                                   std::ostream* sink, EngineObserver* next,
+                                   NowFn now)
     : label_(std::move(label)),
       every_(every_seconds == kGlobalInterval ? progress_interval()
                                               : every_seconds),
       sink_(sink),
-      next_(next) {}
+      next_(next),
+      timer_(now) {}
 
 void ProgressObserver::on_round_begin(int round) {
   if (next_ != nullptr) next_->on_round_begin(round);

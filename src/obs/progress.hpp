@@ -44,10 +44,13 @@ class ProgressMeter {
   // `total` == 0 means unknown (events omit total/ETA). `every_seconds` is
   // the minimum spacing between events; kGlobalInterval inherits the
   // process default and <= 0 disables the meter entirely. `sink` defaults
-  // to std::cerr; tests inject a stringstream.
+  // to std::cerr; tests inject a stringstream. `now` injects a time source
+  // (util/timer.hpp) so rate limiting is testable without sleeping; the
+  // default is the real steady clock — never the wall clock, which would
+  // make the rate limiter misfire under clock adjustments.
   ProgressMeter(std::string label, std::uint64_t total,
                 double every_seconds = kGlobalInterval,
-                std::ostream* sink = nullptr);
+                std::ostream* sink = nullptr, NowFn now = nullptr);
   ~ProgressMeter();
 
   ProgressMeter(const ProgressMeter&) = delete;
@@ -92,7 +95,8 @@ class ProgressObserver : public EngineObserver {
   explicit ProgressObserver(std::string label,
                             double every_seconds = kGlobalInterval,
                             std::ostream* sink = nullptr,
-                            EngineObserver* next = nullptr);
+                            EngineObserver* next = nullptr,
+                            NowFn now = nullptr);
 
   void on_round_begin(int round) override;
   void on_round_end(const RoundStats& stats) override;

@@ -1,0 +1,429 @@
+#include "serve/registry.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "algo/greedy_color.hpp"
+#include "algo/matching_local.hpp"
+#include "algo/mis_ghaffari.hpp"
+#include "algo/mis_luby.hpp"
+#include "algo/plus_one_coloring.hpp"
+#include "algo/sinkless_local.hpp"
+#include "graph/generators.hpp"
+#include "graph/regular.hpp"
+#include "graph/trees.hpp"
+#include "lcl/verify_coloring.hpp"
+#include "lcl/verify_matching.hpp"
+#include "lcl/verify_mis.hpp"
+#include "lcl/verify_orientation.hpp"
+#include "local/ids.hpp"
+#include "store/binary_io.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ckp {
+
+namespace {
+
+std::string joined(const std::vector<std::string>& names) {
+  std::string out;
+  for (const auto& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+// Rejects params the adapter did not declare — same fail-on-typo stance as
+// Flags::check_unknown, so a misspelled "pallete" errors instead of running
+// with the default.
+void check_params(const std::string& algo, const KV& params,
+                  const std::vector<std::string>& allowed) {
+  for (const auto& [key, value] : params) {
+    (void)value;
+    bool known = false;
+    for (const auto& a : allowed) {
+      if (a == key) {
+        known = true;
+        break;
+      }
+    }
+    CKP_CHECK_MSG(known, "algorithm " << algo << " has no param \"" << key
+                                      << "\"; valid: "
+                                      << (allowed.empty() ? "(none)"
+                                                          : joined(allowed)));
+  }
+}
+
+// FNV-1a over a vector's element bytes — the output-digest witness. Only
+// instantiated for trivially copyable element types.
+template <typename T>
+std::uint64_t digest_vec(const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return fnv1a64(std::string_view(reinterpret_cast<const char*>(v.data()),
+                                  v.size() * sizeof(T)));
+}
+
+// ---------------------------------------------------------------------------
+// Adapters. Each is a stateless wrapper over one packed roster entry; the
+// version stamp starts at 1 and must be bumped whenever the wrapped
+// algorithm's output for a fixed (graph, params, seed) changes.
+
+class LubyAlgo final : public Algorithm {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "luby";
+    return kName;
+  }
+  int version() const override { return 1; }
+  bool randomized() const override { return true; }
+  bool needs_edge_labels() const override { return false; }
+
+  AlgoRun run(const LocalInput& input, int max_rounds,
+              const EngineOptions& options, const KV& params) const override {
+    check_params(name(), params, {});
+    const MisResult r = mis_luby(input, max_rounds, options);
+    AlgoRun out;
+    out.rounds = r.rounds;
+    out.completed = r.completed;
+    out.engine_bytes = r.engine_bytes;
+    out.output_digest = digest_vec(r.in_set);
+    out.verified = r.completed && verify_mis(*input.graph, r.in_set).ok;
+    return out;
+  }
+};
+
+class GhaffariAlgo final : public Algorithm {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "ghaffari";
+    return kName;
+  }
+  int version() const override { return 1; }
+  bool randomized() const override { return true; }
+  bool needs_edge_labels() const override { return false; }
+
+  AlgoRun run(const LocalInput& input, int max_rounds,
+              const EngineOptions& options, const KV& params) const override {
+    check_params(name(), params, {"phase1_iterations"});
+    GhaffariMisParams p;
+    p.phase1_iterations =
+        static_cast<int>(kv_int(params, "phase1_iterations", 0));
+    const GhaffariLocalResult r =
+        mis_ghaffari_local(input, max_rounds, options, p);
+    AlgoRun out;
+    out.rounds = r.rounds;
+    out.completed = r.completed;
+    out.engine_bytes = r.engine_bytes;
+    out.output_digest = digest_vec(r.in_set);
+    out.verified = r.completed && verify_mis(*input.graph, r.in_set).ok;
+    out.metrics.emplace_back("phase1_rounds",
+                             static_cast<double>(r.phase1_rounds));
+    out.metrics.emplace_back("residue_nodes",
+                             static_cast<double>(r.residue_nodes));
+    out.metrics.emplace_back(
+        "largest_residue_component",
+        static_cast<double>(r.largest_residue_component));
+    return out;
+  }
+};
+
+class MatchingAlgo final : public Algorithm {
+ public:
+  explicit MatchingAlgo(bool randomized) : randomized_(randomized) {}
+
+  const std::string& name() const override {
+    static const std::string kRand = "matching_rand";
+    static const std::string kDet = "matching_det";
+    return randomized_ ? kRand : kDet;
+  }
+  int version() const override { return 1; }
+  bool randomized() const override { return randomized_; }
+  bool needs_edge_labels() const override { return false; }
+
+  AlgoRun run(const LocalInput& input, int max_rounds,
+              const EngineOptions& options, const KV& params) const override {
+    check_params(name(), params, {});
+    const MatchingLocalResult r =
+        randomized_ ? matching_randomized_local(input, max_rounds, options)
+                    : matching_deterministic_local(input, max_rounds, options);
+    AlgoRun out;
+    out.rounds = r.rounds;
+    out.completed = r.completed;
+    out.engine_bytes = r.engine_bytes;
+    out.output_digest = digest_vec(r.in_matching);
+    out.verified =
+        r.completed &&
+        verify_maximal_matching(*input.graph, r.in_matching).ok;
+    return out;
+  }
+
+ private:
+  bool randomized_;
+};
+
+class ColoringAlgo final : public Algorithm {
+ public:
+  explicit ColoringAlgo(bool randomized) : randomized_(randomized) {}
+
+  const std::string& name() const override {
+    static const std::string kRand = "plus_one";
+    static const std::string kDet = "greedy";
+    return randomized_ ? kRand : kDet;
+  }
+  int version() const override { return 1; }
+  bool randomized() const override { return randomized_; }
+  bool needs_edge_labels() const override { return false; }
+
+  AlgoRun run(const LocalInput& input, int max_rounds,
+              const EngineOptions& options, const KV& params) const override {
+    check_params(name(), params, {"palette"});
+    const int palette = static_cast<int>(kv_int(params, "palette", 0));
+    AlgoRun out;
+    std::vector<int> colors;
+    if (randomized_) {
+      PlusOneLocalResult r = plus_one_local(input, palette, max_rounds,
+                                            options);
+      out.rounds = r.rounds;
+      out.completed = r.completed;
+      out.engine_bytes = r.engine_bytes;
+      colors = std::move(r.colors);
+    } else {
+      GreedyColorLocalResult r = greedy_color_local(input, palette,
+                                                    max_rounds, options);
+      out.rounds = r.rounds;
+      out.completed = r.completed;
+      out.engine_bytes = r.engine_bytes;
+      colors = std::move(r.colors);
+    }
+    const int k = palette > 0 ? palette : input.graph->max_degree() + 1;
+    out.output_digest = digest_vec(colors);
+    out.verified =
+        out.completed && verify_coloring(*input.graph, colors, k).ok;
+    return out;
+  }
+
+ private:
+  bool randomized_;
+};
+
+class SinklessAlgo final : public Algorithm {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "sinkless";
+    return kName;
+  }
+  int version() const override { return 1; }
+  bool randomized() const override { return true; }
+  bool needs_edge_labels() const override { return true; }
+
+  AlgoRun run(const LocalInput& input, int max_rounds,
+              const EngineOptions& options, const KV& params) const override {
+    check_params(name(), params, {});
+    // The packed state's round counter is 20 bits, so the server's default
+    // cap (1 << 20) is clamped to the representable maximum. The memo key
+    // still carries the *requested* cap — the clamp is a deterministic
+    // function of it.
+    const int capped = std::min(max_rounds, (1 << 20) - 1);
+    const SinklessLocalResult r = sinkless_local(input, capped, options);
+    AlgoRun out;
+    out.rounds = r.rounds;
+    out.completed = r.completed;
+    out.engine_bytes = r.engine_bytes;
+    out.output_digest = digest_vec(r.orient);
+    out.verified =
+        r.completed &&
+        verify_sinkless_orientation(*input.graph, r.orient).ok;
+    out.metrics.emplace_back("unsatisfied",
+                             static_cast<double>(r.unsatisfied));
+    return out;
+  }
+};
+
+// Never-halting packed workload for budget/cancellation coverage: every
+// node accumulates a mix of its own and its neighbors' words each round and
+// never halts, so a run ends only via max_rounds or a budget stop. The word
+// is a deterministic function of the topology and round count — cancelling
+// at round r always yields the same digest — which is what lets the
+// cancellation tests assert consistent (untorn) partial states.
+struct SpinNode {
+  static constexpr bool packed_state = true;
+  static constexpr bool needs_rng = false;
+
+  struct State {
+    std::uint64_t word;
+  };
+
+  State init(const NodeEnv& env) {
+    return State{mix_seed(static_cast<std::uint64_t>(env.index),
+                          static_cast<std::uint64_t>(env.degree))};
+  }
+
+  bool step(State& self, const NodeEnv& env,
+            std::span<const State* const> nbrs) {
+    (void)env;
+    std::uint64_t acc = self.word * 0x9e3779b97f4a7c15ULL;
+    for (const State* nbr : nbrs) acc += nbr->word;
+    self.word = acc;
+    return false;
+  }
+};
+
+class SpinAlgo final : public Algorithm {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "spin";
+    return kName;
+  }
+  int version() const override { return 1; }
+  bool randomized() const override { return true; }
+  bool needs_edge_labels() const override { return false; }
+
+  AlgoRun run(const LocalInput& input, int max_rounds,
+              const EngineOptions& options, const KV& params) const override {
+    check_params(name(), params, {});
+    SpinNode algo;
+    const EngineResult<SpinNode> r =
+        run_local(input, algo, max_rounds, nullptr, options);
+    AlgoRun out;
+    out.rounds = r.rounds;
+    out.completed = false;  // by construction: spin never halts
+    out.verified = false;
+    out.engine_bytes = r.engine_bytes;
+    std::uint64_t acc = 0xcbf29ce484222325ULL;
+    for (const SpinNode::State& s : r.states) {
+      acc = mix_seed(acc, s.word);
+    }
+    out.output_digest = acc;
+    return out;
+  }
+};
+
+}  // namespace
+
+std::string GraphSpec::canonical() const {
+  std::ostringstream out;
+  out << "family=" << family << ";n=" << n << ";d=" << d << ";gseed=" << seed;
+  return out.str();
+}
+
+const std::vector<std::string>& graph_family_roster() {
+  static const std::vector<std::string> kFamilies = {
+      "bipartite_regular", "random_regular", "cycle", "path",
+      "complete_tree"};
+  return kFamilies;
+}
+
+BuiltGraph build_graph(const GraphSpec& spec) {
+  CKP_CHECK_MSG(spec.n > 0, "graph spec needs n > 0");
+  CKP_CHECK_MSG(
+      spec.n <= static_cast<std::uint64_t>(
+                    std::numeric_limits<NodeId>::max()),
+      "graph spec n=" << spec.n << " exceeds the node-id range");
+  const auto n = static_cast<NodeId>(spec.n);
+  BuiltGraph out;
+  if (spec.family == "bipartite_regular") {
+    CKP_CHECK_MSG(spec.n % 2 == 0,
+                  "bipartite_regular needs even n (n = both sides), got "
+                      << spec.n);
+    const int d = spec.d > 0 ? spec.d : 3;
+    Rng rng(mix_seed(spec.seed));
+    EdgeColoredGraph colored =
+        make_random_bipartite_regular(n / 2, d, rng);
+    out.graph = std::move(colored.graph);
+    out.edge_labels = std::move(colored.edge_color);
+    out.num_labels = colored.num_colors;
+  } else if (spec.family == "random_regular") {
+    const int d = spec.d > 0 ? spec.d : 3;
+    Rng rng(mix_seed(spec.seed));
+    out.graph = make_random_regular(n, d, rng);
+  } else if (spec.family == "cycle") {
+    CKP_CHECK_MSG(spec.d == 0, "cycle has no degree parameter, got d="
+                                   << spec.d);
+    out.graph = make_cycle(n);
+  } else if (spec.family == "path") {
+    CKP_CHECK_MSG(spec.d == 0, "path has no degree parameter, got d="
+                                   << spec.d);
+    out.graph = make_path(n);
+  } else if (spec.family == "complete_tree") {
+    const int delta = spec.d > 0 ? spec.d : 3;
+    out.graph = make_complete_tree(n, delta);
+  } else {
+    CKP_CHECK_MSG(false, "unknown graph family \"" << spec.family
+                                                   << "\"; valid: "
+                                                   << joined(
+                                                          graph_family_roster()));
+  }
+  return out;
+}
+
+const std::vector<std::string>& algorithm_roster() {
+  static const std::vector<std::string> kNames = {
+      "luby",   "ghaffari", "matching_rand", "matching_det",
+      "plus_one", "greedy",   "sinkless",      "spin"};
+  return kNames;
+}
+
+std::unique_ptr<Algorithm> make_algorithm(const std::string& name) {
+  if (name == "luby") return std::make_unique<LubyAlgo>();
+  if (name == "ghaffari") return std::make_unique<GhaffariAlgo>();
+  if (name == "matching_rand") return std::make_unique<MatchingAlgo>(true);
+  if (name == "matching_det") return std::make_unique<MatchingAlgo>(false);
+  if (name == "plus_one") return std::make_unique<ColoringAlgo>(true);
+  if (name == "greedy") return std::make_unique<ColoringAlgo>(false);
+  if (name == "sinkless") return std::make_unique<SinklessAlgo>();
+  if (name == "spin") return std::make_unique<SpinAlgo>();
+  CKP_CHECK_MSG(false, "unknown algorithm \"" << name << "\"; valid: "
+                                              << joined(algorithm_roster()));
+  return nullptr;
+}
+
+LocalInput prepare_input(const Algorithm& algo, const BuiltGraph& built,
+                         std::uint64_t seed) {
+  LocalInput input;
+  input.graph = &built.graph;
+  input.seed = seed;
+  if (!algo.randomized()) {
+    input.ids = sequential_ids(built.graph.num_nodes());
+  }
+  if (algo.needs_edge_labels()) {
+    CKP_CHECK_MSG(!built.edge_labels.empty(),
+                  "algorithm " << algo.name()
+                               << " needs an edge coloring, but the graph "
+                                  "family provides none (use "
+                                  "bipartite_regular)");
+    input.edge_labels = built.edge_labels;
+  }
+  return input;
+}
+
+std::int64_t kv_int(const KV& params, const std::string& key,
+                    std::int64_t def) {
+  const auto it = params.find(key);
+  if (it == params.end()) return def;
+  const std::string& v = it->second;
+  CKP_CHECK_MSG(!v.empty(), "param " << key << " has an empty value");
+  errno = 0;
+  char* end = nullptr;
+  const std::int64_t out = std::strtoll(v.c_str(), &end, 10);
+  CKP_CHECK_MSG(end != v.c_str() && end != nullptr && *end == '\0',
+                "param " << key << " is not an integer: " << v);
+  CKP_CHECK_MSG(errno != ERANGE,
+                "param " << key << " is out of range for int64: " << v);
+  return out;
+}
+
+bool kv_bool(const KV& params, const std::string& key, bool def) {
+  const auto it = params.find(key);
+  if (it == params.end()) return def;
+  if (it->second == "true" || it->second == "1") return true;
+  if (it->second == "false" || it->second == "0") return false;
+  CKP_CHECK_MSG(false,
+                "param " << key << " is not a boolean: " << it->second);
+  return def;
+}
+
+}  // namespace ckp

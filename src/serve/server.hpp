@@ -1,0 +1,150 @@
+// The long-running simulation job server.
+//
+// JobServer turns the repo's run-one-algorithm machinery into a service:
+// requests arrive as single-line JSON (from a stdin pipe or the Unix socket
+// in tools/ckp_serve.cpp), are validated and admitted into a bounded queue
+// on the transport thread, and a dispatcher thread fans each batch out
+// across the shared ThreadPool via work-stealing (one job per chunk, so
+// stragglers never idle the pool). Responses stream back through a caller-
+// supplied sink, one line per event, in completion order.
+//
+// Protocol (one JSON object per line; unknown fields are an error):
+//
+//   {"op":"run","id":"j1","algo":"luby",
+//    "graph":{"family":"cycle","n":4096},"seed":7,
+//    "max_rounds":100000,"params":{"palette":"4"},
+//    "deadline_ms":500,"step_limit":0,
+//    "force_generic":false,"no_memo":false}
+//   {"op":"cancel","id":"j1"}
+//   {"op":"stats"}
+//   {"op":"shutdown"}
+//
+// A run job gets exactly one terminal response: {"id","error",...} on
+// rejection or failure, else {"id","done":true,"memo":...,"cancelled":...,
+// "stop":...,"record":<RunRecord JSON>}. Admission also emits a non-
+// terminal {"id","queued":true} so clients can distinguish "slow" from
+// "dropped". cancel and stats answer immediately on the transport thread.
+//
+// Budgets: deadline_ms (measured from *admission*, so queue wait counts
+// against the job), step_limit (cumulative node-steps), and op=cancel all
+// feed the job's RunBudget, which both engine paths check at the round
+// barrier — a stopped job ends on a consistent round boundary with
+// cancelled=true in its record, never torn state. Completed verified
+// un-budgeted runs are memoized through serve/memo.hpp; a memo hit is
+// served at admission time, runs zero engine rounds, and re-emits the
+// original RunRecord byte-identically.
+//
+// Threading: handle_line is single-caller (the transport thread); the sink
+// is invoked under an internal mutex from both the transport thread and
+// pool workers, so it may write to a shared stream without extra locking.
+// MetricsRegistry is not thread-safe and is only touched under mu_.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "serve/memo.hpp"
+#include "serve/registry.hpp"
+#include "store/artifact_store.hpp"
+#include "util/timer.hpp"
+
+namespace ckp {
+
+struct ServerOptions {
+  // Max jobs executing concurrently (pool workers). 1 runs jobs inline on
+  // the dispatcher thread, which is the only mode where engine_threads > 1
+  // parallelizes rounds (inside a pool worker the engine degrades to 1
+  // thread by the no-nested-parallelism rule).
+  int workers = 2;
+  // Bound on admitted-but-unfinished jobs; admissions beyond it are
+  // rejected with an error response (backpressure, not buffering).
+  int queue_limit = 64;
+  // Directory for the result memo; empty disables memoization.
+  std::string store_dir;
+  // EngineOptions::threads for each job's rounds (0 = engine default).
+  int engine_threads = 0;
+  // Heartbeat spacing for the serve.jobs ProgressMeter; <= 0 disables.
+  double heartbeat_seconds = 0.0;
+  std::ostream* heartbeat_sink = nullptr;  // nullptr = stderr
+  // Injected time source for deadlines, heartbeats, and wall clocks
+  // (tests); nullptr = the real steady clock.
+  NowFn now = nullptr;
+};
+
+class JobServer {
+ public:
+  // Receives each response line (no trailing newline). Called under the
+  // server's sink mutex, possibly from pool workers.
+  using Sink = std::function<void(const std::string& line)>;
+
+  JobServer(ServerOptions options, Sink sink);
+  // Drains admitted jobs, then stops the dispatcher.
+  ~JobServer();
+
+  JobServer(const JobServer&) = delete;
+  JobServer& operator=(const JobServer&) = delete;
+
+  // Handles one request line (transport thread only). Empty/blank lines
+  // are ignored. Malformed input emits an error response; it never throws.
+  // Returns false when the line was a shutdown request (after draining),
+  // true otherwise.
+  bool handle_line(const std::string& line);
+
+  // Blocks until every admitted job has emitted its terminal response.
+  void drain();
+
+  // Counter snapshot for tests/tools ("serve.jobs_admitted",
+  // "serve.memo_hits", "serve.engine_rounds_total", ...).
+  double counter(const std::string& name) const;
+
+ private:
+  struct Job {
+    std::string id;
+    std::unique_ptr<Algorithm> algo;
+    KV params;
+    GraphSpec graph;
+    std::uint64_t seed = 1;
+    int max_rounds = 1 << 20;
+    bool force_generic = false;
+    bool no_memo = false;
+    std::unique_ptr<RunBudget> budget;  // stable address for op=cancel
+    MemoFacts facts;
+  };
+
+  void admit(const JsonValue& doc);
+  void cancel(const JsonValue& doc);
+  void execute(Job& job);
+  void dispatch_loop();
+  void emit(const std::string& line);
+  std::string stats_json();
+
+  ServerOptions opts_;
+  Sink sink_;
+  std::optional<ArtifactStore> store_;
+  ResultMemo memo_;
+  ProgressMeter heartbeat_;
+
+  mutable std::mutex mu_;  // queue, active set, metrics, lifecycle flags
+  std::condition_variable queue_cv_;  // wakes the dispatcher
+  std::condition_variable idle_cv_;   // wakes drain()
+  std::deque<std::unique_ptr<Job>> queue_;
+  std::map<std::string, RunBudget*> active_;  // admitted, not yet terminal
+  MetricsRegistry metrics_;
+  int in_flight_ = 0;     // jobs in the dispatcher's current batch
+  bool stopping_ = false;
+
+  std::mutex sink_mu_;  // serializes sink invocations
+  std::thread dispatcher_;
+};
+
+}  // namespace ckp

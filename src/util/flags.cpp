@@ -36,14 +36,24 @@ Flags::Flags(int argc, const char* const* argv) {
     std::string arg = argv[i];
     CKP_CHECK_MSG(arg.rfind("--", 0) == 0, "expected --flag, got " << arg);
     arg = arg.substr(2);
+    std::string name;
+    std::string value;
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
-      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      values_[arg] = argv[++i];
+      name = arg;
+      value = argv[++i];
     } else {
-      values_[arg] = "true";  // bare boolean flag
+      name = arg;
+      value = "true";  // bare boolean flag
     }
+    // Duplicates are an error, not last-wins: a command line where --seeds
+    // appears twice has two plausible readings, and silently picking one
+    // makes sweep-script template bugs invisible.
+    const bool inserted = values_.emplace(name, value).second;
+    CKP_CHECK_MSG(inserted, "flag --" << name << " given more than once");
   }
 }
 
@@ -123,20 +133,31 @@ std::int32_t Flags::get_shard_nodes(int threads, std::int32_t def) {
   return static_cast<std::int32_t>(out);
 }
 
+std::vector<std::string> Flags::split_list(const std::string& name,
+                                           const std::string& value) {
+  CKP_CHECK_MSG(!value.empty(), "flag --" << name << " has an empty value");
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= value.size()) {
+    const std::size_t comma = value.find(',', pos);
+    const std::string item =
+        value.substr(pos, comma == std::string::npos ? std::string::npos
+                                                     : comma - pos);
+    CKP_CHECK_MSG(!item.empty(),
+                  "flag --" << name << " has an empty item: " << value);
+    out.push_back(item);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
 std::vector<std::string> Flags::get_list(
     const std::string& name, const std::vector<std::string>& allowed) {
   const auto v = raw(name);
   if (!v) return allowed;
-  CKP_CHECK_MSG(!v->empty(), "flag --" << name << " has an empty value");
-  std::vector<std::string> out;
-  std::size_t pos = 0;
-  while (pos <= v->size()) {
-    const std::size_t comma = v->find(',', pos);
-    const std::string item =
-        v->substr(pos, comma == std::string::npos ? std::string::npos
-                                                  : comma - pos);
-    CKP_CHECK_MSG(!item.empty(),
-                  "flag --" << name << " has an empty item: " << *v);
+  const std::vector<std::string> out = split_list(name, *v);
+  for (const std::string& item : out) {
     if (std::find(allowed.begin(), allowed.end(), item) == allowed.end()) {
       std::string valid;
       for (const auto& a : allowed) {
@@ -146,11 +167,15 @@ std::vector<std::string> Flags::get_list(
       CKP_CHECK_MSG(false, "flag --" << name << " has unknown item \"" << item
                                      << "\"; valid: " << valid);
     }
-    out.push_back(item);
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
   }
   return out;
+}
+
+std::vector<std::string> Flags::get_strings(
+    const std::string& name, const std::vector<std::string>& def) {
+  const auto v = raw(name);
+  if (!v) return def;
+  return split_list(name, *v);
 }
 
 void Flags::check_unknown() const {

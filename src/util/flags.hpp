@@ -1,7 +1,11 @@
 // Minimal command-line flag parsing for bench and example binaries.
 //
 // Supports --name=value and --name value forms plus boolean --name. Unknown
-// flags are an error so typos in sweep scripts fail loudly.
+// flags are an error so typos in sweep scripts fail loudly, and so is
+// giving the same flag twice: silent last-wins would let a sweep script
+// that appends `--seeds=100` after a template's `--seeds=2` look like it
+// ran the big sweep while a human reading the command line disagrees with
+// the program about which value won.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +46,19 @@ class Flags {
   // duplicates are preserved as written.
   std::vector<std::string> get_list(const std::string& name,
                                     const std::vector<std::string>& allowed);
+
+  // Comma-separated free-form list (no fixed universe, e.g. --metrics=...):
+  // absent means `def`; when given, items pass through the same strict
+  // splitter as get_list, so empty items — including a lone trailing comma
+  // — are rejected on every list path rather than silently dropped.
+  std::vector<std::string> get_strings(const std::string& name,
+                                       const std::vector<std::string>& def);
+
+  // The strict splitter behind get_list/get_strings, exposed for tools that
+  // read list values from places other than argv. Rejects empty values and
+  // empty items ("a,", ",a", "a,,b", ",") with a CheckFailure naming `name`.
+  static std::vector<std::string> split_list(const std::string& name,
+                                             const std::string& value);
 
   // Call after all getters: throws if the command line contained flags
   // that no getter asked about.

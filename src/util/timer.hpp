@@ -1,26 +1,54 @@
-// Wall-clock timing for the benchmark harness (rounds are the scientific
-// metric; wall time is reported as secondary context only).
+// Monotonic timing for the benchmark harness, heartbeat rate limiting, and
+// job deadlines (rounds are the scientific metric; wall time is reported as
+// secondary context only).
+//
+// Everything here is std::chrono::steady_clock end to end. Elapsed-time and
+// deadline logic must never touch system_clock: NTP slews and manual clock
+// adjustments would make --progress_every rate limiting stall or fire
+// continuously and make RunBudget deadlines misfire mid-run. The only
+// legitimate wall-clock use in the repo is the human-readable provenance
+// timestamp in obs/run_record.cpp, which is a label, not a duration.
+//
+// Tests inject time through the NowFn hook: a Timer (or any deadline
+// consumer) constructed with an explicit NowFn reads that function instead
+// of the real clock, so rate-limiting and deadline behavior is testable
+// without sleeping (tests/test_obs_metrics.cpp, tests/test_serve.cpp).
 #pragma once
 
 #include <chrono>
 
 namespace ckp {
 
+using SteadyClock = std::chrono::steady_clock;
+using SteadyTime = SteadyClock::time_point;
+
+// Injectable time source. nullptr everywhere means "the real steady clock";
+// tests pass a function returning manually advanced time points.
+using NowFn = SteadyTime (*)();
+
+inline SteadyTime steady_now(NowFn now = nullptr) {
+  return now != nullptr ? now() : SteadyClock::now();
+}
+
 class Timer {
  public:
-  Timer() : start_(clock::now()) {}
+  // Default: real steady clock. An explicit NowFn switches every reading of
+  // this Timer to the injected source (used by tests only; the hot engine
+  // paths all construct the default form, whose reads stay direct).
+  Timer() : start_(SteadyClock::now()) {}
+  explicit Timer(NowFn now) : now_(now), start_(steady_now(now)) {}
 
-  void reset() { start_ = clock::now(); }
+  void reset() { start_ = steady_now(now_); }
 
   double seconds() const {
-    return std::chrono::duration<double>(clock::now() - start_).count();
+    return std::chrono::duration<double>(steady_now(now_) - start_).count();
   }
 
   double millis() const { return seconds() * 1e3; }
 
  private:
-  using clock = std::chrono::steady_clock;
-  clock::time_point start_;
+  NowFn now_ = nullptr;
+  SteadyTime start_;
 };
 
 }  // namespace ckp

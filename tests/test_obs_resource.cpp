@@ -8,6 +8,8 @@
 // change sneaks an allocation back into those hot paths.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdint>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -254,6 +256,77 @@ TEST(ProgressMeterTest, DisabledWithoutIntervalAndSilentWhenOff) {
     meter.step(5);
   }
   EXPECT_TRUE(sink.str().empty());
+}
+
+namespace {
+// Injectable steady clock for the rate-limit tests: no sleeping, no flaky
+// timing — the test advances time explicitly.
+std::int64_t g_fake_ms = 0;
+SteadyTime fake_now() {
+  return SteadyTime{} + std::chrono::milliseconds(g_fake_ms);
+}
+}  // namespace
+
+TEST(ProgressMeterTest, RateLimitsOnInjectedSteadyTime) {
+  g_fake_ms = 0;
+  std::ostringstream sink;
+  ProgressMeter meter("paced", 0, /*every_seconds=*/10.0, &sink, &fake_now);
+  ASSERT_TRUE(meter.enabled());
+
+  meter.step();  // first step always announces itself
+  auto count_lines = [&] {
+    std::istringstream lines(sink.str());
+    std::string line;
+    std::size_t n = 0;
+    while (std::getline(lines, line)) ++n;
+    return n;
+  };
+  EXPECT_EQ(count_lines(), 1u);
+
+  // 9.999 simulated seconds of steps: all suppressed by the interval.
+  for (int i = 0; i < 9; ++i) {
+    g_fake_ms += 1111;
+    meter.step();
+  }
+  EXPECT_EQ(count_lines(), 1u);
+
+  g_fake_ms = 10'000;  // exactly the interval boundary emits
+  meter.step();
+  EXPECT_EQ(count_lines(), 2u);
+
+  meter.finish();  // final event ignores the rate limit
+  EXPECT_EQ(count_lines(), 3u);
+  const std::string all = sink.str();
+  const std::string last = all.substr(all.rfind('\n', all.size() - 2) + 1);
+  const JsonValue doc = json_parse(last);
+  EXPECT_DOUBLE_EQ(doc.at("elapsed_seconds").as_number(), 10.0);
+  EXPECT_NE(doc.find("final"), nullptr);
+}
+
+TEST(ProgressObserverTest, RateLimitsOnInjectedSteadyTime) {
+  g_fake_ms = 0;
+  std::ostringstream sink;
+  ProgressObserver obs("paced.run", /*every_seconds=*/5.0, &sink, nullptr,
+                       &fake_now);
+  RoundStats stats;
+  stats.n = 10;
+  auto emitted = [&] {
+    std::istringstream lines(sink.str());
+    std::string line;
+    std::size_t n = 0;
+    while (std::getline(lines, line)) ++n;
+    return n;
+  };
+  for (int round = 1; round <= 4; ++round) {
+    stats.round = round;
+    obs.on_round_end(stats);  // t=0: only the elapsed>=every rounds emit
+    g_fake_ms += 2000;
+  }
+  // Rounds land at t=0,2,4,6s; the 5s interval admits t>=5 only. The first
+  // event fires once elapsed reaches `every` (t=6s, round 4).
+  EXPECT_EQ(emitted(), 1u);
+  const JsonValue doc = json_parse(sink.str().substr(0, sink.str().find('\n')));
+  EXPECT_EQ(doc.at("round").as_number(), 4.0);
 }
 
 TEST(ProgressMeterTest, InheritsGlobalInterval) {

@@ -1,0 +1,572 @@
+// The job-server stack: registry adapters, execution budgets at the round
+// barrier, the memo key discipline, and the JobServer protocol.
+//
+// The heavyweight claims under test:
+//
+//   * a budget that never triggers leaves results bit-identical to an
+//     un-budgeted run, on both engine paths;
+//   * a budget stop lands on a round barrier — the partial state equals a
+//     full run capped at exactly that round, never a torn hybrid;
+//   * memo keys include algorithm version and force_generic but exclude
+//     threads/scheduler/SIMD, and a memo hit re-emits the original
+//     RunRecord byte-identically;
+//   * a cancelled job terminates with cancelled=true and is never memoized.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <unistd.h>
+#include <string>
+#include <vector>
+
+#include "local/budget.hpp"
+#include "obs/run_record.hpp"
+#include "serve/memo.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+#include "store/artifact_store.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace ckp {
+namespace {
+
+// Injectable steady clock shared by the deadline tests.
+std::atomic<std::int64_t> g_fake_ms{0};
+SteadyTime fake_now() {
+  return SteadyTime{} + std::chrono::milliseconds(g_fake_ms.load());
+}
+
+// Process-unique scratch directory: runs under different binaries (plain,
+// ASan, TSan) must not see each other's memo artifacts.
+std::string temp_dir(const std::string& tag) {
+  static std::atomic<int> counter{0};
+  std::string dir = ::testing::TempDir() + "ckp_serve_" +
+                    std::to_string(::getpid()) + "_" + tag + "_" +
+                    std::to_string(counter.fetch_add(1));
+  return dir;
+}
+
+// --------------------------------------------------------------------------
+// Registry
+
+TEST(ServeRegistry, RosterRoundTripsAndRejectsUnknown) {
+  for (const std::string& name : algorithm_roster()) {
+    const auto algo = make_algorithm(name);
+    EXPECT_EQ(algo->name(), name);
+    EXPECT_GE(algo->version(), 1);
+  }
+  EXPECT_THROW(make_algorithm("lubby"), CheckFailure);
+  EXPECT_THROW(make_algorithm(""), CheckFailure);
+}
+
+TEST(ServeRegistry, BuildGraphFamilies) {
+  {
+    GraphSpec spec{"cycle", 64, 0, 0};
+    const BuiltGraph g = build_graph(spec);
+    EXPECT_EQ(g.graph.num_nodes(), 64);
+    EXPECT_TRUE(g.edge_labels.empty());
+  }
+  {
+    GraphSpec spec{"bipartite_regular", 200, 3, 7};
+    const BuiltGraph g = build_graph(spec);
+    EXPECT_EQ(g.graph.num_nodes(), 200);
+    EXPECT_EQ(g.edge_labels.size(),
+              static_cast<std::size_t>(g.graph.num_edges()));
+    EXPECT_EQ(g.num_labels, 3);
+  }
+  {
+    // Same spec builds bit-identical topology.
+    GraphSpec spec{"random_regular", 100, 4, 11};
+    const BuiltGraph a = build_graph(spec);
+    const BuiltGraph b = build_graph(spec);
+    ASSERT_EQ(a.graph.num_edges(), b.graph.num_edges());
+    for (NodeId v = 0; v < a.graph.num_nodes(); ++v) {
+      const auto na = a.graph.neighbors(v);
+      const auto nb = b.graph.neighbors(v);
+      ASSERT_EQ(std::vector<NodeId>(na.begin(), na.end()),
+                std::vector<NodeId>(nb.begin(), nb.end()));
+    }
+  }
+  EXPECT_THROW(build_graph(GraphSpec{"moebius", 10, 0, 0}), CheckFailure);
+  EXPECT_THROW(build_graph(GraphSpec{"cycle", 0, 0, 0}), CheckFailure);
+  EXPECT_THROW(build_graph(GraphSpec{"cycle", 10, 5, 0}), CheckFailure);
+  EXPECT_THROW(build_graph(GraphSpec{"bipartite_regular", 201, 3, 0}),
+               CheckFailure);
+}
+
+TEST(ServeRegistry, AdaptersRunAndVerify) {
+  const GraphSpec spec{"random_regular", 128, 4, 3};
+  const BuiltGraph built = build_graph(spec);
+  for (const std::string name :
+       {"luby", "ghaffari", "matching_rand", "matching_det", "plus_one",
+        "greedy"}) {
+    const auto algo = make_algorithm(name);
+    const LocalInput input = prepare_input(*algo, built, 5);
+    EXPECT_EQ(input.has_ids(), !algo->randomized()) << name;
+    const AlgoRun run = algo->run(input, 1 << 16, EngineOptions{}, {});
+    EXPECT_TRUE(run.completed) << name;
+    EXPECT_TRUE(run.verified) << name;
+    EXPECT_GT(run.rounds, 0) << name;
+    EXPECT_NE(run.output_digest, 0u) << name;
+  }
+}
+
+TEST(ServeRegistry, SinklessNeedsEdgeLabels) {
+  const auto algo = make_algorithm("sinkless");
+  const BuiltGraph plain = build_graph(GraphSpec{"cycle", 32, 0, 0});
+  EXPECT_THROW(prepare_input(*algo, plain, 1), CheckFailure);
+  const BuiltGraph colored =
+      build_graph(GraphSpec{"bipartite_regular", 64, 3, 1});
+  const LocalInput input = prepare_input(*algo, colored, 1);
+  EXPECT_FALSE(input.edge_labels.empty());
+}
+
+TEST(ServeRegistry, UnknownParamRejected) {
+  const BuiltGraph built = build_graph(GraphSpec{"cycle", 32, 0, 0});
+  const auto algo = make_algorithm("luby");
+  const LocalInput input = prepare_input(*algo, built, 1);
+  KV params;
+  params["pallete"] = "4";
+  EXPECT_THROW(algo->run(input, 100, EngineOptions{}, params), CheckFailure);
+}
+
+TEST(ServeRegistry, SpinNeverCompletes) {
+  const BuiltGraph built = build_graph(GraphSpec{"cycle", 64, 0, 0});
+  const auto algo = make_algorithm("spin");
+  const LocalInput input = prepare_input(*algo, built, 1);
+  const AlgoRun run = algo->run(input, 25, EngineOptions{}, {});
+  EXPECT_EQ(run.rounds, 25);
+  EXPECT_FALSE(run.completed);
+  EXPECT_FALSE(run.verified);
+}
+
+// --------------------------------------------------------------------------
+// Budgets in the engine
+
+TEST(ServeBudget, ChargePriorityAndStopLatching) {
+  RunBudget budget;
+  EXPECT_EQ(budget.charge(10), BudgetStop::kNone);
+  EXPECT_FALSE(budget.stopped());
+
+  budget.step_limit = 15;
+  budget.request_cancel();
+  // Cancel outranks the step limit even though both fired.
+  EXPECT_EQ(budget.charge(10), BudgetStop::kCancelled);
+  EXPECT_EQ(budget.stop_reason(), BudgetStop::kCancelled);
+  EXPECT_STREQ(budget_stop_name(budget.stop_reason()), "cancelled");
+}
+
+TEST(ServeBudget, DeadlineUsesInjectedSteadyTime) {
+  g_fake_ms = 1000;
+  RunBudget budget;
+  budget.now = &fake_now;
+  budget.deadline = fake_now() + std::chrono::milliseconds(500);
+  EXPECT_EQ(budget.charge(0), BudgetStop::kNone);
+  g_fake_ms = 1499;
+  EXPECT_EQ(budget.charge(0), BudgetStop::kNone);
+  g_fake_ms = 1500;
+  EXPECT_EQ(budget.charge(0), BudgetStop::kDeadline);
+}
+
+// Runs "spin" on a 64-cycle with `opts` and returns (rounds, digest).
+std::pair<int, std::uint64_t> run_spin(int max_rounds, EngineOptions opts) {
+  const BuiltGraph built = build_graph(GraphSpec{"cycle", 64, 0, 0});
+  const auto algo = make_algorithm("spin");
+  const LocalInput input = prepare_input(*algo, built, 1);
+  const AlgoRun run = algo->run(input, max_rounds, opts, {});
+  return {run.rounds, run.output_digest};
+}
+
+TEST(ServeBudget, StepLimitStopsAtRoundBarrierUntorn) {
+  // Stopping at the barrier means the partial state IS round r's state: a
+  // budgeted run stopped after r rounds must match an un-budgeted run
+  // capped at exactly r rounds, bit for bit, on both engine paths.
+  for (const bool force_generic : {false, true}) {
+    EngineOptions opts;
+    opts.force_generic = force_generic;
+    const auto [full_rounds, full_digest] = run_spin(3, opts);
+    ASSERT_EQ(full_rounds, 3);
+
+    RunBudget budget;
+    budget.step_limit = 3 * 64;  // spin keeps all 64 nodes active per round
+    EngineOptions budgeted = opts;
+    budgeted.budget = &budget;
+    const auto [rounds, digest] = run_spin(1 << 10, budgeted);
+    EXPECT_EQ(rounds, 3) << "generic=" << force_generic;
+    EXPECT_EQ(digest, full_digest) << "generic=" << force_generic;
+    EXPECT_EQ(budget.stop_reason(), BudgetStop::kStepLimit);
+    EXPECT_EQ(budget.steps.load(), 3u * 64u);
+  }
+}
+
+TEST(ServeBudget, PreTrippedBudgetRunsZeroRounds) {
+  for (const bool force_generic : {false, true}) {
+    RunBudget budget;
+    budget.request_cancel();
+    EngineOptions opts;
+    opts.force_generic = force_generic;
+    opts.budget = &budget;
+    const auto [rounds, digest] = run_spin(100, opts);
+    (void)digest;
+    EXPECT_EQ(rounds, 0);
+    EXPECT_EQ(budget.stop_reason(), BudgetStop::kCancelled);
+  }
+}
+
+TEST(ServeBudget, UntriggeredBudgetIsBitIdentical) {
+  const BuiltGraph built = build_graph(GraphSpec{"random_regular", 128, 4, 3});
+  const auto algo = make_algorithm("luby");
+  const LocalInput input = prepare_input(*algo, built, 7);
+
+  const AlgoRun plain = algo->run(input, 1 << 16, EngineOptions{}, {});
+  ASSERT_TRUE(plain.completed);
+
+  RunBudget budget;
+  budget.step_limit = ~std::uint64_t{0};
+  g_fake_ms = 0;
+  budget.now = &fake_now;
+  budget.deadline = fake_now() + std::chrono::hours(1);
+  EngineOptions opts;
+  opts.budget = &budget;
+  const AlgoRun budgeted = algo->run(input, 1 << 16, opts, {});
+  EXPECT_EQ(budgeted.output_digest, plain.output_digest);
+  EXPECT_EQ(budgeted.rounds, plain.rounds);
+  EXPECT_EQ(budget.stop_reason(), BudgetStop::kNone);
+}
+
+// --------------------------------------------------------------------------
+// Memo keys
+
+MemoFacts base_facts() {
+  MemoFacts facts;
+  facts.algorithm = "luby";
+  facts.algo_version = 1;
+  facts.graph = GraphSpec{"cycle", 64, 0, 0};
+  facts.seed = 7;
+  facts.max_rounds = 1 << 16;
+  facts.force_generic = false;
+  return facts;
+}
+
+TEST(ServeMemo, KeyCoversSemanticFactsOnly) {
+  const MemoFacts base = base_facts();
+  const std::string key = memo_key(base);
+  EXPECT_EQ(memo_key(base_facts()), key);  // deterministic
+
+  // Version bump invalidates: changed output for the same inputs must not
+  // serve stale cache entries.
+  MemoFacts bumped = base_facts();
+  bumped.algo_version = 2;
+  EXPECT_NE(memo_key(bumped), key);
+
+  // force_generic is a keyed fact: the paths are differentially tested to
+  // agree, but the memo must not *assume* the theorem it is tested by.
+  MemoFacts generic = base_facts();
+  generic.force_generic = true;
+  EXPECT_NE(memo_key(generic), key);
+
+  for (auto mutate : {+[](MemoFacts& f) { f.seed = 8; },
+                      +[](MemoFacts& f) { f.max_rounds = 100; },
+                      +[](MemoFacts& f) { f.graph.n = 65; },
+                      +[](MemoFacts& f) { f.graph.seed = 1; },
+                      +[](MemoFacts& f) { f.params["palette"] = "4"; },
+                      +[](MemoFacts& f) { f.algorithm = "greedy"; }}) {
+    MemoFacts changed = base_facts();
+    mutate(changed);
+    EXPECT_NE(memo_key(changed), key) << changed.canonical();
+  }
+
+  // The canonical string spells out every keyed fact — and no execution
+  // knobs (threads/scheduler/SIMD are absent by construction: canonical()
+  // is total over MemoFacts, which has no such fields).
+  const std::string canon = base.canonical();
+  EXPECT_NE(canon.find("algo=luby"), std::string::npos);
+  EXPECT_NE(canon.find("ver=1"), std::string::npos);
+  EXPECT_NE(canon.find("force_generic=0"), std::string::npos);
+  EXPECT_EQ(canon.find("thread"), std::string::npos);
+  EXPECT_EQ(canon.find("simd"), std::string::npos);
+}
+
+TEST(ServeMemo, RoundTripAndCorruptionIsMiss) {
+  const ArtifactStore store(temp_dir("memo"));
+  const ResultMemo memo(&store);
+  const MemoFacts facts = base_facts();
+  EXPECT_FALSE(memo.lookup(facts).has_value());
+
+  const std::string record = "{\"bench\":\"serve\",\"rounds\":5}";
+  memo.insert(facts, record);
+  const auto hit = memo.lookup(facts);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, record);  // byte-identical
+
+  // Flip a payload byte on disk: the frame checksum fails and the entry
+  // degrades to a miss instead of serving corrupt bytes.
+  const std::string path = store.path_for(memo_key(facts));
+  FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, -1, SEEK_END);
+  std::fputc('X', f);
+  std::fclose(f);
+  EXPECT_FALSE(memo.lookup(facts).has_value());
+}
+
+// --------------------------------------------------------------------------
+// JobServer end to end (in process)
+
+struct LineLog {
+  std::mutex mu;
+  std::vector<std::string> lines;
+
+  JobServer::Sink sink() {
+    return [this](const std::string& line) {
+      std::lock_guard<std::mutex> lock(mu);
+      lines.push_back(line);
+    };
+  }
+
+  // Responses mentioning `id`, parsed.
+  std::vector<JsonValue> responses_for(const std::string& id) {
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<JsonValue> out;
+    for (const std::string& line : lines) {
+      const JsonValue doc = json_parse(line);
+      const JsonValue* jid = doc.find("id");
+      if (jid != nullptr && jid->string == id) out.push_back(doc);
+    }
+    return out;
+  }
+
+  // The terminal (done/error) response for `id`; fails the test if absent.
+  JsonValue terminal_for(const std::string& id) {
+    for (const JsonValue& doc : responses_for(id)) {
+      if (doc.find("done") != nullptr || doc.find("error") != nullptr) {
+        return doc;
+      }
+    }
+    ADD_FAILURE() << "no terminal response for " << id;
+    return JsonValue{};
+  }
+};
+
+std::string run_job_line(const std::string& id, const std::string& algo,
+                         const std::string& extra = "") {
+  return "{\"op\":\"run\",\"id\":\"" + id + "\",\"algo\":\"" + algo +
+         "\",\"graph\":{\"family\":\"cycle\",\"n\":512},\"seed\":7" + extra +
+         "}";
+}
+
+TEST(ServeServer, MixedBatchCompletesOnSharedPool) {
+  LineLog log;
+  ServerOptions options;
+  options.workers = 3;
+  options.store_dir = temp_dir("batch");
+  JobServer server(options, log.sink());
+
+  EXPECT_TRUE(server.handle_line(run_job_line("j1", "luby")));
+  EXPECT_TRUE(server.handle_line(run_job_line("j2", "matching_rand")));
+  EXPECT_TRUE(server.handle_line(run_job_line("j3", "plus_one")));
+  server.drain();
+
+  for (const std::string id : {"j1", "j2", "j3"}) {
+    const JsonValue done = log.terminal_for(id);
+    ASSERT_NE(done.find("done"), nullptr) << id;
+    EXPECT_EQ(done.at("memo").as_string(), "miss") << id;
+    EXPECT_FALSE(done.at("cancelled").boolean) << id;
+    EXPECT_TRUE(done.at("record").at("verified").boolean) << id;
+  }
+  EXPECT_EQ(server.counter("serve.jobs_admitted"), 3.0);
+  EXPECT_EQ(server.counter("serve.jobs_completed"), 3.0);
+  EXPECT_EQ(server.counter("serve.memo_stores"), 3.0);
+  EXPECT_GT(server.counter("serve.engine_rounds_total"), 0.0);
+}
+
+TEST(ServeServer, MemoHitReplaysRecordByteIdenticallyWithZeroRounds) {
+  const std::string store_dir = temp_dir("replay");
+  std::string first_record;
+  {
+    LineLog log;
+    ServerOptions options;
+    options.workers = 2;
+    options.store_dir = store_dir;
+    JobServer server(options, log.sink());
+    server.handle_line(run_job_line("a", "luby"));
+    server.drain();
+    const JsonValue done = log.terminal_for("a");
+    ASSERT_NE(done.find("done"), nullptr);
+    // Recover the raw record bytes from the response line.
+    std::lock_guard<std::mutex> lock(log.mu);
+    for (const std::string& line : log.lines) {
+      const auto pos = line.find("\"record\":");
+      if (pos != std::string::npos && line.find("\"a\"") != std::string::npos) {
+        first_record = line.substr(pos + 9, line.size() - pos - 9 - 1);
+      }
+    }
+    ASSERT_FALSE(first_record.empty());
+  }
+  {
+    // Fresh server, same store: the resubmission must be served entirely
+    // from the memo — zero engine rounds — and re-emit the same bytes.
+    LineLog log;
+    ServerOptions options;
+    options.workers = 2;
+    options.store_dir = store_dir;
+    JobServer server(options, log.sink());
+    server.handle_line(run_job_line("a", "luby"));
+    server.drain();
+    const JsonValue done = log.terminal_for("a");
+    EXPECT_EQ(done.at("memo").as_string(), "hit");
+    EXPECT_EQ(server.counter("serve.engine_rounds_total"), 0.0);
+    EXPECT_EQ(server.counter("serve.jobs_admitted"), 0.0);
+    std::string second_record;
+    {
+      std::lock_guard<std::mutex> lock(log.mu);
+      for (const std::string& line : log.lines) {
+        const auto pos = line.find("\"record\":");
+        if (pos != std::string::npos) {
+          second_record = line.substr(pos + 9, line.size() - pos - 9 - 1);
+        }
+      }
+    }
+    EXPECT_EQ(second_record, first_record);
+  }
+}
+
+TEST(ServeServer, MemoMissOnForceGenericAndNoMemoOptOut) {
+  const std::string store_dir = temp_dir("keyed");
+  ServerOptions options;
+  options.workers = 1;
+  options.store_dir = store_dir;
+  {
+    LineLog log;
+    JobServer server(options, log.sink());
+    server.handle_line(run_job_line("a", "luby"));
+    server.drain();
+  }
+  {
+    LineLog log;
+    JobServer server(options, log.sink());
+    // Same semantics except force_generic: a distinct key, so a miss — the
+    // engine paths are differentially tested elsewhere; the memo does not
+    // assume their agreement.
+    server.handle_line(run_job_line("b", "luby", ",\"force_generic\":true"));
+    server.drain();
+    EXPECT_EQ(log.terminal_for("b").at("memo").as_string(), "miss");
+    // And the two runs DID produce identical outputs (the differential
+    // fact itself, observed through the digest metrics).
+    const JsonValue rec = log.terminal_for("b").at("record");
+    EXPECT_TRUE(rec.at("verified").boolean);
+  }
+  {
+    LineLog log;
+    JobServer server(options, log.sink());
+    // no_memo opts out of lookup AND insert.
+    server.handle_line(run_job_line("c", "luby", ",\"no_memo\":true"));
+    server.drain();
+    EXPECT_EQ(log.terminal_for("c").at("memo").as_string(), "off");
+    EXPECT_EQ(server.counter("serve.memo_hits"), 0.0);
+  }
+}
+
+TEST(ServeServer, CancelMidRunFlagsRecordAndSkipsMemo) {
+  const std::string store_dir = temp_dir("cancel");
+  LineLog log;
+  ServerOptions options;
+  options.workers = 1;
+  options.store_dir = store_dir;
+  JobServer server(options, log.sink());
+
+  // spin never halts: without the cancel this job would run the full
+  // 1<<20 rounds (~minutes). The cancel lands either while queued (0
+  // rounds) or mid-run (stop at the next round barrier); both must yield
+  // cancelled=true, an uncorrupted partial record, and no memo entry.
+  server.handle_line(run_job_line("s", "spin", ",\"max_rounds\":1048576"));
+  server.handle_line("{\"op\":\"cancel\",\"id\":\"s\"}");
+  server.drain();
+
+  const JsonValue done = log.terminal_for("s");
+  ASSERT_NE(done.find("done"), nullptr);
+  EXPECT_TRUE(done.at("cancelled").boolean);
+  EXPECT_EQ(done.at("stop").as_string(), "cancelled");
+  const JsonValue& rec = done.at("record");
+  EXPECT_EQ(rec.at("metrics").at("cancelled").as_number(), 1.0);
+  EXPECT_EQ(rec.at("metrics").at("completed").as_number(), 0.0);
+  EXPECT_LT(rec.at("rounds").as_number(), 1048576.0);
+  EXPECT_EQ(server.counter("serve.jobs_cancelled"), 1.0);
+  EXPECT_EQ(server.counter("serve.memo_stores"), 0.0);
+  EXPECT_EQ(server.counter("serve.cancels_delivered"), 1.0);
+}
+
+TEST(ServeServer, DeadlineExceededJobIsCancelledAtBarrier) {
+  LineLog log;
+  ServerOptions options;
+  options.workers = 1;
+  g_fake_ms = 50'000;
+  options.now = &fake_now;
+  JobServer server(options, log.sink());
+
+  // Deadline 300 simulated ms after admission. The engine's pre-loop check
+  // passes (time has not advanced yet)… then the clock jumps past the
+  // deadline before the job dequeues, so the first round-barrier check
+  // trips. Either way the job terminates with stop=deadline.
+  server.handle_line(run_job_line("d", "spin",
+                                  ",\"max_rounds\":1048576,"
+                                  "\"deadline_ms\":300"));
+  g_fake_ms += 1000;
+  server.drain();
+
+  const JsonValue done = log.terminal_for("d");
+  ASSERT_NE(done.find("done"), nullptr);
+  EXPECT_TRUE(done.at("cancelled").boolean);
+  EXPECT_EQ(done.at("stop").as_string(), "deadline");
+  EXPECT_EQ(done.at("record").at("metrics").at("cancelled").as_number(),
+            1.0);
+}
+
+TEST(ServeServer, RejectsProtocolAbuse) {
+  LineLog log;
+  ServerOptions options;
+  options.workers = 1;
+  options.queue_limit = 1;
+  JobServer server(options, log.sink());
+
+  EXPECT_TRUE(server.handle_line("this is not json"));
+  EXPECT_TRUE(server.handle_line("{\"op\":\"flood\"}"));
+  EXPECT_TRUE(server.handle_line(run_job_line("x", "nope")));
+  EXPECT_TRUE(
+      server.handle_line(run_job_line("y", "luby", ",\"typo_field\":1")));
+  server.drain();
+  EXPECT_GE(server.counter("serve.errors"), 4.0);
+
+  // Queue backpressure: with limit 1, a burst sheds load with an error
+  // response instead of buffering unboundedly.
+  server.handle_line(run_job_line("q1", "spin", ",\"max_rounds\":2000"));
+  server.handle_line(run_job_line("q2", "spin", ",\"max_rounds\":2000"));
+  server.handle_line(run_job_line("q3", "luby"));
+  server.drain();
+  EXPECT_GE(server.counter("serve.jobs_rejected"), 1.0);
+
+  // Blank lines are ignored, not errors.
+  const double errors = server.counter("serve.errors");
+  EXPECT_TRUE(server.handle_line("   "));
+  EXPECT_EQ(server.counter("serve.errors"), errors);
+}
+
+TEST(ServeServer, ShutdownDrainsAndAnswers) {
+  LineLog log;
+  ServerOptions options;
+  options.workers = 2;
+  JobServer server(options, log.sink());
+  server.handle_line(run_job_line("z", "luby"));
+  EXPECT_FALSE(server.handle_line("{\"op\":\"shutdown\"}"));
+  // Shutdown drained first: the job's terminal response precedes the ack.
+  ASSERT_NE(log.terminal_for("z").find("done"), nullptr);
+  std::lock_guard<std::mutex> lock(log.mu);
+  EXPECT_NE(log.lines.back().find("\"shutdown\":true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ckp

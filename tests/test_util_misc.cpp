@@ -1,3 +1,5 @@
+#include <chrono>
+#include <cstdint>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -123,11 +125,86 @@ TEST(Flags, GetListRejectsUnknownAndEmptyItems) {
   }
 }
 
+TEST(Flags, DuplicateFlagIsAnError) {
+  {
+    const char* argv[] = {"prog", "--seeds=2", "--seeds=100"};
+    EXPECT_THROW(Flags(3, argv), CheckFailure);
+  }
+  {
+    // Mixed forms of the same flag are still a duplicate.
+    const char* argv[] = {"prog", "--seeds=2", "--seeds", "100"};
+    EXPECT_THROW(Flags(4, argv), CheckFailure);
+  }
+  {
+    const char* argv[] = {"prog", "--verbose", "--verbose"};
+    EXPECT_THROW(Flags(3, argv), CheckFailure);
+  }
+}
+
+TEST(Flags, GetStringsDefaultsAndParses) {
+  {
+    const char* argv[] = {"prog"};
+    Flags f(1, argv);
+    const std::vector<std::string> def = {"wall_seconds"};
+    EXPECT_EQ(f.get_strings("metrics", def), def);
+    EXPECT_NO_THROW(f.check_unknown());
+  }
+  {
+    const char* argv[] = {"prog", "--metrics=rounds,wall_seconds"};
+    Flags f(2, argv);
+    const std::vector<std::string> want = {"rounds", "wall_seconds"};
+    EXPECT_EQ(f.get_strings("metrics", {}), want);
+  }
+}
+
+TEST(Flags, GetStringsRejectsEmptyItems) {
+  // Free-form lists go through the same strict splitter as get_list: a
+  // lone trailing comma (the classic sweep-script template bug) must error
+  // on every list path, never silently drop the empty tail item.
+  for (const char* bad : {"--metrics=wall_seconds,", "--metrics=,rounds",
+                          "--metrics=a,,b", "--metrics=,", "--metrics="}) {
+    const char* argv[] = {"prog", bad};
+    Flags f(2, argv);
+    EXPECT_THROW(f.get_strings("metrics", {}), CheckFailure) << bad;
+  }
+}
+
+TEST(Flags, SplitListStandalone) {
+  const std::vector<std::string> want = {"a", "b", "c"};
+  EXPECT_EQ(Flags::split_list("x", "a,b,c"), want);
+  EXPECT_EQ(Flags::split_list("x", "solo"),
+            std::vector<std::string>{"solo"});
+  EXPECT_THROW(Flags::split_list("x", ""), CheckFailure);
+  EXPECT_THROW(Flags::split_list("x", "a,"), CheckFailure);
+  EXPECT_THROW(Flags::split_list("x", ","), CheckFailure);
+}
+
 TEST(Timer, MeasuresNonNegative) {
   Timer t;
   EXPECT_GE(t.seconds(), 0.0);
   t.reset();
   EXPECT_GE(t.millis(), 0.0);
+}
+
+namespace {
+// Injectable steady-clock stand-in: advances only when the test says so.
+std::int64_t g_fake_seconds = 0;
+SteadyTime fake_now() {
+  return SteadyTime{} + std::chrono::seconds(g_fake_seconds);
+}
+}  // namespace
+
+TEST(Timer, InjectedTimeSource) {
+  g_fake_seconds = 100;
+  Timer t(&fake_now);
+  EXPECT_DOUBLE_EQ(t.seconds(), 0.0);
+  g_fake_seconds = 103;
+  EXPECT_DOUBLE_EQ(t.seconds(), 3.0);
+  EXPECT_DOUBLE_EQ(t.millis(), 3000.0);
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.seconds(), 0.0);
+  g_fake_seconds = 104;
+  EXPECT_DOUBLE_EQ(t.seconds(), 1.0);
 }
 
 }  // namespace

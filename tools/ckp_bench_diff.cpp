@@ -119,16 +119,6 @@ KeyedMetrics load_jsonl(const std::string& path,
   return out;
 }
 
-std::vector<std::string> split_csv(const std::string& s) {
-  std::vector<std::string> out;
-  std::string item;
-  std::istringstream in(s);
-  while (std::getline(in, item, ',')) {
-    if (!item.empty()) out.push_back(item);
-  }
-  return out;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -136,8 +126,10 @@ int main(int argc, char** argv) {
     Flags flags(argc, argv);
     const std::string baseline_path = flags.get_string("baseline", "");
     const std::string current_path = flags.get_string("current", "");
+    // Strict list semantics (same splitter as --algo rosters): a typo like
+    // --metrics=wall_seconds, used to silently drop the empty tail item.
     const std::vector<std::string> metrics =
-        split_csv(flags.get_string("metrics", "wall_seconds"));
+        flags.get_strings("metrics", {"wall_seconds"});
     const double max_ratio = flags.get_double("max-ratio", 1.25);
     const double min_abs = flags.get_double("min-abs", 1e-3);
     const bool show_all = flags.get_bool("all", false);

@@ -1,0 +1,167 @@
+// ckp_serve — the simulation job server front end.
+//
+// Two transports over the same JobServer (src/serve/server.hpp):
+//
+//   * pipe mode (default): requests are JSONL on stdin, responses are JSONL
+//     on stdout. One process per batch; EOF or {"op":"shutdown"} ends it.
+//
+//       ckp_serve --store_dir=STORE --workers=4 < jobs.jsonl
+//
+//   * socket mode: --socket=PATH binds a Unix stream socket and serves
+//     connections one at a time (each connection is a JSONL
+//     request/response session; ckp_serve_client is the matching client).
+//     The server runs until a connection sends {"op":"shutdown"}.
+//
+//       ckp_serve --socket=/tmp/ckp.sock --store_dir=STORE &
+//       ckp_serve_client --socket=/tmp/ckp.sock < jobs.jsonl
+//
+// Flags: --workers (concurrent jobs), --queue_limit, --engine_threads
+// (rounds parallelism per job; only effective with --workers=1),
+// --store_dir (result memo; empty disables), --heartbeat_every (seconds
+// between serve.jobs liveness lines on stderr; 0 = off).
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/server.hpp"
+#include "util/check.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+using namespace ckp;
+
+// Minimal line-buffered reader over a connection fd; handles lines split
+// across recv() boundaries.
+class FdLineReader {
+ public:
+  explicit FdLineReader(int fd) : fd_(fd) {}
+
+  // True with the next full line in `out` (newline stripped); false on EOF
+  // or error. A final unterminated line is returned before EOF.
+  bool next(std::string* out) {
+    for (;;) {
+      const auto eol = buf_.find('\n');
+      if (eol != std::string::npos) {
+        *out = buf_.substr(0, eol);
+        buf_.erase(0, eol + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t got = ::read(fd_, chunk, sizeof(chunk));
+      if (got <= 0) {
+        if (buf_.empty()) return false;
+        *out = std::move(buf_);
+        buf_.clear();
+        return true;
+      }
+      buf_.append(chunk, static_cast<std::size_t>(got));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buf_;
+};
+
+// Writes the whole buffer, tolerating short writes. Returns false when the
+// peer is gone (job results for a vanished client are dropped, not fatal —
+// SIGPIPE is ignored in main for the same reason).
+bool write_all(int fd, const std::string& line) {
+  std::string framed = line;
+  framed += '\n';
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t put = ::write(fd, framed.data() + off, framed.size() - off);
+    if (put <= 0) return false;
+    off += static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+int run_pipe_mode(const ServerOptions& options) {
+  JobServer server(options, [](const std::string& line) {
+    std::cout << line << '\n' << std::flush;
+  });
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (!server.handle_line(line)) return 0;
+  }
+  // EOF drains like a shutdown so piped batches always get every terminal
+  // response before exit (the destructor drains too; this makes it
+  // explicit).
+  server.drain();
+  return 0;
+}
+
+int run_socket_mode(const ServerOptions& options, const std::string& path) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  CKP_CHECK_MSG(listener >= 0, "socket(): " << std::strerror(errno));
+  ::unlink(path.c_str());  // stale socket from a killed server
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  CKP_CHECK_MSG(path.size() < sizeof(addr.sun_path),
+                "socket path too long: " << path);
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  CKP_CHECK_MSG(::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr)) == 0,
+                "bind(" << path << "): " << std::strerror(errno));
+  CKP_CHECK_MSG(::listen(listener, 8) == 0,
+                "listen(): " << std::strerror(errno));
+  std::cerr << "[serve] listening on " << path << '\n';
+
+  bool running = true;
+  while (running) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) continue;
+    {
+      // One JobServer per connection: its destructor drains, so every job
+      // this client submitted answers before the next client is served,
+      // and the sink never outlives its fd.
+      JobServer server(options, [conn](const std::string& line) {
+        write_all(conn, line);
+      });
+      FdLineReader reader(conn);
+      std::string line;
+      while (reader.next(&line)) {
+        if (!server.handle_line(line)) {
+          running = false;
+          break;
+        }
+      }
+    }
+    ::close(conn);
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::signal(SIGPIPE, SIG_IGN);
+  try {
+    Flags flags(argc, argv);
+    ServerOptions options;
+    options.workers = static_cast<int>(flags.get_int("workers", 2));
+    options.queue_limit =
+        static_cast<int>(flags.get_int("queue_limit", 64));
+    options.engine_threads =
+        static_cast<int>(flags.get_int("engine_threads", 0));
+    options.store_dir = flags.get_string("store_dir", "");
+    options.heartbeat_seconds = flags.get_double("heartbeat_every", 0.0);
+    const std::string socket_path = flags.get_string("socket", "");
+    flags.check_unknown();
+    if (socket_path.empty()) return run_pipe_mode(options);
+    return run_socket_mode(options, socket_path);
+  } catch (const ckp::CheckFailure& e) {
+    std::cerr << "ckp_serve: " << e.what() << '\n';
+    return 2;
+  }
+}

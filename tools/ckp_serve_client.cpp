@@ -1,0 +1,129 @@
+// ckp_serve_client — submit a JSONL job batch to a ckp_serve Unix socket.
+//
+//   ckp_serve_client --socket=/tmp/ckp.sock [--jobs=FILE] [--quiet]
+//
+// Reads request lines from --jobs (default stdin), sends them all, then
+// prints every response line to stdout until the server has answered each
+// op it owes a reply: one terminal response per run job ({"done":...} or
+// {"error":...}; the interim {"queued":true} ack is not terminal), one line
+// for each cancel/stats, and the {"shutdown":...} ack (after which the
+// server closes the connection). Exits 0 when all expected responses
+// arrived without protocol errors, 1 when any response was an error line,
+// 2 on usage/transport failure — so scripts can assert batch health from
+// the exit status alone.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/check.hpp"
+#include "util/flags.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace ckp;
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t put = ::write(fd, data.data() + off, data.size() - off);
+    if (put <= 0) return false;
+    off += static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Flags flags(argc, argv);
+    const std::string socket_path = flags.get_string("socket", "");
+    const std::string jobs_path = flags.get_string("jobs", "");
+    const bool quiet = flags.get_bool("quiet", false);
+    flags.check_unknown();
+    CKP_CHECK_MSG(!socket_path.empty(),
+                  "usage: ckp_serve_client --socket=PATH [--jobs=FILE] "
+                  "[--quiet]");
+
+    // Count the terminal responses the batch is owed while buffering it.
+    std::ifstream jobs_file;
+    std::istream* jobs = &std::cin;
+    if (!jobs_path.empty()) {
+      jobs_file.open(jobs_path);
+      CKP_CHECK_MSG(jobs_file.good(), "cannot open " << jobs_path);
+      jobs = &jobs_file;
+    }
+    std::string batch;
+    std::size_t expected = 0;
+    std::string line;
+    while (std::getline(*jobs, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      batch += line;
+      batch += '\n';
+      try {
+        const JsonValue doc = json_parse(line);
+        // Malformed lines still earn exactly one error response.
+        (void)doc;
+      } catch (const CheckFailure&) {
+      }
+      ++expected;
+    }
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    CKP_CHECK_MSG(fd >= 0, "socket(): " << std::strerror(errno));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    CKP_CHECK_MSG(socket_path.size() < sizeof(addr.sun_path),
+                  "socket path too long: " << socket_path);
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    CKP_CHECK_MSG(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                            sizeof(addr)) == 0,
+                  "connect(" << socket_path
+                             << "): " << std::strerror(errno));
+    CKP_CHECK_MSG(write_all(fd, batch), "send failed");
+
+    // Read responses until every request has its terminal line. The interim
+    // {"queued":true} ack does not count toward `expected`.
+    std::size_t terminal = 0;
+    bool saw_error = false;
+    std::string buf;
+    char chunk[4096];
+    while (terminal < expected) {
+      const auto eol = buf.find('\n');
+      if (eol == std::string::npos) {
+        const ssize_t got = ::read(fd, chunk, sizeof(chunk));
+        if (got <= 0) break;  // server closed (e.g. after shutdown ack)
+        buf.append(chunk, static_cast<std::size_t>(got));
+        continue;
+      }
+      const std::string resp = buf.substr(0, eol);
+      buf.erase(0, eol + 1);
+      if (!quiet) std::cout << resp << '\n';
+      try {
+        const JsonValue doc = json_parse(resp);
+        if (doc.find("queued") != nullptr) continue;  // non-terminal ack
+        if (doc.find("error") != nullptr) saw_error = true;
+      } catch (const CheckFailure&) {
+        saw_error = true;  // unparseable response is a protocol error
+      }
+      ++terminal;
+    }
+    ::close(fd);
+    if (terminal < expected) {
+      std::cerr << "ckp_serve_client: connection closed with "
+                << (expected - terminal) << " response(s) outstanding\n";
+      return 2;
+    }
+    return saw_error ? 1 : 0;
+  } catch (const ckp::CheckFailure& e) {
+    std::cerr << "ckp_serve_client: " << e.what() << '\n';
+    return 2;
+  }
+}
