@@ -33,6 +33,9 @@ int main(int argc, char** argv) {
   using namespace ckp;
   Flags flags(argc, argv);
   const auto n = static_cast<NodeId>(flags.get_int("n", 1 << 14));
+  // Seed for the randomized Table B (Thm 10) trials; the default preserves
+  // the historical fixed-seed output so existing BENCH baselines compare.
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 11));
   BenchReporter reporter(flags, "E15_ablation");
   flags.check_unknown();
 
@@ -86,7 +89,7 @@ int main(int argc, char** argv) {
       const Graph g = make_complete_tree(n, delta);
       for (const bool use_paper : {false, true}) {
         RoundLedger ledger;
-        const auto r = delta_coloring_thm10(g, delta, 11, ledger,
+        const auto r = delta_coloring_thm10(g, delta, seed, ledger,
                                             use_paper ? paper : practical);
         CKP_CHECK(verify_coloring(g, r.colors, delta).ok);
         {
@@ -96,7 +99,7 @@ int main(int argc, char** argv) {
           rec.graph_family = "complete_tree";
           rec.n = n;
           rec.delta = delta;
-          rec.seed = 11;
+          rec.seed = seed;
           rec.rounds = ledger.rounds();
           rec.verified = true;
           rec.trace = r.trace;

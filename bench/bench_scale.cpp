@@ -23,6 +23,9 @@
 //   greedy_color_local  DetLOCAL packed flagship, static schedule
 //   sinkless_local      RandLOCAL sinkless orientation taking the
 //                       generator's matching decomposition as its coloring
+//   delta_coloring_thm10/11_local  the paper's Δ-coloring algorithms on a
+//                       complete-tree instance of the same n (the rake
+//                       phases need a forest), Δ=16
 //
 // --algo=a,b,... restricts the sweep to a subset of the roster (default:
 // everything), so single-algorithm investigations don't pay for the rest.
@@ -41,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "algo/delta_coloring_local.hpp"
 #include "algo/greedy_color.hpp"
 #include "algo/matching_local.hpp"
 #include "algo/mis_ghaffari.hpp"
@@ -48,6 +52,7 @@
 #include "algo/plus_one_coloring.hpp"
 #include "algo/sinkless_local.hpp"
 #include "graph/regular.hpp"
+#include "graph/trees.hpp"
 #include "lcl/verify_coloring.hpp"
 #include "lcl/verify_matching.hpp"
 #include "lcl/verify_mis.hpp"
@@ -76,7 +81,8 @@ int main(int argc, char** argv) {
       static_cast<double>(flags.get_int("budget-bytes", 48));
   const std::vector<std::string> roster = {
       "luby",     "ghaffari", "matching_rand", "matching_det",
-      "plus_one", "greedy",   "sinkless"};
+      "plus_one", "greedy",   "sinkless",      "thm10",
+      "thm11"};
   const std::vector<std::string> algos = flags.get_list("algo", roster);
   BenchReporter reporter(flags, "E18_scale");
   const int threads = reporter.threads();
@@ -111,7 +117,7 @@ int main(int argc, char** argv) {
             << ", simd=" << simd::kBackendName << "\n\n";
   Table t({"n", "gen Mn/s", "luby Mn·r/s", "luby B/n", "luby spd", "simd spd",
            "cmp spd", "ghaf B/n", "mrand B/n", "mdet B/n", "p1 B/n",
-           "greedy B/n", "util"});
+           "greedy B/n", "t10 B/n", "t11 B/n", "util"});
 
   for (int e = min_exp; e <= max_exp; e += exp_step) {
     const NodeId n = static_cast<NodeId>(1) << e;
@@ -174,6 +180,8 @@ int main(int argc, char** argv) {
     double mdet_bytes_per_node = 0.0;
     double plus_one_bytes_per_node = 0.0;
     double greedy_bytes_per_node = 0.0;
+    double thm10_bytes_per_node = 0.0;
+    double thm11_bytes_per_node = 0.0;
     double speedup = 0.0;
     double simd_speedup = 0.0;
     double simd_compact_speedup = 0.0;
@@ -182,6 +190,16 @@ int main(int argc, char** argv) {
     EngineOptions packed_opts;
     packed_opts.threads = threads;
     packed_opts.schedule = EngineSchedule::kWorkStealing;
+
+    // The Δ-coloring roster needs a forest (the rake phases peel trees;
+    // the bipartite workhorse has cycles), so it rides on its own
+    // complete-tree instance of the same n at Δ=16 — the smallest degree
+    // Theorem 10's reserved palette admits.
+    const int tree_delta = 16;
+    Graph tree;
+    if (enabled("thm10") || enabled("thm11")) {
+      tree = make_complete_tree(n, tree_delta);
+    }
 
     for (int s = 0; s < seeds; ++s) {
       LocalInput in;
@@ -366,6 +384,55 @@ int main(int argc, char** argv) {
         }
         reporter.add(std::move(srec));
       }
+
+      if (enabled("thm10")) {
+        LocalInput tin;
+        tin.graph = &tree;
+        tin.seed = in.seed;
+        before = shared_pool_stats();
+        Timer timer;
+        const auto r = delta_coloring_thm10_local(tin, 1 << 20, packed_opts);
+        const double seconds = timer.seconds();
+        CKP_CHECK(r.completed);
+        CKP_CHECK(verify_coloring(tree, r.colors, tree_delta).ok);
+        thm10_bytes_per_node = gate("delta_coloring_thm10_local",
+                                    r.engine_bytes, n, rng_budget);
+        RunRecord rec =
+            engine_record("delta_coloring_thm10_local", tin.seed, r.rounds,
+                          seconds, thm10_bytes_per_node, before);
+        rec.graph_family = "complete_tree";
+        rec.delta = tree_delta;
+        rec.metric("bad_vertices", static_cast<double>(r.bad_vertices));
+        rec.metric("largest_bad_component",
+                   static_cast<double>(r.largest_bad_component));
+        reporter.add(std::move(rec));
+      }
+
+      if (enabled("thm11")) {
+        LocalInput tin;
+        tin.graph = &tree;
+        tin.seed = in.seed;
+        before = shared_pool_stats();
+        Timer timer;
+        const auto r = delta_coloring_thm11_local(tin, 1 << 20, packed_opts);
+        const double seconds = timer.seconds();
+        CKP_CHECK(r.completed);
+        CKP_CHECK(verify_coloring(tree, r.colors, tree_delta).ok);
+        thm11_bytes_per_node = gate("delta_coloring_thm11_local",
+                                    r.engine_bytes, n, rng_budget);
+        RunRecord rec =
+            engine_record("delta_coloring_thm11_local", tin.seed, r.rounds,
+                          seconds, thm11_bytes_per_node, before);
+        rec.graph_family = "complete_tree";
+        rec.delta = tree_delta;
+        rec.metric("phase2_set_size",
+                   static_cast<double>(r.phase2_set_size));
+        rec.metric("phase2_largest_component",
+                   static_cast<double>(r.phase2_largest_component));
+        rec.metric("phase3_set_size",
+                   static_cast<double>(r.phase3_set_size));
+        reporter.add(std::move(rec));
+      }
     }
 
     // DetLOCAL roster: static schedule — the active sets shrink uniformly
@@ -422,7 +489,9 @@ int main(int argc, char** argv) {
                Table::cell(mrand_bytes_per_node, 1),
                Table::cell(mdet_bytes_per_node, 1),
                Table::cell(plus_one_bytes_per_node, 1),
-               Table::cell(greedy_bytes_per_node, 1), Table::cell(util, 2)});
+               Table::cell(greedy_bytes_per_node, 1),
+               Table::cell(thm10_bytes_per_node, 1),
+               Table::cell(thm11_bytes_per_node, 1), Table::cell(util, 2)});
   }
   reporter.print(t, std::cout);
   std::cout << "\nExpected shape: generation and engine throughput flat in n "

@@ -6,9 +6,15 @@
 // induce, against the paper's bounds (Δ⁴·log n for Thm 10; O(log n) for
 // Thm 11 at Δ >= 55). The Δ sweep deliberately dips below 55 to probe the
 // paper's remark that the constant cannot be made "too small".
+// --packed runs the engine-native ports (algo/delta_coloring_local.hpp)
+// instead of the monolith references: same statistic definitions, packed
+// 8-byte node words, and a default sweep ceiling of 2^19 instead of 2^17
+// (the byte-lean path is what makes the larger trees feasible). Packed
+// trials cache under their own store keys (different RNG streams).
 #include <iostream>
 #include <optional>
 
+#include "algo/delta_coloring_local.hpp"
 #include "core/delta_coloring_thm10.hpp"
 #include "core/delta_coloring_thm11.hpp"
 #include "core/distance_sets.hpp"
@@ -29,7 +35,9 @@ int main(int argc, char** argv) {
   using namespace ckp;
   Flags flags(argc, argv);
   const int seeds = static_cast<int>(flags.get_int("seeds", 5));
-  const int max_exp = static_cast<int>(flags.get_int("max-exp", 17));
+  const bool packed = flags.get_bool("packed", false);
+  const int max_exp =
+      static_cast<int>(flags.get_int("max-exp", packed ? 19 : 17));
   BenchReporter reporter(flags, "E4_shattering");
   // --store_dir caches the generated trees and commits per-seed RunRecords
   // as trials finish; --resume skips seeds already committed (DESIGN.md §8).
@@ -65,20 +73,38 @@ int main(int argc, char** argv) {
                 : make_complete_tree(n, delta);
         int seeds_cached = 0;
         auto trial_records = run_trials_checkpointed(
-            store_ptr, "E4A." + instance_key, resume, seeds,
-            reporter.threads(), [&](int s) -> std::vector<RunRecord> {
-              RoundLedger ledger;
-              const auto r = delta_coloring_thm11(
-                  g, delta, static_cast<std::uint64_t>(s) + 1, ledger);
-              CKP_CHECK(verify_coloring(g, r.colors, delta).ok);
+            store_ptr, (packed ? "E4AP." : "E4A.") + instance_key, resume,
+            seeds, reporter.threads(), [&](int s) -> std::vector<RunRecord> {
+              const auto seed = static_cast<std::uint64_t>(s) + 1;
               RunRecord rec = reporter.make_record();
-              rec.algorithm = "thm11";
               rec.graph_family = "complete_tree";
               rec.n = n;
               rec.delta = delta;
-              rec.seed = static_cast<std::uint64_t>(s) + 1;
-              rec.rounds = ledger.rounds();
+              rec.seed = seed;
               rec.verified = true;
+              if (packed) {
+                LocalInput in;
+                in.graph = &g;
+                in.seed = seed;
+                EngineOptions opts;
+                opts.threads = reporter.threads();
+                opts.schedule = EngineSchedule::kWorkStealing;
+                const auto r = delta_coloring_thm11_local(in, 1 << 20, opts);
+                CKP_CHECK(r.completed);
+                CKP_CHECK(verify_coloring(g, r.colors, delta).ok);
+                rec.algorithm = "thm11_local";
+                rec.rounds = r.rounds;
+                rec.metric("phase2_set_size",
+                           static_cast<double>(r.phase2_set_size));
+                rec.metric("phase2_largest_component",
+                           static_cast<double>(r.phase2_largest_component));
+                return {std::move(rec)};
+              }
+              RoundLedger ledger;
+              const auto r = delta_coloring_thm11(g, delta, seed, ledger);
+              CKP_CHECK(verify_coloring(g, r.colors, delta).ok);
+              rec.algorithm = "thm11";
+              rec.rounds = ledger.rounds();
               rec.trace = r.trace;
               rec.metric("phase2_set_size",
                          static_cast<double>(r.phase2_set_size));
@@ -124,20 +150,38 @@ int main(int argc, char** argv) {
                 : make_complete_tree(n, delta);
         int seeds_cached = 0;
         auto trial_records = run_trials_checkpointed(
-            store_ptr, "E4B." + instance_key, resume, seeds,
-            reporter.threads(), [&](int s) -> std::vector<RunRecord> {
-              RoundLedger ledger;
-              const auto r = delta_coloring_thm10(
-                  g, delta, static_cast<std::uint64_t>(s) + 1, ledger);
-              CKP_CHECK(verify_coloring(g, r.colors, delta).ok);
+            store_ptr, (packed ? "E4BP." : "E4B.") + instance_key, resume,
+            seeds, reporter.threads(), [&](int s) -> std::vector<RunRecord> {
+              const auto seed = static_cast<std::uint64_t>(s) + 1;
               RunRecord rec = reporter.make_record();
-              rec.algorithm = "thm10";
               rec.graph_family = "complete_tree";
               rec.n = n;
               rec.delta = delta;
-              rec.seed = static_cast<std::uint64_t>(s) + 1;
-              rec.rounds = ledger.rounds();
+              rec.seed = seed;
               rec.verified = true;
+              if (packed) {
+                LocalInput in;
+                in.graph = &g;
+                in.seed = seed;
+                EngineOptions opts;
+                opts.threads = reporter.threads();
+                opts.schedule = EngineSchedule::kWorkStealing;
+                const auto r = delta_coloring_thm10_local(in, 1 << 20, opts);
+                CKP_CHECK(r.completed);
+                CKP_CHECK(verify_coloring(g, r.colors, delta).ok);
+                rec.algorithm = "thm10_local";
+                rec.rounds = r.rounds;
+                rec.metric("bad_vertices",
+                           static_cast<double>(r.bad_vertices));
+                rec.metric("largest_bad_component",
+                           static_cast<double>(r.largest_bad_component));
+                return {std::move(rec)};
+              }
+              RoundLedger ledger;
+              const auto r = delta_coloring_thm10(g, delta, seed, ledger);
+              CKP_CHECK(verify_coloring(g, r.colors, delta).ok);
+              rec.algorithm = "thm10";
+              rec.rounds = ledger.rounds();
               rec.trace = r.trace;
               rec.metric("bad_vertices", static_cast<double>(r.bad_vertices));
               rec.metric("largest_bad_component",

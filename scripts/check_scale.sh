@@ -5,11 +5,13 @@
 #   * --assert-budget     — every packed algorithm in the roster (mis_luby,
 #                           mis_ghaffari, matching_randomized,
 #                           matching_deterministic, plus_one, greedy_color,
-#                           sinkless) must stay within its engine-side byte
-#                           budget, derived from CKP_BUDGET_BYTES (the
-#                           DetLOCAL baseline, default 48 bytes/node): +32
-#                           for per-node RNG streams, +4·Δ for port-aligned
-#                           edge labels;
+#                           sinkless, and the Δ-coloring ports
+#                           delta_coloring_thm10/thm11_local on a separate
+#                           degree-16 complete tree) must stay within its
+#                           engine-side byte budget, derived from
+#                           CKP_BUDGET_BYTES (the DetLOCAL baseline, default
+#                           48 bytes/node): +32 for per-node RNG streams,
+#                           +4·Δ for port-aligned edge labels;
 #   * peak-RSS ceiling    — the whole process (graph + generator + every
 #                           engine run) must finish under CKP_RSS_CEILING_MB
 #                           (default 512 MB), read back from the

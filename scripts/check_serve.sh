@@ -15,7 +15,9 @@
 #      RunRecord lines are byte-identical to the first run's.
 #
 # A socket-mode leg drives the same protocol through ckp_serve_client over
-# an AF_UNIX socket.
+# an AF_UNIX socket, and a final leg runs TWO clients concurrently against
+# one server process: both finish, and each client receives exactly its own
+# jobs' responses (the shared-JobServer client routing, end to end).
 #
 #   scripts/check_serve.sh [BUILD_DIR]
 set -euo pipefail
@@ -37,7 +39,7 @@ COMPLETING_JOBS='{"op":"run","id":"m1","algo":"luby","graph":{"family":"random_r
 {"op":"run","id":"m2","algo":"greedy","graph":{"family":"cycle","n":4096},"seed":1}
 {"op":"run","id":"m3","algo":"plus_one","graph":{"family":"complete_tree","n":1093,"d":3},"seed":5}'
 
-echo "== 1/4 mixed batch with a deadline-exceeding job"
+echo "== 1/5 mixed batch with a deadline-exceeding job"
 {
   echo "$COMPLETING_JOBS"
   # spin never halts; only the 150ms deadline ends it — at a round barrier.
@@ -66,7 +68,7 @@ print(f"   4/4 jobs terminal; deadline job stopped at round "
       f"{dl['record']['rounds']}")
 EOF
 
-echo "== 2/4 SIGKILL mid-batch, restart on the same store"
+echo "== 2/5 SIGKILL mid-batch, restart on the same store"
 # Long-ish jobs so the kill lands mid-run; managed by PID (never pkill — a
 # pattern match can catch the invoking shell itself).
 {
@@ -98,7 +100,7 @@ for jid, d in done.items():
 print("   restart on killed store: 3/3 jobs verified, store readable")
 EOF
 
-echo "== 3/4 memo replay: byte-identical records, zero engine rounds"
+echo "== 3/5 memo replay: byte-identical records, zero engine rounds"
 {
   echo "$COMPLETING_JOBS"
   echo '{"op":"stats"}'
@@ -127,7 +129,7 @@ assert stats.get("serve.engine_rounds_total", 0) == 0, stats
 print("   3/3 memo hits, records byte-identical, engine_rounds_total=0")
 EOF
 
-echo "== 4/4 socket mode through ckp_serve_client"
+echo "== 4/5 socket mode through ckp_serve_client"
 SOCK="$WORK/serve.sock"
 "$SERVE" --workers=2 --store_dir="$WORK/store" --socket="$SOCK" \
   >"$WORK/sock_server.out" 2>&1 &
@@ -142,5 +144,57 @@ printf '%s\n{"op":"stats"}\n' "$COMPLETING_JOBS" \
 echo '{"op":"shutdown"}' | "$CLIENT" --socket="$SOCK" --quiet
 wait "$SRV"
 echo "   client batch served over AF_UNIX; clean shutdown"
+
+echo "== 5/5 two concurrent clients, one shared server"
+SOCK="$WORK/multi.sock"
+"$SERVE" --workers=4 --store_dir="$WORK/multi_store" --socket="$SOCK" \
+  >"$WORK/multi_server.out" 2>&1 &
+SRV=$!
+for _ in $(seq 1 100); do
+  [[ -S "$SOCK" ]] && break
+  sleep 0.05
+done
+[[ -S "$SOCK" ]] || { echo "FAIL: server socket never appeared"; exit 1; }
+# Disjoint id sets per client; no_memo so both genuinely execute (ids a1/b1
+# share semantics — a memo hit would still be a correct terminal response,
+# but this leg is about routing live results).
+{
+  echo '{"op":"run","id":"a1","algo":"luby","graph":{"family":"cycle","n":4096},"seed":2,"no_memo":true}'
+  echo '{"op":"run","id":"a2","algo":"greedy","graph":{"family":"cycle","n":4096},"seed":3,"no_memo":true}'
+  echo '{"op":"stats"}'
+} | "$CLIENT" --socket="$SOCK" >"$WORK/client_a.out" &
+CA=$!
+{
+  echo '{"op":"run","id":"b1","algo":"luby","graph":{"family":"cycle","n":4096},"seed":2,"no_memo":true}'
+  echo '{"op":"run","id":"b2","algo":"plus_one","graph":{"family":"complete_tree","n":1093,"d":3},"seed":5,"no_memo":true}'
+  echo '{"op":"stats"}'
+} | "$CLIENT" --socket="$SOCK" >"$WORK/client_b.out" &
+CB=$!
+wait "$CA"
+wait "$CB"
+echo '{"op":"shutdown"}' | "$CLIENT" --socket="$SOCK" --quiet
+wait "$SRV"
+python3 - "$WORK/client_a.out" "$WORK/client_b.out" <<'EOF'
+import json, sys
+def parse(path):
+    ids, stats = set(), 0
+    for line in open(path):
+        doc = json.loads(line)
+        if "stats" in doc:
+            stats += 1
+        elif doc.get("done"):
+            assert doc["record"]["verified"], doc
+            ids.add(doc["id"])
+        elif "id" in doc:
+            ids.add(doc["id"])  # queued lines count as seen traffic too
+    return ids, stats
+a_ids, a_stats = parse(sys.argv[1])
+b_ids, b_stats = parse(sys.argv[2])
+# Routing: each client saw exactly its own jobs, nothing of the other's.
+assert a_ids == {"a1", "a2"}, a_ids
+assert b_ids == {"b1", "b2"}, b_ids
+assert a_stats == 1 and b_stats == 1, (a_stats, b_stats)
+print("   2 concurrent clients: 4/4 jobs verified, zero cross-client leakage")
+EOF
 
 echo "check_serve OK"

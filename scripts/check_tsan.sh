@@ -14,7 +14,7 @@ BUILD_DIR="${1:-build-tsan}"
 TESTS=(test_util_thread_pool test_local_engine test_engine_parallel
   test_engine_packed test_util_simd test_graph_regular test_obs_engine test_core_roundelim
   test_property_fuzz test_store_resume test_bfs_kernel test_obs_resource
-  test_serve)
+  test_serve test_delta_coloring_packed)
 
 if command -v cmake >/dev/null && cmake --list-presets >/dev/null 2>&1; then
   cmake --preset tsan -B "$BUILD_DIR" >/dev/null

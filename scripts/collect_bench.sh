@@ -27,9 +27,9 @@ trap 'rm -rf "$TMP_DIR"' EXIT
 # bench binary -> small-but-representative arguments. Every run still
 # verifies its outputs; the knobs only shrink the n/seed sweeps.
 run_bench() {
-  local name="$1"
-  shift
-  local bin="$BENCH_DIR/$name"
+  local name="$1"  # binary name, optionally :tagged to rerun one binary
+  shift            # with different flags under a distinct output file
+  local bin="$BENCH_DIR/${name%%:*}"
   if [[ ! -x "$bin" ]]; then
     echo "warning: $bin missing, skipping" >&2
     return 0
@@ -40,9 +40,11 @@ run_bench() {
 }
 
 run_bench bench_separation --seeds=1 --max-exp=10
+run_bench bench_separation:packed --packed --seeds=1 --max-exp=10
 run_bench bench_linial --max-exp=12
 run_bench bench_tree_coloring --max-exp=12
 run_bench bench_shattering --seeds=1 --max-exp=13
+run_bench bench_shattering:packed --packed --seeds=1 --max-exp=13
 run_bench bench_speedup --max-exp=9 --horizon=6
 run_bench bench_derand --phi-samples=50
 run_bench bench_lower_bounds --trials=200

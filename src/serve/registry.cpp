@@ -6,6 +6,7 @@
 #include <limits>
 #include <sstream>
 
+#include "algo/delta_coloring_local.hpp"
 #include "algo/greedy_color.hpp"
 #include "algo/matching_local.hpp"
 #include "algo/mis_ghaffari.hpp"
@@ -243,6 +244,83 @@ class SinklessAlgo final : public Algorithm {
   }
 };
 
+class Thm10Algo final : public Algorithm {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "thm10";
+    return kName;
+  }
+  int version() const override { return 1; }
+  bool randomized() const override { return true; }
+  bool needs_edge_labels() const override { return false; }
+
+  AlgoRun run(const LocalInput& input, int max_rounds,
+              const EngineOptions& options, const KV& params) const override {
+    check_params(name(), params,
+                 {"alpha", "growth_divisor", "cap_exponent",
+                  "max_iterations"});
+    Thm10Params p;
+    p.alpha = kv_double(params, "alpha", p.alpha);
+    p.growth_divisor = kv_double(params, "growth_divisor", p.growth_divisor);
+    p.cap_exponent = kv_double(params, "cap_exponent", p.cap_exponent);
+    p.max_iterations = static_cast<int>(
+        kv_int(params, "max_iterations", p.max_iterations));
+    const Thm10LocalResult r =
+        delta_coloring_thm10_local(input, max_rounds, options, p);
+    AlgoRun out;
+    out.rounds = r.rounds;
+    out.completed = r.completed;
+    out.engine_bytes = r.engine_bytes;
+    out.output_digest = digest_vec(r.colors);
+    out.verified =
+        r.completed &&
+        verify_coloring(*input.graph, r.colors,
+                        input.effective_delta()).ok;
+    out.metrics.emplace_back("phase1_iterations",
+                             static_cast<double>(r.phase1_iterations));
+    out.metrics.emplace_back("bad_vertices",
+                             static_cast<double>(r.bad_vertices));
+    out.metrics.emplace_back("largest_bad_component",
+                             static_cast<double>(r.largest_bad_component));
+    return out;
+  }
+};
+
+class Thm11Algo final : public Algorithm {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "thm11";
+    return kName;
+  }
+  int version() const override { return 1; }
+  bool randomized() const override { return true; }
+  bool needs_edge_labels() const override { return false; }
+
+  AlgoRun run(const LocalInput& input, int max_rounds,
+              const EngineOptions& options, const KV& params) const override {
+    check_params(name(), params, {});
+    const Thm11LocalResult r =
+        delta_coloring_thm11_local(input, max_rounds, options);
+    AlgoRun out;
+    out.rounds = r.rounds;
+    out.completed = r.completed;
+    out.engine_bytes = r.engine_bytes;
+    out.output_digest = digest_vec(r.colors);
+    out.verified =
+        r.completed &&
+        verify_coloring(*input.graph, r.colors,
+                        input.effective_delta()).ok;
+    out.metrics.emplace_back("phase2_set_size",
+                             static_cast<double>(r.phase2_set_size));
+    out.metrics.emplace_back(
+        "phase2_largest_component",
+        static_cast<double>(r.phase2_largest_component));
+    out.metrics.emplace_back("phase3_set_size",
+                             static_cast<double>(r.phase3_set_size));
+    return out;
+  }
+};
+
 // Never-halting packed workload for budget/cancellation coverage: every
 // node accumulates a mix of its own and its neighbors' words each round and
 // never halts, so a run ends only via max_rounds or a budget stop. The word
@@ -363,7 +441,8 @@ BuiltGraph build_graph(const GraphSpec& spec) {
 const std::vector<std::string>& algorithm_roster() {
   static const std::vector<std::string> kNames = {
       "luby",   "ghaffari", "matching_rand", "matching_det",
-      "plus_one", "greedy",   "sinkless",      "spin"};
+      "plus_one", "greedy",   "sinkless",      "spin",
+      "thm10",  "thm11"};
   return kNames;
 }
 
@@ -376,6 +455,8 @@ std::unique_ptr<Algorithm> make_algorithm(const std::string& name) {
   if (name == "greedy") return std::make_unique<ColoringAlgo>(false);
   if (name == "sinkless") return std::make_unique<SinklessAlgo>();
   if (name == "spin") return std::make_unique<SpinAlgo>();
+  if (name == "thm10") return std::make_unique<Thm10Algo>();
+  if (name == "thm11") return std::make_unique<Thm11Algo>();
   CKP_CHECK_MSG(false, "unknown algorithm \"" << name << "\"; valid: "
                                               << joined(algorithm_roster()));
   return nullptr;
@@ -413,6 +494,21 @@ std::int64_t kv_int(const KV& params, const std::string& key,
                 "param " << key << " is not an integer: " << v);
   CKP_CHECK_MSG(errno != ERANGE,
                 "param " << key << " is out of range for int64: " << v);
+  return out;
+}
+
+double kv_double(const KV& params, const std::string& key, double def) {
+  const auto it = params.find(key);
+  if (it == params.end()) return def;
+  const std::string& v = it->second;
+  CKP_CHECK_MSG(!v.empty(), "param " << key << " has an empty value");
+  errno = 0;
+  char* end = nullptr;
+  const double out = std::strtod(v.c_str(), &end);
+  CKP_CHECK_MSG(end != v.c_str() && end != nullptr && *end == '\0',
+                "param " << key << " is not a number: " << v);
+  CKP_CHECK_MSG(errno != ERANGE,
+                "param " << key << " is out of range for double: " << v);
   return out;
 }
 

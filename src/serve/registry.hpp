@@ -111,5 +111,6 @@ LocalInput prepare_input(const Algorithm& algo, const BuiltGraph& built,
 std::int64_t kv_int(const KV& params, const std::string& key,
                     std::int64_t def);
 bool kv_bool(const KV& params, const std::string& key, bool def);
+double kv_double(const KV& params, const std::string& key, double def);
 
 }  // namespace ckp

@@ -85,6 +85,13 @@ std::string done_response(const std::string& id, const char* memo,
 }  // namespace
 
 JobServer::JobServer(ServerOptions options, Sink sink)
+    : JobServer(std::move(options),
+                TaggedSink([sink = std::move(sink)](const std::string& line,
+                                                    std::uint64_t) {
+                  sink(line);
+                })) {}
+
+JobServer::JobServer(ServerOptions options, TaggedSink sink)
     : opts_(std::move(options)),
       sink_(std::move(sink)),
       store_(opts_.store_dir.empty()
@@ -108,7 +115,11 @@ JobServer::~JobServer() {
   dispatcher_.join();
 }
 
-bool JobServer::handle_line(const std::string& line) {
+bool JobServer::handle_line(const std::string& line, std::uint64_t client) {
+  // Serialize concurrent transport threads: admission (including the memo
+  // fast path) keeps its single-caller invariants, and each client's own
+  // request order is preserved.
+  std::lock_guard<std::mutex> transport_lock(transport_mu_);
   if (line.find_first_not_of(" \t\r\n") == std::string::npos) return true;
   JsonValue doc;
   std::string op;
@@ -121,19 +132,19 @@ bool JobServer::handle_line(const std::string& line) {
       std::lock_guard<std::mutex> lock(mu_);
       metrics_.add("serve.errors");
     }
-    emit(error_response("", e.what()));
+    emit(error_response("", e.what()), client);
     return true;
   }
   if (op == "run") {
-    admit(doc);
+    admit(doc, client);
     return true;
   }
   if (op == "cancel") {
-    cancel(doc);
+    cancel(doc, client);
     return true;
   }
   if (op == "stats") {
-    emit(stats_json());
+    emit(stats_json(), client);
     return true;
   }
   if (op == "shutdown") {
@@ -143,18 +154,18 @@ bool JobServer::handle_line(const std::string& line) {
     w.key("shutdown").value(true);
     w.key("jobs_completed").value(counter("serve.jobs_completed"));
     w.end_object();
-    emit(w.str());
+    emit(w.str(), client);
     return false;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     metrics_.add("serve.errors");
   }
-  emit(error_response("", "unknown op \"" + op + "\""));
+  emit(error_response("", "unknown op \"" + op + "\""), client);
   return true;
 }
 
-void JobServer::admit(const JsonValue& doc) {
+void JobServer::admit(const JsonValue& doc, std::uint64_t client) {
   std::string id;
   try {
     check_members(doc, {"op", "id", "algo", "graph", "seed", "max_rounds",
@@ -223,31 +234,38 @@ void JobServer::admit(const JsonValue& doc) {
           metrics_.add("serve.memo_hits");
         }
         emit(done_response(id, "hit", /*cancelled=*/false,
-                           BudgetStop::kNone, *hit));
+                           BudgetStop::kNone, *hit),
+             client);
         return;
       }
       std::lock_guard<std::mutex> lock(mu_);
       metrics_.add("serve.memo_misses");
     }
 
+    // Rejections are emitted after mu_ is released: the sink must never be
+    // invoked under mu_ (a sink that consults server state — counter(),
+    // stats — would otherwise close a lock cycle through sink_mu_).
+    std::string reject;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (active_.find(id) != active_.end()) {
         metrics_.add("serve.errors");
-        emit(error_response(id, "job id already in flight"));
-        return;
-      }
-      if (static_cast<int>(queue_.size()) + in_flight_ >=
-          opts_.queue_limit) {
+        reject = "job id already in flight";
+      } else if (static_cast<int>(queue_.size()) + in_flight_ >=
+                 opts_.queue_limit) {
         metrics_.add("serve.jobs_rejected");
-        emit(error_response(id, "queue full (limit " +
-                                    std::to_string(opts_.queue_limit) +
-                                    ")"));
-        return;
+        reject = "queue full (limit " + std::to_string(opts_.queue_limit) +
+                 ")";
+      } else {
+        job->client = client;
+        active_[id] = job->budget.get();
+        queue_.push_back(std::move(job));
+        metrics_.add("serve.jobs_admitted");
       }
-      active_[id] = job->budget.get();
-      queue_.push_back(std::move(job));
-      metrics_.add("serve.jobs_admitted");
+    }
+    if (!reject.empty()) {
+      emit(error_response(id, reject), client);
+      return;
     }
     queue_cv_.notify_one();
     JsonWriter w;
@@ -255,17 +273,17 @@ void JobServer::admit(const JsonValue& doc) {
     w.key("id").value(id);
     w.key("queued").value(true);
     w.end_object();
-    emit(w.str());
+    emit(w.str(), client);
   } catch (const CheckFailure& e) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       metrics_.add("serve.errors");
     }
-    emit(error_response(id, e.what()));
+    emit(error_response(id, e.what()), client);
   }
 }
 
-void JobServer::cancel(const JsonValue& doc) {
+void JobServer::cancel(const JsonValue& doc, std::uint64_t client) {
   std::string id;
   bool delivered = false;
   try {
@@ -285,7 +303,7 @@ void JobServer::cancel(const JsonValue& doc) {
       std::lock_guard<std::mutex> lock(mu_);
       metrics_.add("serve.errors");
     }
-    emit(error_response(id, e.what()));
+    emit(error_response(id, e.what()), client);
     return;
   }
   JsonWriter w;
@@ -293,7 +311,7 @@ void JobServer::cancel(const JsonValue& doc) {
   w.key("id").value(id);
   w.key("cancel_delivered").value(delivered);
   w.end_object();
-  emit(w.str());
+  emit(w.str(), client);
 }
 
 void JobServer::execute(Job& job) {
@@ -361,7 +379,7 @@ void JobServer::execute(Job& job) {
     }
     response = error_response(job.id, e.what());
   }
-  emit(response);
+  emit(response, job.client);
   heartbeat_.step();
 }
 
@@ -430,9 +448,9 @@ std::string JobServer::stats_json() {
   return w.str();
 }
 
-void JobServer::emit(const std::string& line) {
+void JobServer::emit(const std::string& line, std::uint64_t client) {
   std::lock_guard<std::mutex> lock(sink_mu_);
-  sink_(line);
+  sink_(line, client);
 }
 
 }  // namespace ckp

@@ -34,10 +34,15 @@
 // served at admission time, runs zero engine rounds, and re-emits the
 // original RunRecord byte-identically.
 //
-// Threading: handle_line is single-caller (the transport thread); the sink
-// is invoked under an internal mutex from both the transport thread and
-// pool workers, so it may write to a shared stream without extra locking.
-// MetricsRegistry is not thread-safe and is only touched under mu_.
+// Threading: handle_line may be called from multiple transport threads
+// (one per client connection); an internal transport mutex serializes the
+// admission/response path, so per-client request order is preserved and
+// cross-client requests interleave at line granularity. Every response
+// carries the client tag of the request that caused it, and the sink —
+// invoked under an internal mutex from transport threads and pool workers —
+// routes each line back to that client (the single-transport Sink overload
+// ignores the tag). MetricsRegistry is not thread-safe and is only touched
+// under mu_.
 #pragma once
 
 #include <condition_variable>
@@ -86,19 +91,26 @@ class JobServer {
   // Receives each response line (no trailing newline). Called under the
   // server's sink mutex, possibly from pool workers.
   using Sink = std::function<void(const std::string& line)>;
+  // Multi-client variant: `client` is the tag handle_line was called with
+  // for the request this line answers — the transport routes it back to
+  // that connection.
+  using TaggedSink =
+      std::function<void(const std::string& line, std::uint64_t client)>;
 
   JobServer(ServerOptions options, Sink sink);
+  JobServer(ServerOptions options, TaggedSink sink);
   // Drains admitted jobs, then stops the dispatcher.
   ~JobServer();
 
   JobServer(const JobServer&) = delete;
   JobServer& operator=(const JobServer&) = delete;
 
-  // Handles one request line (transport thread only). Empty/blank lines
-  // are ignored. Malformed input emits an error response; it never throws.
-  // Returns false when the line was a shutdown request (after draining),
-  // true otherwise.
-  bool handle_line(const std::string& line);
+  // Handles one request line; safe to call concurrently from multiple
+  // transport threads (serialized internally). `client` tags every response
+  // the line earns. Empty/blank lines are ignored. Malformed input emits an
+  // error response; it never throws. Returns false when the line was a
+  // shutdown request (after draining), true otherwise.
+  bool handle_line(const std::string& line, std::uint64_t client = 0);
 
   // Blocks until every admitted job has emitted its terminal response.
   void drain();
@@ -119,17 +131,18 @@ class JobServer {
     bool no_memo = false;
     std::unique_ptr<RunBudget> budget;  // stable address for op=cancel
     MemoFacts facts;
+    std::uint64_t client = 0;  // transport tag for response routing
   };
 
-  void admit(const JsonValue& doc);
-  void cancel(const JsonValue& doc);
+  void admit(const JsonValue& doc, std::uint64_t client);
+  void cancel(const JsonValue& doc, std::uint64_t client);
   void execute(Job& job);
   void dispatch_loop();
-  void emit(const std::string& line);
+  void emit(const std::string& line, std::uint64_t client);
   std::string stats_json();
 
   ServerOptions opts_;
-  Sink sink_;
+  TaggedSink sink_;
   std::optional<ArtifactStore> store_;
   ResultMemo memo_;
   ProgressMeter heartbeat_;
@@ -143,7 +156,8 @@ class JobServer {
   int in_flight_ = 0;     // jobs in the dispatcher's current batch
   bool stopping_ = false;
 
-  std::mutex sink_mu_;  // serializes sink invocations
+  std::mutex transport_mu_;  // serializes concurrent handle_line callers
+  std::mutex sink_mu_;       // serializes sink invocations
   std::thread dispatcher_;
 };
 

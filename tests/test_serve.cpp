@@ -555,6 +555,63 @@ TEST(ServeServer, RejectsProtocolAbuse) {
   EXPECT_EQ(server.counter("serve.errors"), errors);
 }
 
+TEST(ServeServer, MultiClientRoutesResponsesByTag) {
+  // Two transport threads share ONE server (one queue, one memo, one worker
+  // pool) and interleave submissions. Every response must come back tagged
+  // with the client whose request earned it — cross-client leakage would
+  // show a j* line under client 2 or a k* line under client 1.
+  std::mutex mu;
+  std::vector<std::pair<std::uint64_t, std::string>> tagged;
+  ServerOptions options;
+  options.workers = 3;
+  options.store_dir = temp_dir("multi");
+  JobServer server(options,
+                   JobServer::TaggedSink(
+                       [&](const std::string& line, std::uint64_t client) {
+                         std::lock_guard<std::mutex> lock(mu);
+                         tagged.emplace_back(client, line);
+                       }));
+
+  auto client = [&](std::uint64_t tag, const std::string& prefix) {
+    for (int i = 0; i < 4; ++i) {
+      const std::string id = prefix + std::to_string(i);
+      EXPECT_TRUE(server.handle_line(
+          run_job_line(id, i % 2 == 0 ? "luby" : "plus_one"), tag));
+    }
+    EXPECT_TRUE(server.handle_line("{\"op\":\"stats\"}", tag));
+  };
+  std::thread c1(client, 1, "j");
+  std::thread c2(client, 2, "k");
+  c1.join();
+  c2.join();
+  server.drain();
+
+  // Each client sees exactly its own traffic: 4 queued + 4 done + 1 stats.
+  int done1 = 0, done2 = 0, stats1 = 0, stats2 = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto& [tag, line] : tagged) {
+      ASSERT_TRUE(tag == 1 || tag == 2) << line;
+      const char expect_prefix = tag == 1 ? 'j' : 'k';
+      const JsonValue doc = json_parse(line);
+      if (doc.find("stats") != nullptr) {
+        (tag == 1 ? stats1 : stats2)++;
+        continue;
+      }
+      const JsonValue* jid = doc.find("id");
+      ASSERT_NE(jid, nullptr) << line;
+      EXPECT_EQ(jid->string[0], expect_prefix) << "leak: " << line;
+      if (doc.find("done") != nullptr) (tag == 1 ? done1 : done2)++;
+      ASSERT_EQ(doc.find("error"), nullptr) << line;
+    }
+  }
+  EXPECT_EQ(done1, 4);
+  EXPECT_EQ(done2, 4);
+  EXPECT_EQ(stats1, 1);
+  EXPECT_EQ(stats2, 1);
+  EXPECT_EQ(server.counter("serve.jobs_completed"), 8.0);
+}
+
 TEST(ServeServer, ShutdownDrainsAndAnswers) {
   LineLog log;
   ServerOptions options;

@@ -8,9 +8,11 @@
 //       ckp_serve --store_dir=STORE --workers=4 < jobs.jsonl
 //
 //   * socket mode: --socket=PATH binds a Unix stream socket and serves
-//     connections one at a time (each connection is a JSONL
-//     request/response session; ckp_serve_client is the matching client).
-//     The server runs until a connection sends {"op":"shutdown"}.
+//     concurrent connections against ONE shared JobServer (shared queue,
+//     shared memo, shared workers). Each connection gets a reader thread;
+//     responses are routed back to the connection whose request earned them
+//     via the JobServer client tag. The server runs until any connection
+//     sends {"op":"shutdown"} (which drains every client's jobs first).
 //
 //       ckp_serve --socket=/tmp/ckp.sock --store_dir=STORE &
 //       ckp_serve_client --socket=/tmp/ckp.sock < jobs.jsonl
@@ -19,10 +21,16 @@
 // (rounds parallelism per job; only effective with --workers=1),
 // --store_dir (result memo; empty disables), --heartbeat_every (seconds
 // between serve.jobs liveness lines on stderr; 0 = off).
+#include <atomic>
 #include <csignal>
 #include <cstring>
 #include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -99,6 +107,52 @@ int run_pipe_mode(const ServerOptions& options) {
   return 0;
 }
 
+// One accepted connection: the fd plus a write mutex so pool workers
+// finishing jobs for this client never interleave bytes with its reader
+// thread's immediate responses.
+struct Conn {
+  int fd = -1;
+  std::mutex write_mu;
+};
+
+// Connection registry keyed by client tag. Lines for a client that already
+// disconnected are dropped (its jobs still run to completion; only the
+// responses have nowhere to go).
+class ConnTable {
+ public:
+  std::uint64_t add(int fd) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t id = next_id_++;
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    conns_[id] = std::move(conn);
+    return id;
+  }
+
+  std::shared_ptr<Conn> find(std::uint64_t id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = conns_.find(id);
+    return it == conns_.end() ? nullptr : it->second;
+  }
+
+  void remove(std::uint64_t id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    conns_.erase(id);
+  }
+
+  // Half-closes every live connection so blocked readers see EOF (used at
+  // shutdown; the reader threads own the final ::close).
+  void shutdown_all() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, conn] : conns_) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::uint64_t, std::shared_ptr<Conn>> conns_;
+  std::uint64_t next_id_ = 1;
+};
+
 int run_socket_mode(const ServerOptions& options, const std::string& path) {
   const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
   CKP_CHECK_MSG(listener >= 0, "socket(): " << std::strerror(errno));
@@ -115,28 +169,46 @@ int run_socket_mode(const ServerOptions& options, const std::string& path) {
                 "listen(): " << std::strerror(errno));
   std::cerr << "[serve] listening on " << path << '\n';
 
-  bool running = true;
-  while (running) {
-    const int conn = ::accept(listener, nullptr, nullptr);
-    if (conn < 0) continue;
-    {
-      // One JobServer per connection: its destructor drains, so every job
-      // this client submitted answers before the next client is served,
-      // and the sink never outlives its fd.
-      JobServer server(options, [conn](const std::string& line) {
-        write_all(conn, line);
-      });
-      FdLineReader reader(conn);
+  ConnTable conns;
+  std::atomic<bool> running{true};
+  // One JobServer shared by every connection: one queue, one memo, one
+  // worker pool. The sink routes each response line to the connection whose
+  // request earned it; a vanished client's lines are dropped.
+  JobServer server(options, [&conns](const std::string& line,
+                                     std::uint64_t client) {
+    const std::shared_ptr<Conn> conn = conns.find(client);
+    if (conn == nullptr) return;
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    write_all(conn->fd, line);
+  });
+
+  std::vector<std::thread> readers;
+  while (running.load()) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running.load()) break;
+      continue;
+    }
+    const std::uint64_t client = conns.add(fd);
+    readers.emplace_back([&, fd, client] {
+      FdLineReader reader(fd);
       std::string line;
       while (reader.next(&line)) {
-        if (!server.handle_line(line)) {
-          running = false;
+        if (!server.handle_line(line, client)) {
+          // Shutdown already drained every client's jobs; close the
+          // listener and half-close all peers so the accept loop and the
+          // other readers unwind.
+          running.store(false);
+          ::shutdown(listener, SHUT_RDWR);
+          conns.shutdown_all();
           break;
         }
       }
-    }
-    ::close(conn);
+      conns.remove(client);
+      ::close(fd);
+    });
   }
+  for (std::thread& t : readers) t.join();
   ::close(listener);
   ::unlink(path.c_str());
   return 0;
